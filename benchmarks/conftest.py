@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one exhibit of the paper once per run
+(``pedantic(rounds=1)``): these are experiment drivers, not
+microbenchmarks, and their interesting output is the *shape* assertions
+they make (who wins, by what factor) plus the wall-time to regenerate.
+The regenerated tables/figures are printed to the terminal on demand
+with ``-s``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,21 @@
+"""Bench ablation: crash-recovery overhead (0, 1, 2 machine crashes)."""
+
+from repro.experiments.ablations import format_fault_ablation, run_fault_ablation
+
+
+def test_fault_ablation(once, capsys):
+    rows = once(run_fault_ablation)
+    by_crashes = {r.crashes: r for r in rows}
+
+    # Exactness under every crash count — the headline property.
+    assert all(r.correct for r in rows)
+
+    # Crashes cost redone work and time, monotonically.
+    assert by_crashes[0].tasks_redone == 0
+    assert by_crashes[1].makespan_s >= by_crashes[0].makespan_s
+    assert by_crashes[2].makespan_s >= by_crashes[1].makespan_s
+    assert by_crashes[2].tasks_redone >= by_crashes[1].tasks_redone
+
+    with capsys.disabled():
+        print()
+        print(format_fault_ablation(rows))

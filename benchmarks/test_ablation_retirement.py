@@ -1,0 +1,27 @@
+"""Bench ablation: worker retirement when parallelism shrinks."""
+
+from repro.experiments.ablations import (
+    format_retirement_ablation,
+    run_retirement_ablation,
+)
+
+
+def test_retirement_ablation(once, capsys):
+    rows = once(run_retirement_ablation)
+    by_threshold = {r.retire_after: r for r in rows}
+
+    assert all(r.correct for r in rows)
+
+    never = by_threshold[None]
+    eager = by_threshold[5]
+
+    # Never retiring keeps every machine captive to the end.
+    assert never.retired_workers == 0
+    # An eager threshold releases most machines during the serial tail...
+    assert eager.retired_workers >= 4
+    # ...which raises the mean busy fraction of participating machines.
+    assert eager.mean_busy_fraction > never.mean_busy_fraction
+
+    with capsys.disabled():
+        print()
+        print(format_retirement_ablation(rows))

@@ -1,0 +1,17 @@
+"""Bench ablation: space-sharing vs gang time-sharing at the macro level."""
+
+from repro.experiments.ablations import format_sharing_ablation, run_sharing_ablation
+
+
+def test_sharing_ablation(once, capsys):
+    cmp = once(run_sharing_ablation)
+
+    # Tucker & Gupta's result, the macro scheduler's design basis:
+    # space-sharing wins on mean completion time.
+    assert cmp.mean_advantage > 1.0
+    # And even on makespan, time-sharing pays the switch overhead.
+    assert cmp.time_makespan >= cmp.space_makespan * 0.95
+
+    with capsys.disabled():
+        print()
+        print(format_sharing_ablation(cmp))

@@ -1,0 +1,21 @@
+"""Bench ablation: random victim (paper) vs round-robin victim."""
+
+from repro.experiments.ablations import format_victim_ablation, run_victim_ablation
+
+
+def test_victim_ablation(once, capsys):
+    rows = once(run_victim_ablation)
+    random_row, rr_row = rows
+
+    assert all(r.correct for r in rows)
+    # The Blumofe–Leiserson point: random victims are already good —
+    # the deterministic alternative buys no meaningful speed.
+    assert random_row.avg_time_s < 1.15 * rr_row.avg_time_s
+    assert rr_row.avg_time_s < 1.15 * random_row.avg_time_s
+    # Both stay in the low-steal regime.
+    for r in rows:
+        assert r.tasks_stolen < 1000
+
+    with capsys.disabled():
+        print()
+        print(format_victim_ablation(rows))

@@ -1,0 +1,23 @@
+"""Bench extension: idle-cycle harvesting (the paper's motivation)."""
+
+from repro.experiments.harvest import format_harvest, run_harvest
+
+
+def test_harvest(once, capsys):
+    report = once(run_harvest)
+
+    # Everything submitted finished, exactly.
+    assert report.jobs_completed == report.n_jobs
+    assert report.all_results_exact
+
+    # The macro scheduler converts a substantial share of owner-idle
+    # machine time into parallel compute despite churn...
+    assert report.harvest_fraction > 0.5
+
+    # ...and owner sovereignty held: reclaims happened and were survived.
+    assert report.workers_reclaimed >= 1
+    assert report.workers_started > report.n_jobs  # machines joined & rejoined
+
+    with capsys.disabled():
+        print()
+        print(format_harvest(report))

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 4 (pfold average execution time vs P)."""
+
+from repro.experiments.figures import format_figure4, run_speedup_curve
+
+
+def test_figure4(once, capsys):
+    points = once(run_speedup_curve)
+
+    by_p = {pt.participants: pt for pt in points}
+    assert set(by_p) == {1, 2, 4, 8, 16, 32}
+
+    # T1 lands at the paper's magnitude (~600 s on a SparcStation 1).
+    assert 400 < by_p[1].average_time_s < 800
+
+    # Time falls monotonically and roughly hyperbolically with P.
+    times = [by_p[p].average_time_s for p in (1, 2, 4, 8, 16, 32)]
+    assert times == sorted(times, reverse=True)
+    for p in (2, 4, 8, 16):
+        ratio = by_p[p].average_time_s / by_p[2 * p].average_time_s
+        assert 1.5 < ratio < 2.5  # halving P-steps roughly halve time
+
+    with capsys.disabled():
+        print()
+        print(format_figure4(points))

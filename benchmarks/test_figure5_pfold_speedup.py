@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 5 (pfold speedup vs P, near-perfect linear)."""
+
+from repro.experiments.figures import format_figure5, run_speedup_curve
+
+
+def test_figure5(once, capsys):
+    points = once(run_speedup_curve)
+
+    by_p = {pt.participants: pt for pt in points}
+
+    # Near-perfect linear speedup all the way to 32 participants.
+    for p, pt in by_p.items():
+        assert pt.speedup > 0.93 * p, (p, pt.speedup)
+        assert pt.speedup <= 1.05 * p  # sanity: no superlinear artifacts
+
+    # The paper's droop: efficiency at 32 is below efficiency at 4
+    # (fixed registration/startup overheads bite as runs get short).
+    eff = {p: pt.speedup / p for p, pt in by_p.items()}
+    assert eff[32] < eff[4]
+
+    # Figure 5's enabler (the locality claims of Table 2): steals stay
+    # vanishingly rare at every P.
+    for pt in points:
+        if pt.participants > 1:
+            assert pt.tasks_stolen < 2e-2 * 64832
+
+    with capsys.disabled():
+        print()
+        print(format_figure5(points))

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the substrates themselves (events/sec, steal RTT).
+
+These are real pytest-benchmark microbenchmarks (multiple rounds): they
+track the cost of the simulation machinery, which bounds how large a
+workload the reproduction can run.
+"""
+
+from repro.sim.core import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw timeout processing rate of the DES kernel."""
+
+    def run_10k_events():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.timeout(float(i % 97))
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_10k_events)
+    assert events == 10_000
+
+
+def test_kernel_process_switch_rate(benchmark):
+    """Generator-process ping-pong through a Store."""
+
+    def ping_pong():
+        from repro.sim.resources import Store
+
+        sim = Simulator()
+        a_to_b, b_to_a = Store(sim), Store(sim)
+
+        def ping(sim):
+            for i in range(1000):
+                yield a_to_b.put(i)
+                yield b_to_a.get()
+
+        def pong(sim):
+            for _ in range(1000):
+                value = yield a_to_b.get()
+                yield b_to_a.put(value)
+
+        sim.process(ping(sim))
+        sim.process(pong(sim))
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(ping_pong) > 0
+
+
+def test_simulated_fib_task_rate(benchmark):
+    """End-to-end simulated task execution rate (1 worker, fib(16))."""
+    from repro.apps.fib import fib_job, fib_serial
+    from repro.phish import run_job
+
+    def run():
+        return run_job(fib_job(16), n_workers=1, seed=0)
+
+    result = benchmark(run)
+    assert result.result == fib_serial(16)
+
+
+def test_steal_round_trip(benchmark):
+    """Wall cost of a full simulated steal protocol exchange."""
+    from repro.apps.pfold import pfold_job
+    from repro.phish import run_job
+
+    def run():
+        return run_job(pfold_job("HPHPPHHP"), n_workers=2, seed=0)
+
+    result = benchmark(run)
+    assert result.result is not None

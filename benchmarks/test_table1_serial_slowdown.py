@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 1 (serial slowdown, 3 apps x 2 platforms)."""
+
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+def test_table1(once, capsys):
+    rows = once(run_table1)
+
+    assert len(rows) == 6
+    # Shape: fib is the worst case, ray is essentially free.
+    measured = {(r.app, r.platform): r.measured for r in rows}
+    assert measured[("fib", "sparcstation-10")] > 4.0
+    assert measured[("fib", "cm5-node")] > 3.5
+    assert measured[("nqueens", "sparcstation-10")] < 1.5
+    assert measured[("ray", "sparcstation-10")] < 1.15
+    # Phish (dynamic processor set) pays more than Strata everywhere.
+    for app in ("fib", "nqueens", "ray"):
+        assert measured[(app, "sparcstation-10")] > measured[(app, "cm5-node")]
+    # Every cell within 25% of the published number.
+    for row in rows:
+        assert row.relative_error < 0.25
+
+    with capsys.disabled():
+        print()
+        print(format_table1(rows))

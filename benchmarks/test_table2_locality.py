@@ -1,0 +1,34 @@
+"""Bench: regenerate Table 2 (pfold locality statistics at P=4 and P=8)."""
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2(once, capsys):
+    columns = once(run_table2)
+
+    col4, col8 = columns
+    assert col4.participants == 4 and col8.participants == 8
+
+    # Tasks executed and synchronizations are workload constants.
+    assert col4.rows["Tasks executed"] == col8.rows["Tasks executed"]
+    assert col4.rows["Synchronizations"] == col8.rows["Synchronizations"]
+
+    # The paper's locality claims, as ratios (scale-free):
+    for col in columns:
+        ratios = col.locality_ratios()
+        assert ratios["steals_per_task"] < 5e-3
+        assert ratios["nonlocal_synch_fraction"] < 5e-3
+        assert ratios["working_set_fraction"] < 1e-3
+
+    # The working set does not grow with P (paper: 59 at both counts).
+    assert col8.rows["Max tasks in use"] <= 1.5 * col4.rows["Max tasks in use"]
+
+    # More participants -> more steals and messages, but time halves.
+    assert col8.rows["Tasks stolen"] > col4.rows["Tasks stolen"]
+    assert col8.rows["Messages sent"] > col4.rows["Messages sent"]
+    ratio = col4.rows["Execution time"] / col8.rows["Execution time"]
+    assert 1.6 < ratio < 2.4  # paper: 182/94 = 1.94
+
+    with capsys.disabled():
+        print()
+        print(format_table2(columns))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Writing your own Phish application: parallel mergesort.
+
+The programming model is continuation-passing threads (the paper's
+reference [13]): thread functions receive a frame and use
+
+* ``frame.spawn(thread, *args)``        — fire a ready child task,
+* ``frame.successor(thread, *given)``   — allocate a join closure with
+  missing argument slots, returning continuations for them,
+* ``frame.send(continuation, value)``   — satisfy a slot (a
+  "synchronization"),
+* ``frame.work(cycles)``                — charge simulated compute time.
+
+This example sorts a list by recursive splitting, with sequential
+sorting below a cutoff — the same grain-size engineering the paper's
+applications use.
+
+Run:  python examples/custom_application.py
+"""
+
+import random
+
+from repro import run_job
+from repro.tasks.program import JobProgram, ThreadProgram
+
+CUTOFF = 64  # below this, sort sequentially (grain control)
+CYCLES_PER_ELEMENT = 40.0
+
+program = ThreadProgram("mergesort")
+
+
+@program.thread
+def sort_task(frame, k, values):
+    """Sort *values*, sending the sorted tuple along k."""
+    n = len(values)
+    if n <= CUTOFF:
+        frame.work(CYCLES_PER_ELEMENT * max(1, n) * max(1, n.bit_length()))
+        frame.send(k, tuple(sorted(values)))
+        return
+    mid = n // 2
+    join = frame.successor(merge_task, k)
+    frame.spawn(sort_task, join.cont(1), values[:mid])
+    frame.spawn(sort_task, join.cont(2), values[mid:])
+
+
+@program.thread
+def merge_task(frame, k, left, right):
+    """Merge two sorted runs."""
+    frame.work(CYCLES_PER_ELEMENT * (len(left) + len(right)))
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i]); i += 1
+        else:
+            merged.append(right[j]); j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    frame.send(k, tuple(merged))
+
+
+def mergesort_job(values) -> JobProgram:
+    return JobProgram(program, sort_task, (tuple(values),), name="mergesort")
+
+
+rng = random.Random(99)
+data = [rng.randrange(1_000_000) for _ in range(4096)]
+
+print("Parallel mergesort of 4096 integers on 8 simulated workstations")
+print("=" * 64)
+result = run_job(mergesort_job(data), n_workers=8, seed=1)
+assert list(result.result) == sorted(data), "must equal Python's sorted()"
+print(f"sorted correctly        : True")
+print(f"tasks executed          : {result.stats.tasks_executed}")
+print(f"tasks stolen            : {result.stats.tasks_stolen}")
+print(f"simulated time (8 mach.): {result.stats.average_execution_time * 1000:.1f} ms")
+
+one = run_job(mergesort_job(data), n_workers=1, seed=1)
+print(f"simulated time (1 mach.): {one.stats.average_execution_time * 1000:.1f} ms")
+print(f"speedup                 : "
+      f"{one.stats.execution_times[0] / result.stats.average_execution_time:.2f}x")

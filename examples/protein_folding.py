@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Protein folding: the paper's headline application, end to end.
+
+Enumerates every folding of an HP-model polymer on the 2D lattice,
+histograms the fold energies (exactly what the Joerg/Pande application
+computed), reports the ground-state energy, and shows the near-linear
+speedup of Figures 4/5 on a scaled workload.
+
+Run:  python examples/protein_folding.py
+"""
+
+from repro import run_job
+from repro.apps.pfold import BENCHMARK_20MER, fold_energy, pfold_job, pfold_serial
+
+# A 14-mer prefix of the standard 20-mer benchmark: large enough to be
+# interesting (~600k foldings), small enough to enumerate in seconds.
+SEQUENCE = BENCHMARK_20MER[:14]
+
+print(f"Folding {SEQUENCE!r} ({len(SEQUENCE)} monomers) on the square lattice")
+print("=" * 64)
+
+serial = pfold_serial(SEQUENCE)
+histogram = serial.result
+ground = min(histogram.counts)
+print(f"foldings enumerated : {histogram.total():,}")
+print(f"energy histogram    :")
+for energy, count in histogram.items():
+    bar = "#" * max(1, round(40 * count / histogram.total()))
+    print(f"  E={energy:3d}  {count:10,}  {bar}")
+print(f"ground-state energy : {ground} "
+      f"({histogram.counts[ground]:,} optimal foldings)")
+
+print()
+print("Parallel runs (simulated SparcStation-1 network):")
+t1 = None
+for p in (1, 2, 4, 8):
+    result = run_job(pfold_job(SEQUENCE), n_workers=p, seed=7)
+    assert result.result == histogram, "distributed histogram must be exact"
+    times = result.stats.execution_times
+    if p == 1:
+        t1 = times[0]
+    speedup = result.stats.speedup_vs(t1)
+    print(f"  P={p}: time={result.stats.average_execution_time:8.2f}s  "
+          f"speedup={speedup:5.2f}  steals={result.stats.tasks_stolen:4d}  "
+          f"messages={result.stats.messages_sent}")
+
+print()
+print("The histogram is bitwise identical no matter how many machines")
+print("participated or which tasks were stolen — determinism by merge.")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The scheduler on real threads: repro.rt.WorkStealingPool.
+
+The rest of this repository simulates Phish to reproduce the paper's
+measurements; this pool *executes* the same discipline — per-worker
+deques, LIFO local execution, FIFO steals from random victims, helping
+joins — on OS threads.  CPython's GIL means pure-Python tasks won't go
+faster with more threads (the known fidelity limit of a Python
+reproduction); what this demonstrates is that the algorithm is a real,
+deadlock-free scheduler, with the same locality signature: steals stay
+rare.
+
+Run:  python examples/threaded_runtime.py
+"""
+
+import time
+
+from repro.rt import WorkStealingPool
+
+CUTOFF = 12
+
+
+def fib(pool, n):
+    """Fork-join fib with a sequential cutoff (grain-size control)."""
+    if n < CUTOFF:
+        if n < 2:
+            return n
+        a, b = 0, 1
+        for _ in range(n - 1):
+            a, b = b, a + b
+        return b
+    child = pool.spawn(fib, pool, n - 1)  # stealable
+    mine = fib(pool, n - 2)               # work-first: run one inline
+    return pool.join(child) + mine        # helping join
+
+
+def quicksort(pool, values, depth=0):
+    """Parallel quicksort: partitions become stealable tasks."""
+    if len(values) < 128 or depth > 6:
+        return sorted(values)
+    pivot = values[len(values) // 2]
+    left = [v for v in values if v < pivot]
+    mid = [v for v in values if v == pivot]
+    right = [v for v in values if v > pivot]
+    lf = pool.spawn(quicksort, pool, left, depth + 1)
+    rs = quicksort(pool, right, depth + 1)
+    return pool.join(lf) + mid + rs
+
+
+with WorkStealingPool(n_workers=4, seed=7) as pool:
+    print("Work stealing on 4 real threads")
+    print("=" * 40)
+
+    t0 = time.perf_counter()
+    answer = pool.run(fib, pool, 28)
+    dt = time.perf_counter() - t0
+    print(f"fib(28) = {answer}  ({dt * 1000:.0f} ms wall)")
+    print(f"  tasks executed: {pool.tasks_executed}")
+    print(f"  tasks stolen  : {pool.tasks_stolen}  "
+          f"({pool.tasks_stolen / max(1, pool.tasks_executed):.2%} of tasks)")
+
+    import random
+    data = [random.Random(5).randrange(10 ** 6) for _ in range(20_000)]
+    rng = random.Random(5)
+    data = [rng.randrange(10 ** 6) for _ in range(20_000)]
+    result = pool.run(quicksort, pool, data)
+    print(f"quicksort(20k) correct: {result == sorted(data)}")
+
+print("\n(The GIL caps thread *throughput*; the locality signature —")
+print("rare steals, LIFO depth-first execution — is the algorithm's.)")

@@ -1,0 +1,55 @@
+"""Phish, reproduced: idle-initiated scheduling of large-scale parallel
+computations on (simulated) networks of workstations.
+
+A from-scratch Python reproduction of Blumofe & Park, *Scheduling
+Large-Scale Parallel Computations on Networks of Workstations*,
+HPDC 1994 — the two-level idle-initiated scheduler (macro: PhishJobQ +
+PhishJobManagers; micro: LIFO execution + random FIFO work stealing),
+the Phish runtime machinery (Clearinghouse, split-phase UDP protocols,
+task migration, crash redo), the paper's four applications, and the
+harnesses regenerating every table and figure of its evaluation.
+
+Quickstart::
+
+    from repro import run_job
+    from repro.apps.fib import fib_job
+
+    result = run_job(fib_job(20), n_workers=8)
+    print(result.result, result.stats.tasks_stolen)
+
+See README.md for the architecture tour and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.errors import ReproError
+from repro.phish import JobResult, run_job
+from repro.micro.worker import Worker, WorkerConfig
+from repro.micro.stats import JobStats, WorkerStats
+from repro.tasks.program import JobProgram, ThreadProgram
+from repro.cluster.platform import (
+    CM5_NODE,
+    PLATFORMS,
+    SPARCSTATION_1,
+    SPARCSTATION_10,
+    PlatformProfile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_job",
+    "JobResult",
+    "JobProgram",
+    "ThreadProgram",
+    "Worker",
+    "WorkerConfig",
+    "JobStats",
+    "WorkerStats",
+    "PlatformProfile",
+    "SPARCSTATION_1",
+    "SPARCSTATION_10",
+    "CM5_NODE",
+    "PLATFORMS",
+    "ReproError",
+    "__version__",
+]

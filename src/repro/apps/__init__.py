@@ -1,0 +1,31 @@
+"""The paper's four applications, written as continuation-passing threads.
+
+* :mod:`repro.apps.fib` — naive doubly-recursive Fibonacci ("toy",
+  deliberately tiny grain size; the serial-slowdown stress test).
+* :mod:`repro.apps.nqueens` — backtrack search counting n-queens
+  placements ("toy", small grain).
+* :mod:`repro.apps.pfold` — protein folding: enumerate lattice foldings
+  of a polymer and histogram their energies (the paper's headline
+  application, Figures 4/5 and Table 2).
+* :mod:`repro.apps.ray` — a recursive ray tracer (coarse grain).
+
+Each module exports ``<app>_job(...)`` building a
+:class:`~repro.tasks.program.JobProgram`, a best-serial implementation,
+and a ``serial_metrics`` function giving (total work cycles, call count)
+for the Table 1 serial-time model.
+
+Submodules are imported lazily so that ``import repro.apps.fib`` does
+not pay for the ray tracer.
+"""
+
+from importlib import import_module
+
+__all__ = ["fib", "nqueens", "pfold", "ray", "shrink"]
+
+
+def __getattr__(name):
+    if name in ("fib", "nqueens", "pfold", "shrink"):
+        return import_module(f"repro.apps.{name}")
+    if name == "ray":
+        return import_module("repro.apps.ray.app")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,94 @@
+"""fib: the naive doubly-recursive Fibonacci program.
+
+"The fib application is a naive, doubly-recursive program that computes
+Fibonacci numbers. ... it does almost nothing but spawn parallel tasks,
+which are simple procedure calls in the serial implementation."  Its
+tiny grain size makes it the worst case for serial slowdown (Table 1:
+4.44 on the CM-5/Strata, 5.90 on a SparcStation 10/Phish) — and the
+showcase that the scheduler still achieves linear speedup on fine-grain
+work.
+
+Task structure: ``fib(n)`` spawns ``fib(n-1)`` and ``fib(n-2)`` plus a
+``fib_sum`` successor joining the two results.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.tasks.program import JobProgram, ThreadProgram
+
+#: Application work per fib task: a comparison and (in the sum task) an
+#: addition — a handful of instructions; fib is *all* overhead.
+FIB_NODE_CYCLES = 12.0
+FIB_SUM_CYCLES = 6.0
+
+program = ThreadProgram("fib")
+
+
+@program.thread
+def fib_task(frame, k, n):
+    """Compute fib(n), sending the result along continuation *k*."""
+    frame.work(FIB_NODE_CYCLES)
+    if n < 2:
+        frame.send(k, n)
+        return
+    succ = frame.successor(fib_sum, k)
+    frame.spawn(fib_task, succ.cont(1), n - 1)
+    frame.spawn(fib_task, succ.cont(2), n - 2)
+
+
+@program.thread
+def fib_sum(frame, k, x, y):
+    """Join task: add the two recursive results."""
+    frame.work(FIB_SUM_CYCLES)
+    frame.send(k, x + y)
+
+
+def fib_job(n: int, name: str | None = None) -> JobProgram:
+    """Build the parallel fib(n) job."""
+    if n < 0:
+        raise ValueError("fib argument must be non-negative")
+    return JobProgram(program, fib_task, (n,), name=name or f"fib({n})")
+
+
+def fib_serial(n: int) -> int:
+    """Best serial implementation (plain recursion, but iterative here to
+    avoid Python's recursion limit; the *cost model* still charges the
+    recursive call structure via :func:`serial_metrics`)."""
+    if n < 0:
+        raise ValueError("fib argument must be non-negative")
+    if n < 2:
+        return n
+    a, b = 0, 1
+    for _ in range(n - 1):
+        a, b = b, a + b
+    return b
+
+
+def node_count(n: int) -> int:
+    """Number of calls the naive doubly-recursive fib(n) makes.
+
+    ``calls(n) = 2*fib(n+1) - 1``.
+    """
+    return 2 * fib_serial(n + 1) - 1
+
+
+def task_count(n: int) -> int:
+    """Tasks the parallel version executes: one per call node plus one
+    fib_sum join per internal node."""
+    nodes = node_count(n)
+    internal = (nodes - 1) // 2
+    return nodes + internal
+
+
+def serial_metrics(n: int) -> Tuple[float, int]:
+    """(total work cycles, procedure-call count) of the best serial code.
+
+    The serial code makes one call per node and performs the node's
+    comparison plus, at internal nodes, the addition.
+    """
+    nodes = node_count(n)
+    internal = (nodes - 1) // 2
+    work = nodes * FIB_NODE_CYCLES + internal * FIB_SUM_CYCLES
+    return work, nodes

@@ -1,0 +1,90 @@
+"""knary: the classic synthetic scheduler stress test.
+
+``knary(n, k, r)`` builds the benchmark tree of the Cilk lineage (the
+theory the paper's micro scheduler rests on): every node of depth < n
+spawns ``k`` children, of which the first ``r`` are *serialised* — each
+must complete before the next starts — and the remaining ``k - r`` run
+in parallel.  ``r`` therefore dials the available parallelism
+continuously: ``r = 0`` is a perfectly parallel k-ary tree, ``r = k``
+a fully serial chain.  The result is the node count, which has a
+closed form for checking.
+
+Useful for scheduler experiments that need controllable parallelism
+(steal-rate studies, retirement behaviour) independent of any real
+application's structure.
+"""
+
+from __future__ import annotations
+
+from repro.tasks.program import JobProgram, ThreadProgram
+
+NODE_CYCLES = 400.0
+JOIN_CYCLES = 12.0
+
+
+def build_program(n: int, k: int, r: int) -> ThreadProgram:
+    """Build knary(n, k, r); join arity is k so the program is per-shape."""
+    if n < 1:
+        raise ValueError("depth n must be >= 1")
+    if k < 1:
+        raise ValueError("branching k must be >= 1")
+    if not (0 <= r <= k):
+        raise ValueError("serial count r must be in [0, k]")
+    prog = ThreadProgram(f"knary-{n}-{k}-{r}")
+
+    @prog.thread
+    def kn_node(frame, k_cont, depth):
+        frame.work(NODE_CYCLES)
+        if depth >= n:
+            frame.send(k_cont, 1)
+            return
+        succ = frame.successor(kn_join, k_cont)
+        if r > 0:
+            # Serial prefix: a chain task walks the first r children one
+            # by one, accumulating their subtree counts.
+            frame.spawn(kn_chain, succ.cont(1), depth, r, 0)
+        else:
+            frame.send(succ.cont(1), 0)
+        for i in range(k - r):
+            frame.spawn(kn_node, succ.cont(2 + i), depth + 1)
+
+    @prog.thread
+    def kn_chain(frame, k_cont, depth, remaining, acc):
+        """Execute one serialised child subtree, then continue the chain."""
+        frame.work(NODE_CYCLES)
+        if remaining == 0:
+            frame.send(k_cont, acc)
+            return
+        succ = frame.successor(kn_chain_step, k_cont, depth, remaining)
+        frame.spawn(kn_node, succ.cont(3 + 0), depth + 1)
+        # acc travels through the step's fixed args:
+        frame.send(succ.cont(4), acc)
+
+    @prog.thread
+    def kn_chain_step(frame, k_cont, depth, remaining, subtree, acc):
+        frame.work(JOIN_CYCLES)
+        frame.spawn(kn_chain, k_cont, depth, remaining - 1, acc + subtree)
+
+    @prog.thread(arity=2 + (k - r))
+    def kn_join(frame, k_cont, serial_total, *parallel_counts):
+        frame.work(JOIN_CYCLES * (1 + len(parallel_counts)))
+        frame.send(k_cont, 1 + serial_total + sum(parallel_counts))
+
+    @prog.thread
+    def kn_root(frame, k_cont):
+        frame.spawn(kn_node, k_cont, 1)
+
+    return prog
+
+
+def knary_job(n: int, k: int, r: int, name: str | None = None) -> JobProgram:
+    """Build the knary(n, k, r) job."""
+    prog = build_program(n, k, r)
+    return JobProgram(prog, "kn_root", (), name=name or f"knary({n},{k},{r})")
+
+
+def knary_nodes(n: int, k: int) -> int:
+    """Closed form for the tree's node count: (k^n - 1) / (k - 1)."""
+    if k == 1:
+        return n
+    return (k ** n - 1) // (k - 1)

@@ -1,0 +1,125 @@
+"""nqueens: backtrack search counting safe queen placements.
+
+"The nqueens application counts by backtrack search the number of ways
+of arranging n queens on an n x n chess board such that no queen can
+capture any other."  Grain size is modest (each node performs O(n *
+depth) conflict checks), so Table 1 reports a serial slowdown barely
+above one (1.09 on the CM-5, 1.12 on the SparcStation 10).
+
+Task structure: one task per search node.  A node tests every column of
+the next row against the partial placement, spawns a child per safe
+column, and joins the children's counts through an n-ary ``nq_join``
+successor (unused join slots are satisfied immediately with zero).
+Backtrack search is exactly the workload of DIB (Finkel & Manber),
+"the scheduler that inspired our idle-initiated scheduler".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.tasks.program import JobProgram, ThreadProgram
+
+#: One queen-vs-queen conflict test (column + two diagonal compares,
+#: with loop and indexing overhead as the 1990s C compiler emitted it).
+CHECK_CYCLES = 30.0
+#: Fixed per-node bookkeeping (loop setup, result dispatch).
+NODE_CYCLES = 87.0
+#: Adding one child count in the join.
+JOIN_ADD_CYCLES = 9.0
+
+
+def _safe(placement: Tuple[int, ...], col: int) -> bool:
+    """Can a queen go in the next row at *col* given *placement*?"""
+    row = len(placement)
+    for r, c in enumerate(placement):
+        if c == col or abs(c - col) == row - r:
+            return False
+    return True
+
+
+def build_program(n: int) -> ThreadProgram:
+    """Build the nqueens thread program for board size *n*.
+
+    The program is built per job because the join fan-in is *n*.
+    """
+    if n < 1:
+        raise ValueError("board size must be >= 1")
+    prog = ThreadProgram(f"nqueens-{n}")
+
+    @prog.thread
+    def nq_node(frame, k, placement):
+        row = len(placement)
+        frame.work(NODE_CYCLES)
+        if row == n:
+            frame.send(k, 1)
+            return
+        frame.work(n * max(1, row) * CHECK_CYCLES)
+        safe_cols = [c for c in range(n) if _safe(placement, c)]
+        if not safe_cols:
+            frame.send(k, 0)
+            return
+        succ = frame.successor(nq_join, k)
+        for i, col in enumerate(safe_cols):
+            frame.spawn(nq_node, succ.cont(1 + i), placement + (col,))
+        for j in range(len(safe_cols), n):
+            frame.send(succ.cont(1 + j), 0)
+
+    @prog.thread(arity=n + 1)
+    def nq_join(frame, k, *counts):
+        frame.work(JOIN_ADD_CYCLES * len(counts))
+        frame.send(k, sum(counts))
+
+    return prog
+
+
+def nqueens_job(n: int, name: str | None = None) -> JobProgram:
+    """Build the parallel nqueens(n) job."""
+    prog = build_program(n)
+    return JobProgram(prog, "nq_node", ((),), name=name or f"nqueens({n})")
+
+
+class SerialRun:
+    """Result of an instrumented serial execution: answer + cost model."""
+
+    __slots__ = ("result", "work_cycles", "calls")
+
+    def __init__(self, result, work_cycles: float, calls: int) -> None:
+        self.result = result
+        self.work_cycles = work_cycles
+        self.calls = calls
+
+
+def nqueens_serial(n: int) -> SerialRun:
+    """Best serial implementation: plain recursive backtracking.
+
+    Performs the same conflict checks as the parallel version but each
+    node is a procedure call; work cycles and call count are tallied for
+    the Table 1 serial-time model.
+    """
+    if n < 1:
+        raise ValueError("board size must be >= 1")
+    work = 0.0
+    calls = 0
+
+    def descend(placement: Tuple[int, ...]) -> int:
+        nonlocal work, calls
+        calls += 1
+        row = len(placement)
+        work += NODE_CYCLES
+        if row == n:
+            return 1
+        work += n * max(1, row) * CHECK_CYCLES
+        total = 0
+        for col in range(n):
+            if _safe(placement, col):
+                total += descend(placement + (col,))
+        work += JOIN_ADD_CYCLES * n
+        return total
+
+    result = descend(())
+    return SerialRun(result, work, calls)
+
+
+#: Known answers for testing (sequence A000170).
+KNOWN_COUNTS = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724}

@@ -1,0 +1,243 @@
+"""pfold: protein folding on a 2D lattice (the paper's headline app).
+
+"The protein-folding application finds all possible foldings of a
+polymer into a lattice and computes a histogram of the energy values."
+(Developed by Chris Joerg and Vijay Pande at MIT; this module is a
+from-scratch implementation of the same computation.)
+
+Model: the HP model on the square lattice.  A polymer is a sequence of
+H (hydrophobic) and P (polar) monomers; a *folding* is a self-avoiding
+walk placing consecutive monomers on adjacent lattice sites.  The
+energy of a folding is minus the number of H-H *contacts* — pairs of H
+monomers adjacent on the lattice but not consecutive in the chain.
+The application enumerates every folding (modulo the first-step
+rotation symmetry) and histograms the energies.
+
+Task structure: one task per partial walk (``pf_extend``), spawning up
+to three children (the reverse step is excluded); leaves compute the
+energy and send a one-entry histogram; a ternary ``pf_merge`` successor
+folds children histograms together, with unused slots satisfied
+immediately by empty histograms.  The tree shape — deep, with modest
+fan-out — is what makes the paper's locality numbers possible: FIFO
+steals take tasks near the root, each carrying a giant subcomputation.
+
+``work_scale`` multiplies the per-task application work so that scaled
+workloads (fewer tasks than the paper's 10.39 M) still produce
+simulated times of the paper's magnitude; EXPERIMENTS.md records the
+scales used.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.tasks.program import JobProgram, ThreadProgram
+from repro.util.stats import Histogram
+
+#: The standard 20-mer 2D HP benchmark sequence (ground state energy -9).
+BENCHMARK_20MER = "HPHPPHHPHPPHPHHPPHPH"
+
+#: Work constants (cycles).
+EXTEND_CYCLES = 26.0  # one direction tried: neighbour compute + occupancy test
+STEP_CYCLES = 22.0  # committing a step: store position, advance
+ENERGY_CYCLES_PER_MONOMER = 30.0  # leaf energy scan, per monomer
+MERGE_CYCLES_PER_BIN = 10.0  # histogram merge, per bin moved
+
+#: Unit moves on the square lattice (2D) and the cubic lattice (3D).
+MOVES: Tuple[Tuple[int, int], ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+MOVES_3D: Tuple[Tuple[int, int, int], ...] = (
+    (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)
+)
+
+#: Supported lattices: name -> (moves, origin, first step).
+LATTICES = {
+    "square": (MOVES, (0, 0), (1, 0)),
+    "cubic": (MOVES_3D, (0, 0, 0), (1, 0, 0)),
+}
+
+
+def _lattice(name: str):
+    try:
+        return LATTICES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown lattice {name!r}; known: {sorted(LATTICES)}"
+        ) from None
+
+
+def _square_neighbours(pos):
+    x, y = pos
+    return ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1))
+
+
+def _cubic_neighbours(pos):
+    x, y, z = pos
+    return (
+        (x + 1, y, z), (x - 1, y, z),
+        (x, y + 1, z), (x, y - 1, z),
+        (x, y, z + 1), (x, y, z - 1),
+    )
+
+
+#: Specialised neighbour enumerators (the tracer-profiled hot path:
+#: generic ``tuple(c + d for ...)`` was ~20% of a pfold run).
+NEIGHBOURS = {"square": _square_neighbours, "cubic": _cubic_neighbours}
+
+
+def fold_energy(sequence: str, path, lattice: str = "square") -> int:
+    """Energy of a complete folding: -(# of non-consecutive H-H contacts)."""
+    _lattice(lattice)  # validate the name
+    neighbours = NEIGHBOURS[lattice]
+    where = {pos: i for i, pos in enumerate(path)}
+    get = where.get
+    contacts = 0
+    for i, pos in enumerate(path):
+        if sequence[i] != "H":
+            continue
+        for neighbour in neighbours(pos):
+            j = get(neighbour)
+            if j is not None and j > i + 1 and sequence[j] == "H":
+                contacts += 1
+    return -contacts
+
+
+def _validate_sequence(sequence: str) -> str:
+    if len(sequence) < 2:
+        raise ValueError("polymer must have at least 2 monomers")
+    bad = set(sequence) - {"H", "P"}
+    if bad:
+        raise ValueError(f"sequence may contain only H and P, found {sorted(bad)}")
+    return sequence
+
+
+def build_program(
+    sequence: str, work_scale: float = 1.0, lattice: str = "square"
+) -> ThreadProgram:
+    """Build the pfold thread program for one polymer sequence.
+
+    ``lattice="cubic"`` enumerates foldings in 3D (six moves, five
+    non-reverse extension candidates per step) — protein folding's more
+    physical setting, and a heavier workload at equal chain length.
+    """
+    sequence = _validate_sequence(sequence)
+    if work_scale <= 0:
+        raise ValueError("work_scale must be positive")
+    moves, _origin, _first = _lattice(lattice)
+    neighbours = NEIGHBOURS[lattice]
+    fanout = len(moves) - 1  # the reverse move always fails self-avoidance
+    length = len(sequence)
+    prog = ThreadProgram(f"pfold-{lattice}-{sequence}")
+
+    @prog.thread
+    def pf_extend(frame, k, path):
+        placed = len(path)
+        if placed == length:
+            frame.work(work_scale * ENERGY_CYCLES_PER_MONOMER * length)
+            hist = Histogram()
+            hist.add(fold_energy(sequence, path, lattice))
+            frame.send(k, hist)
+            return
+        occupied = set(path)
+        children = [
+            nxt for nxt in neighbours(path[-1]) if nxt not in occupied
+        ]
+        frame.work(work_scale * EXTEND_CYCLES * len(moves))
+        if not children:
+            frame.send(k, Histogram())  # dead end: no foldings below here
+            return
+        frame.work(work_scale * STEP_CYCLES * len(children))
+        succ = frame.successor(pf_merge, k)
+        for i, nxt in enumerate(children):
+            frame.spawn(pf_extend, succ.cont(1 + i), path + (nxt,))
+        for j in range(len(children), fanout):
+            frame.send(succ.cont(1 + j), Histogram())
+
+    @prog.thread(arity=fanout + 1)
+    def pf_merge(frame, k, *hists):
+        merged = Histogram()
+        for h in hists:
+            merged.merge(h)
+        frame.work(work_scale * MERGE_CYCLES_PER_BIN * max(1, len(merged.counts)))
+        frame.send(k, merged)
+
+    @prog.thread
+    def pf_root(frame, k):
+        # Fix the first step: every folding is counted once per rotation
+        # class (4-fold on the square lattice, 6-fold on the cubic).
+        frame.work(work_scale * STEP_CYCLES)
+        frame.spawn(pf_extend, k, (_origin, _first))
+
+    return prog
+
+
+def pfold_job(
+    sequence: str = BENCHMARK_20MER,
+    work_scale: float = 1.0,
+    name: str | None = None,
+    lattice: str = "square",
+) -> JobProgram:
+    """Build the parallel pfold job for *sequence*."""
+    prog = build_program(sequence, work_scale, lattice)
+    return JobProgram(
+        prog, "pf_root", (), name=name or f"pfold({len(sequence)},{lattice})"
+    )
+
+
+class SerialRun:
+    """Result of an instrumented serial execution: answer + cost model."""
+
+    __slots__ = ("result", "work_cycles", "calls")
+
+    def __init__(self, result: Histogram, work_cycles: float, calls: int) -> None:
+        self.result = result
+        self.work_cycles = work_cycles
+        self.calls = calls
+
+
+def pfold_serial(
+    sequence: str = BENCHMARK_20MER,
+    work_scale: float = 1.0,
+    lattice: str = "square",
+) -> SerialRun:
+    """Best serial implementation: iterative depth-first enumeration.
+
+    Identical lattice arithmetic to the parallel version; tallies the
+    work cycles and the procedure-call count the recursion would make.
+    """
+    sequence = _validate_sequence(sequence)
+    moves, origin, first = _lattice(lattice)
+    neighbours = NEIGHBOURS[lattice]
+    length = len(sequence)
+    work = 0.0
+    calls = 1  # the root
+    hist = Histogram()
+    # Explicit stack of (path,); avoids Python recursion limits.
+    stack = [(origin, first)]
+    work += work_scale * STEP_CYCLES
+    while stack:
+        path = stack.pop()
+        calls += 1
+        placed = len(path)
+        if placed == length:
+            work += work_scale * ENERGY_CYCLES_PER_MONOMER * length
+            hist.add(fold_energy(sequence, path, lattice))
+            continue
+        occupied = set(path)
+        children = [
+            nxt for nxt in neighbours(path[-1]) if nxt not in occupied
+        ]
+        work += work_scale * EXTEND_CYCLES * len(moves)
+        work += work_scale * STEP_CYCLES * len(children)
+        for nxt in children:
+            stack.append(path + (nxt,))
+    return SerialRun(hist, work, calls)
+
+
+def count_foldings(sequence_length: int, lattice: str = "square") -> int:
+    """Number of foldings enumerated (symmetry-reduced self-avoiding
+    walks of ``sequence_length - 1`` steps).  Exact, by enumeration —
+    used as a test oracle for small lengths."""
+    if sequence_length < 2:
+        raise ValueError("need at least 2 monomers")
+    run = pfold_serial("P" * sequence_length, lattice=lattice)
+    return run.result.total()

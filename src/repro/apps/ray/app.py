@@ -1,0 +1,102 @@
+"""The parallel ray-tracing job: divide-and-conquer over scanlines.
+
+``ray my-scene`` in the paper renders a scene file across the network;
+here :func:`ray_job` builds the equivalent job.  The task tree splits
+the image's rows binarily until a block is at most ``rows_per_task``
+high; leaves render their block (counting real tracer operations for
+the cost model) and the joins merge partial images.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.ray.scene import Scene, default_scene
+from repro.apps.ray.tracer import Image, OpCounter, render, render_rows
+from repro.tasks.program import JobProgram, ThreadProgram
+
+#: Fixed per-task bookkeeping cycles (block setup).
+BLOCK_CYCLES = 60.0
+
+
+def build_program(
+    scene: Scene, width: int, height: int, rows_per_task: int
+) -> ThreadProgram:
+    """Build the ray program for one scene and image geometry."""
+    if width < 1 or height < 1:
+        raise ValueError("image dimensions must be positive")
+    if rows_per_task < 1:
+        raise ValueError("rows_per_task must be >= 1")
+    prog = ThreadProgram(f"ray-{width}x{height}")
+
+    @prog.thread
+    def ray_block(frame, k, row_start, row_end):
+        frame.work(BLOCK_CYCLES)
+        rows = row_end - row_start
+        if rows <= rows_per_task:
+            ops = OpCounter()
+            image = render_rows(scene, width, height, row_start, row_end, ops)
+            frame.work(ops.cycles)
+            frame.send(k, image)
+            return
+        mid = row_start + rows // 2
+        succ = frame.successor(ray_merge, k)
+        frame.spawn(ray_block, succ.cont(1), row_start, mid)
+        frame.spawn(ray_block, succ.cont(2), mid, row_end)
+
+    @prog.thread
+    def ray_merge(frame, k, top, bottom):
+        frame.work(BLOCK_CYCLES)
+        merged: Image = dict(top)
+        merged.update(bottom)
+        frame.send(k, merged)
+
+    @prog.thread
+    def ray_root(frame, k):
+        frame.work(BLOCK_CYCLES)
+        frame.spawn(ray_block, k, 0, height)
+
+    return prog
+
+
+def ray_job(
+    scene: Optional[Scene] = None,
+    width: int = 64,
+    height: int = 48,
+    rows_per_task: int = 2,
+    name: str | None = None,
+) -> JobProgram:
+    """Build the parallel rendering job (default: the benchmark scene)."""
+    scene = scene or default_scene()
+    prog = build_program(scene, width, height, rows_per_task)
+    return JobProgram(prog, "ray_root", (), name=name or f"ray({width}x{height})")
+
+
+class SerialRun:
+    """Result of an instrumented serial render: image + cost model."""
+
+    __slots__ = ("result", "work_cycles", "calls")
+
+    def __init__(self, result: Image, work_cycles: float, calls: int) -> None:
+        self.result = result
+        self.work_cycles = work_cycles
+        self.calls = calls
+
+
+def ray_serial(
+    scene: Optional[Scene] = None,
+    width: int = 64,
+    height: int = 48,
+    rows_per_task: int = 2,
+) -> SerialRun:
+    """Best serial implementation: render row blocks in a plain loop.
+
+    Performs the identical tracing work; the call count is the number of
+    blocks (the serial code loops instead of spawning).
+    """
+    scene = scene or default_scene()
+    ops = OpCounter()
+    image = render(scene, width, height, ops)
+    blocks = (height + rows_per_task - 1) // rows_per_task
+    work = ops.cycles + blocks * BLOCK_CYCLES
+    return SerialRun(image, work, blocks)

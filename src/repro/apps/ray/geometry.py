@@ -1,0 +1,111 @@
+"""Ray-intersectable primitives: spheres and planes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.ray.vec import Vec3, dot, scale, sub, unit
+
+#: Intersections closer than this are ignored (shadow-acne guard).
+EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class Material:
+    """Phong material: diffuse colour, specular weight, reflectivity."""
+
+    colour: Vec3 = (0.8, 0.8, 0.8)
+    diffuse: float = 0.9
+    specular: float = 0.4
+    shininess: float = 32.0
+    reflectivity: float = 0.0
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One ray-surface intersection."""
+
+    t: float
+    point: Vec3
+    normal: Vec3
+    material: Material
+
+
+class Sphere:
+    """A sphere defined by centre and radius."""
+
+    __slots__ = ("centre", "radius", "material")
+
+    def __init__(self, centre: Vec3, radius: float, material: Material) -> None:
+        if radius <= 0:
+            raise ValueError("sphere radius must be positive")
+        self.centre = centre
+        self.radius = radius
+        self.material = material
+
+    def intersect(self, origin: Vec3, direction: Vec3) -> Optional[Hit]:
+        """Nearest intersection of the ray with this sphere, if any."""
+        oc = sub(origin, self.centre)
+        b = 2.0 * dot(oc, direction)
+        c = dot(oc, oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c
+        if disc < 0.0:
+            return None
+        sq = math.sqrt(disc)
+        t = (-b - sq) / 2.0
+        if t < EPSILON:
+            t = (-b + sq) / 2.0
+            if t < EPSILON:
+                return None
+        point = (
+            origin[0] + direction[0] * t,
+            origin[1] + direction[1] * t,
+            origin[2] + direction[2] * t,
+        )
+        normal = unit(sub(point, self.centre))
+        return Hit(t, point, normal, self.material)
+
+
+class Plane:
+    """An infinite plane through *point* with unit *normal*.
+
+    An optional checkerboard pattern alternates the material colour —
+    the classic ray-tracer ground plane.
+    """
+
+    __slots__ = ("point", "normal", "material", "checker")
+
+    def __init__(
+        self, point: Vec3, normal: Vec3, material: Material, checker: bool = False
+    ) -> None:
+        self.point = point
+        self.normal = unit(normal)
+        self.material = material
+        self.checker = checker
+
+    def intersect(self, origin: Vec3, direction: Vec3) -> Optional[Hit]:
+        denom = dot(direction, self.normal)
+        if abs(denom) < EPSILON:
+            return None
+        t = dot(sub(self.point, origin), self.normal) / denom
+        if t < EPSILON:
+            return None
+        point = (
+            origin[0] + direction[0] * t,
+            origin[1] + direction[1] * t,
+            origin[2] + direction[2] * t,
+        )
+        material = self.material
+        if self.checker:
+            if (math.floor(point[0]) + math.floor(point[2])) % 2 == 0:
+                material = Material(
+                    colour=scale(material.colour, 0.35),
+                    diffuse=material.diffuse,
+                    specular=material.specular,
+                    shininess=material.shininess,
+                    reflectivity=material.reflectivity,
+                )
+        normal = self.normal if denom < 0 else scale(self.normal, -1.0)
+        return Hit(t, point, normal, material)

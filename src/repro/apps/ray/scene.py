@@ -1,0 +1,117 @@
+"""Scenes, cameras, lights, and the default benchmark scene."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.apps.ray.geometry import Hit, Material, Plane, Sphere
+from repro.apps.ray.vec import Vec3, add, scale, sub, unit
+
+Primitive = Union[Sphere, Plane]
+
+
+@dataclass(frozen=True)
+class Light:
+    """A point light with an RGB intensity."""
+
+    position: Vec3
+    intensity: Vec3 = (1.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Pinhole camera looking down -z by default."""
+
+    position: Vec3 = (0.0, 1.0, 4.0)
+    look_at: Vec3 = (0.0, 0.5, 0.0)
+    up: Vec3 = (0.0, 1.0, 0.0)
+    fov_degrees: float = 55.0
+
+    def primary_ray(self, px: float, py: float, width: int, height: int) -> tuple:
+        """(origin, unit direction) of the ray through pixel (px, py)."""
+        from repro.apps.ray.vec import cross
+
+        forward = unit(sub(self.look_at, self.position))
+        right = unit(cross(forward, self.up))
+        true_up = cross(right, forward)
+        aspect = width / height
+        half_h = math.tan(math.radians(self.fov_degrees) / 2.0)
+        half_w = half_h * aspect
+        # NDC in [-1, 1], y flipped so row 0 is the top of the image.
+        ndc_x = (2.0 * (px + 0.5) / width - 1.0) * half_w
+        ndc_y = (1.0 - 2.0 * (py + 0.5) / height) * half_h
+        direction = unit(
+            add(add(forward, scale(right, ndc_x)), scale(true_up, ndc_y))
+        )
+        return self.position, direction
+
+
+@dataclass
+class Scene:
+    """Primitives + lights + ambient/background terms."""
+
+    objects: List[Primitive] = field(default_factory=list)
+    lights: List[Light] = field(default_factory=list)
+    camera: Camera = field(default_factory=Camera)
+    ambient: Vec3 = (0.08, 0.08, 0.1)
+    background: Vec3 = (0.15, 0.18, 0.26)
+
+    def hit(self, origin: Vec3, direction: Vec3) -> Optional[Hit]:
+        """Closest intersection along the ray, across all primitives."""
+        best: Optional[Hit] = None
+        for obj in self.objects:
+            h = obj.intersect(origin, direction)
+            if h is not None and (best is None or h.t < best.t):
+                best = h
+        return best
+
+    def occluded(self, origin: Vec3, direction: Vec3, max_t: float) -> bool:
+        """Is anything between origin and origin + max_t*direction?"""
+        for obj in self.objects:
+            h = obj.intersect(origin, direction)
+            if h is not None and h.t < max_t:
+                return True
+        return False
+
+
+def default_scene() -> Scene:
+    """The benchmark scene: three spheres on a checkered floor, two lights.
+
+    Chosen to exercise every tracer feature: diffuse + specular shading,
+    shadows, and recursive reflection.
+    """
+    return Scene(
+        objects=[
+            Plane(
+                (0.0, 0.0, 0.0),
+                (0.0, 1.0, 0.0),
+                Material(colour=(0.85, 0.85, 0.85), diffuse=0.9, specular=0.1,
+                         reflectivity=0.12),
+                checker=True,
+            ),
+            Sphere(
+                (-1.1, 0.7, -0.4),
+                0.7,
+                Material(colour=(0.85, 0.25, 0.2), diffuse=0.8, specular=0.6,
+                         shininess=48.0, reflectivity=0.25),
+            ),
+            Sphere(
+                (0.9, 0.55, 0.3),
+                0.55,
+                Material(colour=(0.2, 0.4, 0.85), diffuse=0.8, specular=0.7,
+                         shininess=64.0, reflectivity=0.35),
+            ),
+            Sphere(
+                (-0.1, 0.35, 1.1),
+                0.35,
+                Material(colour=(0.25, 0.8, 0.35), diffuse=0.85, specular=0.4,
+                         shininess=24.0, reflectivity=0.1),
+            ),
+        ],
+        lights=[
+            Light((4.0, 5.0, 3.0), (0.9, 0.9, 0.85)),
+            Light((-3.0, 4.0, 1.5), (0.35, 0.35, 0.45)),
+        ],
+    )

@@ -1,0 +1,132 @@
+"""The recursive ray tracer: Phong shading, shadows, reflection.
+
+:func:`render_rows` is the unit of work one parallel task performs; an
+:class:`OpCounter` tallies intersection tests and shading operations so
+the simulation can charge cycles proportional to the *real* work done.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.ray.geometry import EPSILON
+from repro.apps.ray.scene import Scene
+from repro.apps.ray.vec import (
+    Vec3,
+    add,
+    clamp01,
+    dot,
+    mul,
+    norm,
+    reflect,
+    scale,
+    sub,
+    unit,
+)
+
+#: Maximum reflection recursion depth.
+MAX_DEPTH = 3
+
+#: Cycle costs per counted operation (the simulated-work model).
+CYCLES_PER_INTERSECTION_TEST = 45.0
+CYCLES_PER_SHADE = 90.0
+
+Pixel = Tuple[float, float, float]
+Image = Dict[int, List[Pixel]]
+
+
+class OpCounter:
+    """Counts the tracer's real operations for the cost model."""
+
+    __slots__ = ("intersection_tests", "shades")
+
+    def __init__(self) -> None:
+        self.intersection_tests = 0
+        self.shades = 0
+
+    @property
+    def cycles(self) -> float:
+        return (
+            self.intersection_tests * CYCLES_PER_INTERSECTION_TEST
+            + self.shades * CYCLES_PER_SHADE
+        )
+
+
+def trace_ray(
+    scene: Scene,
+    origin: Vec3,
+    direction: Vec3,
+    depth: int = 0,
+    ops: Optional[OpCounter] = None,
+) -> Vec3:
+    """Colour seen along a ray (recursive: shadows + reflections)."""
+    if ops is not None:
+        ops.intersection_tests += len(scene.objects)
+    hit = scene.hit(origin, direction)
+    if hit is None:
+        return scene.background
+    if ops is not None:
+        ops.shades += 1
+    material = hit.material
+    colour = mul(scene.ambient, material.colour)
+    view = scale(direction, -1.0)
+    for light in scene.lights:
+        to_light = sub(light.position, hit.point)
+        dist = norm(to_light)
+        l_dir = unit(to_light)
+        shadow_origin = add(hit.point, scale(hit.normal, EPSILON * 10))
+        if ops is not None:
+            ops.intersection_tests += len(scene.objects)
+        if scene.occluded(shadow_origin, l_dir, dist):
+            continue
+        lambert = dot(hit.normal, l_dir)
+        if lambert > 0.0:
+            colour = add(
+                colour,
+                scale(mul(light.intensity, material.colour),
+                      material.diffuse * lambert),
+            )
+            half = unit(add(l_dir, view))
+            spec = dot(hit.normal, half)
+            if spec > 0.0:
+                colour = add(
+                    colour,
+                    scale(light.intensity,
+                          material.specular * (spec ** material.shininess)),
+                )
+    if material.reflectivity > 0.0 and depth < MAX_DEPTH:
+        refl_dir = unit(reflect(direction, hit.normal))
+        refl_origin = add(hit.point, scale(hit.normal, EPSILON * 10))
+        reflected = trace_ray(scene, refl_origin, refl_dir, depth + 1, ops)
+        colour = add(scale(colour, 1.0 - material.reflectivity),
+                     scale(reflected, material.reflectivity))
+    return clamp01(colour)
+
+
+def render_rows(
+    scene: Scene,
+    width: int,
+    height: int,
+    row_start: int,
+    row_end: int,
+    ops: Optional[OpCounter] = None,
+) -> Image:
+    """Render scanlines [row_start, row_end) — one parallel task's work."""
+    if not (0 <= row_start <= row_end <= height):
+        raise ValueError(f"bad row range [{row_start}, {row_end}) for height {height}")
+    image: Image = {}
+    camera = scene.camera
+    for y in range(row_start, row_end):
+        row: List[Pixel] = []
+        for x in range(width):
+            origin, direction = camera.primary_ray(x, y, width, height)
+            row.append(trace_ray(scene, origin, direction, 0, ops))
+        image[y] = row
+    return image
+
+
+def render(
+    scene: Scene, width: int, height: int, ops: Optional[OpCounter] = None
+) -> Image:
+    """Render the full image serially (the reference implementation)."""
+    return render_rows(scene, width, height, 0, height, ops)

@@ -1,0 +1,66 @@
+"""Minimal 3-vector algebra on tuples.
+
+Tuples rather than a class: the tracer creates millions of vectors and
+tuple arithmetic is the fastest pure-Python representation (see the
+HPC guide's advice to keep hot-path allocations primitive).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+Vec3 = Tuple[float, float, float]
+
+
+def add(a: Vec3, b: Vec3) -> Vec3:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def sub(a: Vec3, b: Vec3) -> Vec3:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def scale(a: Vec3, s: float) -> Vec3:
+    return (a[0] * s, a[1] * s, a[2] * s)
+
+
+def mul(a: Vec3, b: Vec3) -> Vec3:
+    """Component-wise product (colour modulation)."""
+    return (a[0] * b[0], a[1] * b[1], a[2] * b[2])
+
+
+def dot(a: Vec3, b: Vec3) -> float:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def cross(a: Vec3, b: Vec3) -> Vec3:
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def norm(a: Vec3) -> float:
+    return math.sqrt(dot(a, a))
+
+
+def unit(a: Vec3) -> Vec3:
+    n = norm(a)
+    if n == 0.0:
+        raise ValueError("cannot normalise the zero vector")
+    return (a[0] / n, a[1] / n, a[2] / n)
+
+
+def reflect(direction: Vec3, normal: Vec3) -> Vec3:
+    """Reflect *direction* about *normal* (normal must be unit length)."""
+    return sub(direction, scale(normal, 2.0 * dot(direction, normal)))
+
+
+def clamp01(a: Vec3) -> Vec3:
+    return (
+        min(1.0, max(0.0, a[0])),
+        min(1.0, max(0.0, a[1])),
+        min(1.0, max(0.0, a[2])),
+    )

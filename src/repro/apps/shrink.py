@@ -1,0 +1,71 @@
+"""shrink: a synthetic workload whose parallelism collapses mid-run.
+
+The paper's macro/micro cooperation story needs a workload like this:
+"the amount of parallelism in the job may decrease to the point where a
+participant is unable to keep busy.  As the parallelism in an
+application shrinks, some of its participating processes die, and the
+macro-level scheduler accommodates this time-varying parallelism by
+reassigning the freed workstations to other jobs."
+
+Structure: a *wide* phase of ``width`` independent equal tasks,
+followed by a *chain* phase — ``chain_length`` strictly sequential
+tasks (each spawns the next).  During the chain, every worker but one
+starves; with a finite retirement threshold they retire and return
+their machines to the macro pool.  The job's result is a checkable pair
+``(width_sum, chain_length)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.tasks.program import JobProgram, ThreadProgram
+
+WIDE_TASK_CYCLES = 50_000.0
+CHAIN_TASK_CYCLES = 20_000.0
+
+
+def build_program(width: int, chain_length: int) -> ThreadProgram:
+    """Build the shrink program (per-job: the join arity is ``width``)."""
+    if width < 1 or chain_length < 1:
+        raise ValueError("width and chain_length must be >= 1")
+    prog = ThreadProgram(f"shrink-{width}x{chain_length}")
+
+    @prog.thread
+    def sh_wide(frame, k, index):
+        frame.work(WIDE_TASK_CYCLES)
+        frame.send(k, index)
+
+    @prog.thread(arity=width + 1)
+    def sh_join(frame, k, *values):
+        frame.work(10.0 * len(values))
+        frame.spawn(sh_chain, k, sum(values), chain_length)
+
+    @prog.thread
+    def sh_chain(frame, k, wide_sum, remaining):
+        frame.work(CHAIN_TASK_CYCLES)
+        if remaining == 0:
+            frame.send(k, (wide_sum, chain_length))
+            return
+        frame.spawn(sh_chain, k, wide_sum, remaining - 1)
+
+    @prog.thread
+    def sh_root(frame, k):
+        frame.work(10.0)
+        succ = frame.successor(sh_join, k)
+        for i in range(width):
+            frame.spawn(sh_wide, succ.cont(1 + i), i)
+
+    return prog
+
+
+def shrink_job(width: int = 32, chain_length: int = 200, name: str | None = None) -> JobProgram:
+    """Build the shrinking-parallelism job."""
+    prog = build_program(width, chain_length)
+    return JobProgram(prog, "sh_root", (),
+                      name=name or f"shrink({width}x{chain_length})")
+
+
+def shrink_expected(width: int = 32, chain_length: int = 200) -> Tuple[int, int]:
+    """Oracle: the result the job must deliver."""
+    return (width * (width - 1) // 2, chain_length)

@@ -1,0 +1,145 @@
+"""Space-sharing versus time-sharing (the macro scheduler's motivation).
+
+The paper (Section 1–2) argues for space-sharing: give each of K jobs a
+dedicated partition of the N workstations rather than gang-scheduling
+all K across all N in round-robin quanta.  It cites Tucker & Gupta
+(context-switch overhead) and Brewer & Kuszmaul (a descheduled process
+cannot receive messages — buffers fill and clog the network).
+
+This module measures space-sharing directly (each job runs on its
+partition in the full simulator) and models gang time-sharing on top of
+the same measurements: a job that takes ``T_N`` seconds alone on all N
+machines occupies ``K`` quanta rounds per quantum of its own progress,
+and every switch costs ``switch_cost_s`` (state reload, message-buffer
+drain).  The model is deliberately generous to time-sharing — it
+assumes perfect gang scheduling with no memory pressure — and
+space-sharing still wins on average completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.platform import SPARCSTATION_1, PlatformProfile
+from repro.errors import ReproError
+from repro.micro.worker import WorkerConfig
+from repro.phish import run_job
+from repro.tasks.program import JobProgram
+
+
+@dataclass(frozen=True)
+class SharingComparison:
+    """Completion times of K jobs under both disciplines."""
+
+    n_workstations: int
+    #: Per-job completion times under space-sharing (dedicated N/K each).
+    space_completion_s: List[float]
+    #: Per-job completion times under modelled gang time-sharing.
+    time_completion_s: List[float]
+    quantum_s: float
+    switch_cost_s: float
+
+    @property
+    def space_mean(self) -> float:
+        return sum(self.space_completion_s) / len(self.space_completion_s)
+
+    @property
+    def time_mean(self) -> float:
+        return sum(self.time_completion_s) / len(self.time_completion_s)
+
+    @property
+    def space_makespan(self) -> float:
+        return max(self.space_completion_s)
+
+    @property
+    def time_makespan(self) -> float:
+        return max(self.time_completion_s)
+
+    @property
+    def mean_advantage(self) -> float:
+        """time-sharing mean completion / space-sharing mean completion."""
+        return self.time_mean / self.space_mean
+
+
+def compare_sharing(
+    jobs: Sequence[JobProgram],
+    n_workstations: int,
+    profile: PlatformProfile = SPARCSTATION_1,
+    quantum_s: float = 1.0,
+    switch_cost_s: float = 0.1,
+    seed: int = 0,
+    worker_config: Optional[WorkerConfig] = None,
+) -> SharingComparison:
+    """Run K jobs both ways on N workstations.
+
+    Space-sharing: job i gets a dedicated partition of ``N // K``
+    machines (N must divide evenly) and runs in the full simulator.
+
+    Time-sharing: each job's solo time on all N machines, ``T_N(i)``, is
+    measured in the simulator; gang round-robin then interleaves the
+    jobs, so while k jobs remain, each makes one quantum of progress per
+    ``k`` quanta, paying ``switch_cost_s`` per switch.
+    """
+    k = len(jobs)
+    if k < 1:
+        raise ReproError("need at least one job")
+    if n_workstations % k != 0:
+        raise ReproError(
+            f"{n_workstations} workstations do not divide evenly among {k} jobs"
+        )
+    partition = n_workstations // k
+
+    space = [
+        run_job(job, n_workers=partition, profile=profile, seed=seed + i,
+                worker_config=worker_config).stats.average_execution_time
+        for i, job in enumerate(jobs)
+    ]
+
+    solo = [
+        run_job(job, n_workers=n_workstations, profile=profile, seed=seed + i,
+                worker_config=worker_config).stats.average_execution_time
+        for i, job in enumerate(jobs)
+    ]
+    time_completion = _gang_schedule(solo, quantum_s, switch_cost_s)
+
+    return SharingComparison(
+        n_workstations=n_workstations,
+        space_completion_s=space,
+        time_completion_s=time_completion,
+        quantum_s=quantum_s,
+        switch_cost_s=switch_cost_s,
+    )
+
+
+def _gang_schedule(
+    solo_times: Sequence[float], quantum_s: float, switch_cost_s: float
+) -> List[float]:
+    """Completion times under round-robin gang scheduling.
+
+    Event-steps the round-robin: in each quantum the scheduled job
+    advances by ``quantum_s`` of its remaining solo time, and each
+    switch between distinct live jobs costs ``switch_cost_s`` of wall
+    time for everyone.
+    """
+    if quantum_s <= 0:
+        raise ReproError("quantum must be positive")
+    remaining = list(solo_times)
+    completion = [0.0] * len(remaining)
+    live = [i for i, t in enumerate(remaining) if t > 0]
+    clock = 0.0
+    cursor = 0
+    while live:
+        job = live[cursor % len(live)]
+        if len(live) > 1 or cursor == 0:
+            clock += switch_cost_s
+        advance = min(quantum_s, remaining[job])
+        clock += advance
+        remaining[job] -= advance
+        if remaining[job] <= 1e-12:
+            completion[job] = clock
+            live.remove(job)
+            # cursor now points at the next job automatically
+        else:
+            cursor += 1
+    return completion

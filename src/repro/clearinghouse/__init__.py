@@ -1,0 +1,5 @@
+"""The per-job Clearinghouse (Figure 3 of the paper)."""
+
+from repro.clearinghouse.clearinghouse import Clearinghouse, ClearinghouseConfig
+
+__all__ = ["Clearinghouse", "ClearinghouseConfig"]

@@ -1,0 +1,184 @@
+"""Command-line entry point: regenerate the paper's exhibits.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli table2
+    python -m repro.cli figure4
+    python -m repro.cli figure5
+    python -m repro.cli ablations [order|victim|initiation|sharing|
+                                   retirement|faults|heterogeneity|all]
+    python -m repro.cli macro-demo
+
+``--seed`` controls every random stream; runs are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    return format_table1(run_table1(seed=args.seed))
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    return format_table2(run_table2(seed=args.seed))
+
+
+def _cmd_figure4(args: argparse.Namespace) -> str:
+    from repro.experiments.figures import format_figure4, run_speedup_curve
+
+    return format_figure4(run_speedup_curve(seed=args.seed))
+
+
+def _cmd_figure5(args: argparse.Namespace) -> str:
+    from repro.experiments.figures import format_figure5, run_speedup_curve
+
+    return format_figure5(run_speedup_curve(seed=args.seed))
+
+
+def _cmd_ablations(args: argparse.Namespace) -> str:
+    from repro.experiments import ablations as ab
+
+    which = args.which
+    sections: List[str] = []
+
+    def want(name: str) -> bool:
+        return which in ("all", name)
+
+    if want("order"):
+        sections.append(ab.format_order_ablation(ab.run_order_ablation(args.seed)))
+    if want("victim"):
+        sections.append(ab.format_victim_ablation(ab.run_victim_ablation(args.seed)))
+    if want("initiation"):
+        sections.append(
+            ab.format_initiation_ablation(ab.run_initiation_ablation(args.seed))
+        )
+    if want("sharing"):
+        sections.append(ab.format_sharing_ablation(ab.run_sharing_ablation(seed=args.seed)))
+    if want("retirement"):
+        sections.append(
+            ab.format_retirement_ablation(ab.run_retirement_ablation(seed=args.seed))
+        )
+    if want("faults"):
+        sections.append(ab.format_fault_ablation(ab.run_fault_ablation(seed=args.seed)))
+    if want("heterogeneity"):
+        sections.append(
+            ab.format_heterogeneity_ablation(ab.run_heterogeneity_ablation(args.seed))
+        )
+    if not sections:
+        raise SystemExit(f"unknown ablation {which!r}")
+    return "\n\n".join(sections)
+
+
+def _cmd_macro_demo(args: argparse.Namespace) -> str:
+    """A small end-to-end macro-level scenario with owner churn."""
+    from repro.apps.nqueens import nqueens_job
+    from repro.apps.pfold import pfold_job
+    from repro.cluster.owner import AlwaysIdleTrace, ScriptedTrace
+    from repro.experiments.report import render_table
+    from repro.macro import PhishSystem, PhishSystemConfig
+
+    def traces(rng, host):
+        if host in ("ws02", "ws03"):
+            return ScriptedTrace([("idle", 3.0), ("busy", 12.0), ("idle", 1e9)])
+        return AlwaysIdleTrace()
+
+    system = PhishSystem(
+        PhishSystemConfig(n_workstations=6, seed=args.seed, owner_trace=traces)
+    )
+    h1 = system.submit(pfold_job("HPHPPHHPHPPH", work_scale=40.0), from_host="ws00")
+    h2 = system.submit(nqueens_job(8), from_host="ws01")
+    system.run_until_done(timeout_s=3600)
+    rows = []
+    for name, jm in sorted(system.jobmanagers.items()):
+        rows.append((name, jm.jobs_started, jm.workers_reclaimed))
+    table = render_table(
+        "Macro demo — 2 jobs, 6 workstations, owners reclaiming ws02/ws03",
+        ["workstation", "workers started", "workers reclaimed"],
+        rows,
+    )
+    return (
+        table
+        + f"\npfold result bins: {len(h1.result.counts)}  "
+        + f"nqueens(8) = {h2.result}  "
+        + f"finished at t={system.sim.now:.1f}s simulated"
+    )
+
+
+def _cmd_harvest(args: argparse.Namespace) -> str:
+    from repro.experiments.harvest import format_harvest, run_harvest
+
+    return format_harvest(run_harvest(seed=args.seed))
+
+
+def _cmd_timeline(args: argparse.Namespace) -> str:
+    """Worker-activity timeline of a run with owner churn and a crash."""
+    from repro.apps.pfold import pfold_job
+    from repro.cluster.owner import AlwaysIdleTrace, ScriptedTrace
+    from repro.macro import PhishSystem, PhishSystemConfig
+    from repro.viz.timeline import render_timeline
+
+    def traces(rng, host):
+        if host in ("ws03", "ws04"):
+            return ScriptedTrace([("idle", 3.0 + args.seed % 3), ("busy", 1e9)])
+        return AlwaysIdleTrace()
+
+    system = PhishSystem(
+        PhishSystemConfig(n_workstations=6, seed=args.seed, owner_trace=traces,
+                          trace=True)
+    )
+    system.submit(pfold_job("HPHPPHHPHPPH", work_scale=60.0), from_host="ws00")
+    system.run_until_done(timeout_s=36000)
+    assert system.trace is not None
+    return render_timeline(system.trace)
+
+
+COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "ablations": _cmd_ablations,
+    "macro-demo": _cmd_macro_demo,
+    "timeline": _cmd_timeline,
+    "harvest": _cmd_harvest,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="phish-repro",
+        description="Regenerate the tables and figures of Blumofe & Park (HPDC'94).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table1", "table2", "figure4", "figure5", "macro-demo",
+                 "timeline", "harvest"):
+        sub.add_parser(name)
+    ab = sub.add_parser("ablations")
+    ab.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=["all", "order", "victim", "initiation", "sharing",
+                 "retirement", "faults", "heterogeneity"],
+    )
+    args = parser.parse_args(argv)
+    started = time.time()
+    output = COMMANDS[args.command](args)
+    print(output)
+    print(f"\n[{args.command} regenerated in {time.time() - started:.1f}s real time]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

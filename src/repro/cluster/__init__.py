@@ -1,0 +1,43 @@
+"""Simulated workstations: CPU cost model, owner activity, platforms.
+
+This package stands in for the machines of the paper's testbed: a
+network of SparcStation 1s (Figures 4/5, Table 2), a SparcStation 10
+(Table 1, Phish column), and CM-5 nodes under the Strata library
+(Table 1, CM-5 column).
+"""
+
+from repro.cluster.owner import (
+    AlwaysBusyTrace,
+    AlwaysIdleTrace,
+    LoadThresholdPolicy,
+    NobodyLoggedInPolicy,
+    Owner,
+    OwnerTrace,
+    RenewalOwnerTrace,
+    ScriptedTrace,
+)
+from repro.cluster.platform import (
+    CM5_NODE,
+    PLATFORMS,
+    SPARCSTATION_1,
+    SPARCSTATION_10,
+    PlatformProfile,
+)
+from repro.cluster.workstation import Workstation
+
+__all__ = [
+    "Workstation",
+    "PlatformProfile",
+    "SPARCSTATION_1",
+    "SPARCSTATION_10",
+    "CM5_NODE",
+    "PLATFORMS",
+    "Owner",
+    "OwnerTrace",
+    "RenewalOwnerTrace",
+    "ScriptedTrace",
+    "AlwaysIdleTrace",
+    "AlwaysBusyTrace",
+    "NobodyLoggedInPolicy",
+    "LoadThresholdPolicy",
+]

@@ -1,0 +1,156 @@
+"""Workstation owners: activity traces and idleness policies.
+
+The paper's macro scheduler exists to harvest *owner-idle* time while
+"allowing owners to retain sovereignty over their machines": each owner
+chooses an idleness policy, and the PhishJobManager kills the worker
+within seconds of the owner coming back.
+
+Since real login traces from 1994 MIT LCS are not available, owner
+behaviour is generated synthetically (the substitution documented in
+DESIGN.md §2): a renewal process of alternating busy/idle periods whose
+means are configurable, plus scripted and constant traces for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Generator, Iterable, Iterator, List, Tuple
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.workstation import Workstation
+
+
+class OwnerTrace:
+    """Yields alternating (state, duration_s) pairs, state in {"busy","idle"}.
+
+    Traces are iterators so they can be infinite; the :class:`Owner`
+    process consumes them lazily.
+    """
+
+    def periods(self) -> Iterator[Tuple[str, float]]:
+        raise NotImplementedError
+
+
+class AlwaysIdleTrace(OwnerTrace):
+    """Owner never logs in — dedicated benchmarking machines.
+
+    This is the regime of the paper's measurements: "When doing this
+    experiment, we used idle workstations."
+    """
+
+    def periods(self) -> Iterator[Tuple[str, float]]:
+        return iter(())  # no transitions: starts idle, stays idle
+
+
+class AlwaysBusyTrace(OwnerTrace):
+    """Owner never logs out — a machine that never participates."""
+
+    def periods(self) -> Iterator[Tuple[str, float]]:
+        yield ("busy", float("inf"))
+
+
+class ScriptedTrace(OwnerTrace):
+    """An explicit list of (state, duration) periods, for tests."""
+
+    def __init__(self, periods: Iterable[Tuple[str, float]]) -> None:
+        self._periods: List[Tuple[str, float]] = list(periods)
+        for state, dur in self._periods:
+            if state not in ("busy", "idle"):
+                raise ReproError(f"bad trace state {state!r}")
+            if dur < 0:
+                raise ReproError(f"negative trace duration {dur!r}")
+
+    def periods(self) -> Iterator[Tuple[str, float]]:
+        return iter(self._periods)
+
+
+class RenewalOwnerTrace(OwnerTrace):
+    """Alternating exponentially-distributed busy/idle periods.
+
+    Models diurnal workstation usage at the granularity the macro
+    scheduler samples it.  ``start_busy`` controls the initial state
+    (drawn at construction for reproducibility).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        busy_mean_s: float = 3600.0,
+        idle_mean_s: float = 7200.0,
+        start_busy_prob: float = 0.5,
+    ) -> None:
+        if busy_mean_s <= 0 or idle_mean_s <= 0:
+            raise ReproError("period means must be positive")
+        self.rng = rng
+        self.busy_mean_s = busy_mean_s
+        self.idle_mean_s = idle_mean_s
+        self.start_busy = rng.random() < start_busy_prob
+
+    def periods(self) -> Iterator[Tuple[str, float]]:
+        state = "busy" if self.start_busy else "idle"
+        while True:
+            mean = self.busy_mean_s if state == "busy" else self.idle_mean_s
+            yield (state, self.rng.expovariate(1.0 / mean))
+            state = "idle" if state == "busy" else "busy"
+
+
+class Owner:
+    """A simulation process that drives a workstation's owner state.
+
+    Sets ``workstation.user_logged_in`` (and a crude load average: 1.0
+    while busy, 0.0 while idle) according to the trace.  The
+    PhishJobManager never sees the trace — it only polls the
+    workstation's state, exactly as the real daemon polled ``who``.
+    """
+
+    def __init__(self, workstation: "Workstation", trace: OwnerTrace) -> None:
+        self.workstation = workstation
+        self.trace = trace
+        self.process = workstation.sim.process(
+            self._run(), name=f"owner@{workstation.name}"
+        )
+
+    def _run(self) -> Generator:
+        ws = self.workstation
+        first = True
+        for state, duration in self.trace.periods():
+            busy = state == "busy"
+            ws.user_logged_in = busy
+            ws.load = 1.0 if busy else 0.0
+            first = False
+            if duration == float("inf"):
+                return
+            yield ws.sim.timeout(duration)
+        if first:
+            # Empty trace: machine starts and stays idle.
+            ws.user_logged_in = False
+            ws.load = 0.0
+
+
+class NobodyLoggedInPolicy:
+    """The paper's "very conservative" default: idle iff nobody logged in."""
+
+    name = "nobody-logged-in"
+
+    def is_idle(self, workstation: "Workstation") -> bool:
+        return not workstation.user_logged_in
+
+
+class LoadThresholdPolicy:
+    """Idle while the load average sits below a threshold.
+
+    The paper: "Other owners may make their machines available so long
+    as the CPU load is below some threshold."
+    """
+
+    name = "load-threshold"
+
+    def __init__(self, threshold: float = 0.25) -> None:
+        if threshold <= 0:
+            raise ReproError("load threshold must be positive")
+        self.threshold = threshold
+
+    def is_idle(self, workstation: "Workstation") -> bool:
+        return workstation.load < self.threshold

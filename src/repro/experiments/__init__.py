@@ -1,0 +1,38 @@
+"""Reproduction drivers for every table and figure in the paper.
+
+Each module regenerates one exhibit of the paper's Section 4 and
+formats it next to the published values:
+
+* :mod:`repro.experiments.table1` — serial slowdown (fib / nqueens / ray
+  on CM-5+Strata vs SparcStation-10+Phish).
+* :mod:`repro.experiments.figures` — Figure 4 (pfold average execution
+  time vs participants) and Figure 5 (speedup vs participants).
+* :mod:`repro.experiments.table2` — pfold locality statistics at 4 and
+  8 participants.
+* :mod:`repro.experiments.ablations` — the design-choice studies
+  DESIGN.md calls out (LIFO/FIFO orders, victim policy, idle- vs
+  sender-initiated vs central queue, space- vs time-sharing, retirement,
+  fault overhead, network heterogeneity).
+"""
+
+from repro.experiments.table1 import Table1Row, format_table1, run_table1
+from repro.experiments.table2 import Table2Column, format_table2, run_table2
+from repro.experiments.figures import (
+    FigurePoint,
+    format_figure4,
+    format_figure5,
+    run_speedup_curve,
+)
+
+__all__ = [
+    "run_table1",
+    "format_table1",
+    "Table1Row",
+    "run_table2",
+    "format_table2",
+    "Table2Column",
+    "run_speedup_curve",
+    "format_figure4",
+    "format_figure5",
+    "FigurePoint",
+]

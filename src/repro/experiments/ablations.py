@@ -1,0 +1,351 @@
+"""Ablations: the design choices the paper argues for, measured.
+
+Each function runs a controlled comparison and returns rows suitable
+for :func:`repro.experiments.report.render_table`; ``format_*``
+companions render them.  These back the claims:
+
+* LIFO execution + FIFO stealing preserves memory and communication
+  locality (Section 2, "supported by intuition, analytic results, and
+  empirical data").
+* Random victim selection suffices (the Blumofe–Leiserson bound).
+* Idle-initiated scheduling moves less than sender-initiated balancing
+  ("the idle-initiated scheduler does not move a task unless an idle
+  machine requests work") and enormously less than a central queue.
+* Space-sharing beats time-sharing (Tucker & Gupta).
+* Workers retire when parallelism shrinks, freeing machines.
+* Crashed machines cost redone work, not wrong answers.
+* A heterogeneous (segmented) network slows naive stealing — the
+  paper's future-work motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.baselines.sharing import SharingComparison, compare_sharing
+from repro.cluster.platform import SPARCSTATION_1, PlatformProfile
+from repro.experiments.report import render_table
+from repro.fault.crash import CrashPlan, run_job_with_crashes
+from repro.micro.worker import WorkerConfig
+from repro.net.topology import SegmentedTopology
+from repro.phish import run_job
+from repro.tasks.program import JobProgram
+
+#: Standard ablation workload: big enough for steals to matter, small
+#: enough for quick runs.
+ABLATION_SEQUENCE = "HPHPPHHPHPPH"
+ABLATION_SCALE = 60.0
+ABLATION_P = 8
+
+
+def _job() -> JobProgram:
+    return pfold_job(ABLATION_SEQUENCE, work_scale=ABLATION_SCALE)
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    variant: str
+    avg_time_s: float
+    tasks_stolen: int
+    messages_sent: int
+    max_tasks_in_use: int
+    migrated: int
+    correct: bool
+
+
+def _measure(config: WorkerConfig, seed: int = 0, n: int = ABLATION_P,
+             profile: PlatformProfile = SPARCSTATION_1, topology=None,
+             variant: str = "") -> AblationRow:
+    expected = pfold_serial(ABLATION_SEQUENCE, work_scale=ABLATION_SCALE).result
+    result = run_job(_job(), n_workers=n, profile=profile, seed=seed,
+                     worker_config=config, topology=topology)
+    return AblationRow(
+        variant=variant,
+        avg_time_s=result.stats.average_execution_time,
+        tasks_stolen=result.stats.tasks_stolen,
+        messages_sent=result.stats.messages_sent,
+        max_tasks_in_use=result.stats.max_tasks_in_use,
+        migrated=sum(w.tasks_migrated_in for w in result.stats.workers),
+        correct=result.result == expected,
+    )
+
+
+def _render(title: str, rows: List[AblationRow]) -> str:
+    return render_table(
+        title,
+        ["variant", "avg time (s)", "steals", "messages", "max in use",
+         "migrated", "correct"],
+        [
+            (r.variant, f"{r.avg_time_s:.2f}", r.tasks_stolen, r.messages_sent,
+             r.max_tasks_in_use, r.migrated, r.correct)
+            for r in rows
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Execution/steal order
+# ---------------------------------------------------------------------------
+
+def run_order_ablation(seed: int = 0) -> List[AblationRow]:
+    """The paper's LIFO-exec/FIFO-steal versus the other three combos.
+
+    Expectation: FIFO execution explodes the working set ("max in use");
+    LIFO stealing exports leaf tasks, multiplying steal traffic.
+    """
+    rows = []
+    for exec_order in ("lifo", "fifo"):
+        for steal_order in ("fifo", "lifo"):
+            cfg = WorkerConfig(exec_order=exec_order, steal_order=steal_order)
+            label = f"exec={exec_order} steal={steal_order}"
+            if exec_order == "lifo" and steal_order == "fifo":
+                label += " (paper)"
+            rows.append(_measure(cfg, seed=seed, variant=label))
+    return rows
+
+
+def format_order_ablation(rows: List[AblationRow]) -> str:
+    return _render("Ablation — ready-list execution and steal order", rows)
+
+
+# ---------------------------------------------------------------------------
+# 2. Victim selection
+# ---------------------------------------------------------------------------
+
+def run_victim_ablation(seed: int = 0) -> List[AblationRow]:
+    """Uniformly-random victim (paper) vs deterministic round-robin."""
+    return [
+        _measure(WorkerConfig(victim_policy="random"), seed=seed,
+                 variant="random (paper)"),
+        _measure(WorkerConfig(victim_policy="round-robin"), seed=seed,
+                 variant="round-robin"),
+    ]
+
+
+def format_victim_ablation(rows: List[AblationRow]) -> str:
+    return _render("Ablation — steal victim selection", rows)
+
+
+# ---------------------------------------------------------------------------
+# 3. Who initiates load distribution
+# ---------------------------------------------------------------------------
+
+def run_initiation_ablation(seed: int = 0) -> List[AblationRow]:
+    """Idle-initiated stealing vs central queue vs sender-initiated push.
+
+    Expectation: the central queue turns every spawn into messages; the
+    push balancer moves tasks nobody asked for; idle-initiated stealing
+    moves almost nothing.
+    """
+    return [
+        _measure(WorkerConfig(mode="steal"), seed=seed,
+                 variant="idle-initiated steal (paper)"),
+        _measure(WorkerConfig(mode="central"), seed=seed, variant="central queue"),
+        _measure(
+            WorkerConfig(mode="push", push_threshold=4, load_broadcast_s=0.1),
+            seed=seed,
+            variant="sender-initiated push",
+        ),
+    ]
+
+
+def format_initiation_ablation(rows: List[AblationRow]) -> str:
+    return _render("Ablation — idle-initiated vs alternatives", rows)
+
+
+# ---------------------------------------------------------------------------
+# 4. Space-sharing vs time-sharing
+# ---------------------------------------------------------------------------
+
+def run_sharing_ablation(
+    n_jobs: int = 4, n_workstations: int = 8, seed: int = 0
+) -> SharingComparison:
+    """K identical pfold jobs on N machines, both macro disciplines."""
+    jobs = [
+        pfold_job(ABLATION_SEQUENCE, work_scale=ABLATION_SCALE, name=f"pfold#{i}")
+        for i in range(n_jobs)
+    ]
+    return compare_sharing(jobs, n_workstations, seed=seed)
+
+
+def format_sharing_ablation(cmp: SharingComparison) -> str:
+    rows = [
+        ("space-sharing", f"{cmp.space_mean:.2f}", f"{cmp.space_makespan:.2f}"),
+        ("time-sharing (gang)", f"{cmp.time_mean:.2f}", f"{cmp.time_makespan:.2f}"),
+    ]
+    table = render_table(
+        f"Ablation — macro discipline for {len(cmp.space_completion_s)} jobs on "
+        f"{cmp.n_workstations} workstations",
+        ["discipline", "mean completion (s)", "makespan (s)"],
+        rows,
+    )
+    return table + (
+        f"\ntime-sharing mean completion is {cmp.mean_advantage:.2f}x "
+        f"space-sharing's (quantum {cmp.quantum_s}s, switch {cmp.switch_cost_s}s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 5. Retirement threshold
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetirementRow:
+    retire_after: Optional[int]
+    retired_workers: int
+    makespan_s: float
+    mean_busy_fraction: float
+    correct: bool
+
+
+def run_retirement_ablation(
+    thresholds: Sequence[Optional[int]] = (None, 5, 15, 40), seed: int = 0
+) -> List[RetirementRow]:
+    """How eagerly workers conclude "parallelism has shrunk" and retire.
+
+    Uses the :mod:`repro.apps.shrink` workload — a wide phase followed
+    by a long sequential chain.  With a finite threshold, the starved
+    workers retire during the chain and hand their machines back to the
+    macro scheduler; with None they sit failing steals until the end.
+    """
+    from repro.apps.shrink import shrink_expected, shrink_job
+
+    width, chain = ABLATION_P * 6, 1500
+    expected = shrink_expected(width, chain)
+    rows = []
+    for threshold in thresholds:
+        cfg = WorkerConfig(retire_after_failed_steals=threshold)
+        result = run_job(
+            shrink_job(width, chain), n_workers=ABLATION_P, seed=seed,
+            worker_config=cfg,
+        )
+        retired = sum(1 for w in result.workers if w.exit_reason == "retired")
+        busy_fracs = [
+            w.busy_s / w.execution_time
+            for w in result.stats.workers
+            if w.execution_time > 0
+        ]
+        rows.append(
+            RetirementRow(
+                retire_after=threshold,
+                retired_workers=retired,
+                makespan_s=result.makespan,
+                mean_busy_fraction=sum(busy_fracs) / len(busy_fracs),
+                correct=result.result == expected,
+            )
+        )
+    return rows
+
+
+def format_retirement_ablation(rows: List[RetirementRow]) -> str:
+    return render_table(
+        "Ablation — retirement after consecutive failed steals (shrink workload)",
+        ["retire after", "retired workers", "makespan (s)", "mean busy frac", "correct"],
+        [
+            (
+                "never" if r.retire_after is None else r.retire_after,
+                r.retired_workers,
+                f"{r.makespan_s:.2f}",
+                f"{r.mean_busy_fraction:.2f}",
+                r.correct,
+            )
+            for r in rows
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# 6. Fault overhead
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultRow:
+    crashes: int
+    makespan_s: float
+    tasks_redone: int
+    duplicate_sends: int
+    correct: bool
+
+
+def run_fault_ablation(
+    crash_counts: Sequence[int] = (0, 1, 2), seed: int = 0
+) -> List[FaultRow]:
+    """Crash k machines mid-job; measure the redo overhead."""
+    expected = pfold_serial(ABLATION_SEQUENCE, work_scale=ABLATION_SCALE).result
+    rows = []
+    for k in crash_counts:
+        # Stagger crashes through the run; never crash the CH host (0).
+        plan = CrashPlan([(4.0 + 3.0 * i, 1 + i) for i in range(k)])
+        result = run_job_with_crashes(_job(), ABLATION_P, plan, seed=seed)
+        rows.append(
+            FaultRow(
+                crashes=k,
+                makespan_s=result.makespan,
+                tasks_redone=sum(w.tasks_redone for w in result.stats.workers),
+                duplicate_sends=sum(w.duplicate_sends for w in result.stats.workers),
+                correct=result.result == expected,
+            )
+        )
+    return rows
+
+
+def format_fault_ablation(rows: List[FaultRow]) -> str:
+    return render_table(
+        "Ablation — crash recovery (fail-stop machines mid-job)",
+        ["crashes", "makespan (s)", "tasks redone", "dup sends", "correct"],
+        [
+            (r.crashes, f"{r.makespan_s:.2f}", r.tasks_redone,
+             r.duplicate_sends, r.correct)
+            for r in rows
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# 7. Network heterogeneity (the paper's future work)
+# ---------------------------------------------------------------------------
+
+def run_heterogeneity_ablation(seed: int = 0) -> List[AblationRow]:
+    """Uniform LAN vs two segments joined by a 10x-slower backbone.
+
+    The paper's future work: "Our new scheduling techniques attempt to
+    preserve locality with respect to those network cuts that have the
+    least bandwidth."  This measures how much the naive (cut-oblivious)
+    thief loses on a segmented network — the gap such techniques would
+    close.
+    """
+    profile = SPARCSTATION_1
+    inter = profile.net.__class__(
+        send_overhead_s=profile.net.send_overhead_s,
+        recv_overhead_s=profile.net.recv_overhead_s,
+        wire_latency_s=profile.net.wire_latency_s * 100,  # a congested bridge
+        bandwidth_bytes_per_s=profile.net.bandwidth_bytes_per_s / 10,
+    )
+
+    def segmented() -> SegmentedTopology:
+        return SegmentedTopology(
+            {f"ws{i:02d}": ("segA" if i < ABLATION_P // 2 else "segB")
+             for i in range(ABLATION_P)},
+            intra=profile.net,
+            inter=inter,
+        )
+
+    # The paper's FIFO stealing moves so few tasks the slow cut barely
+    # shows; the leaf-stealing (LIFO) variant crosses the cut thousands
+    # of times and exposes exactly the gap the future-work techniques
+    # target.
+    return [
+        _measure(WorkerConfig(), seed=seed, variant="FIFO steal, uniform LAN"),
+        _measure(WorkerConfig(), seed=seed, topology=segmented(),
+                 variant="FIFO steal, slow backbone"),
+        _measure(WorkerConfig(steal_order="lifo"), seed=seed,
+                 variant="LIFO steal, uniform LAN"),
+        _measure(WorkerConfig(steal_order="lifo"), seed=seed, topology=segmented(),
+                 variant="LIFO steal, slow backbone"),
+    ]
+
+
+def format_heterogeneity_ablation(rows: List[AblationRow]) -> str:
+    return _render("Ablation — network heterogeneity (future-work motivation)", rows)

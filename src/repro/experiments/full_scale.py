@@ -1,0 +1,68 @@
+"""Paper-scale runs: millions of tasks, minutes of host CPU.
+
+The default exhibits use a scaled pfold workload (64,832 tasks).  This
+driver runs the big enumerations — up to the paper's 10.39-million-task
+magnitude — for users who want the locality ratios at full scale.  It is
+deliberately not part of the benchmark suite; invoke it directly:
+
+    python -m repro.experiments.full_scale [length] [P]
+
+Approximate square-lattice task counts by polymer length (tasks ≈
+2 × symmetry-reduced SAW count × (1 + merge overhead)):
+
+    length 12 ->     64,832      length 15 ->  1,276,722
+    length 13 ->    178,618      length 16 ->  3,468,056
+    length 14 ->    643,236      length 17 ->  9,438,172  (paper scale)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.apps.pfold import BENCHMARK_20MER, pfold_job, pfold_serial
+from repro.experiments.report import fmt, render_table
+from repro.phish import run_job
+
+
+def run_full_scale(length: int = 14, participants: int = 8, seed: int = 0):
+    """One big pfold run; returns (JobResult, serial oracle, wall seconds)."""
+    if not (2 <= length <= len(BENCHMARK_20MER)):
+        raise ValueError(f"length must be in [2, {len(BENCHMARK_20MER)}]")
+    sequence = BENCHMARK_20MER[:length]
+    started = time.perf_counter()
+    serial = pfold_serial(sequence)
+    result = run_job(pfold_job(sequence), n_workers=participants, seed=seed)
+    wall = time.perf_counter() - started
+    if result.result != serial.result:
+        raise AssertionError("full-scale histogram mismatch (bug!)")
+    return result, serial, wall
+
+
+def main(argv=None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    length = int(args[0]) if args else 14
+    participants = int(args[1]) if len(args) > 1 else 8
+    result, serial, wall = run_full_scale(length, participants)
+    stats = result.stats
+    rows = [
+        ("Polymer length", length),
+        ("Participants", participants),
+        ("Foldings", fmt(serial.result.total())),
+        ("Tasks executed", fmt(stats.tasks_executed)),
+        ("Max tasks in use", stats.max_tasks_in_use),
+        ("Tasks stolen", stats.tasks_stolen),
+        ("Steals per task", f"{stats.tasks_stolen / stats.tasks_executed:.2e}"),
+        ("Non-local synch frac",
+         f"{stats.non_local_synchs / max(1, stats.synchronizations):.2e}"),
+        ("Messages sent", fmt(stats.messages_sent)),
+        ("Histogram exact", True),
+        ("Host wall time", f"{wall:.1f}s"),
+    ]
+    print(render_table(f"Full-scale pfold({length}) on {participants} machines",
+                       ["quantity", "value"], rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

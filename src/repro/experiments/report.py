@@ -1,0 +1,66 @@
+"""Plain-text rendering of tables and figures (no plotting deps)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_ascii_plot(
+    title: str,
+    points: List[Tuple[float, float]],
+    xlabel: str,
+    ylabel: str,
+    width: int = 56,
+    height: int = 16,
+    reference: List[Tuple[float, float]] | None = None,
+) -> str:
+    """A scatter plot in ASCII: ``*`` for the data, ``.`` for a reference
+    series (e.g. the perfect-linear-speedup dashed line of Figure 5)."""
+    if not points:
+        raise ValueError("nothing to plot")
+    every = points + (reference or [])
+    xs = [p[0] for p in every]
+    ys = [p[1] for p in every]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        col = round((x - x0) / xspan * (width - 1))
+        row = height - 1 - round((y - y0) / yspan * (height - 1))
+        if grid[row][col] == " " or ch == "*":
+            grid[row][col] = ch
+
+    for x, y in reference or []:
+        put(x, y, ".")
+    for x, y in points:
+        put(x, y, "*")
+    lines = [title, "=" * len(title)]
+    lines.append(f"{ylabel} ({y1:.4g} top, {y0:.4g} bottom)")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{xlabel}: {x0:.4g} .. {x1:.4g}   (* measured, . reference)")
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Format a number compactly (thousands separators for big ints)."""
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer() and abs(value) >= 1000):
+        return f"{int(value):,}"
+    return f"{value:.{digits}f}"

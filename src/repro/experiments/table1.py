@@ -1,0 +1,102 @@
+"""Table 1: serial slowdown of fib, nqueens, and ray on both platforms.
+
+"The serial slowdown of an application is measured as the ratio of the
+single-processor execution time of the parallel code to the execution
+time of the best serial implementation of the same algorithm."
+
+Measured here as the 1-worker parallel CPU-busy time (which excludes
+the fixed startup/registration costs, as the paper's per-application
+timing did) over the cost-model time of the instrumented serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.apps import fib as fib_mod
+from repro.apps import nqueens as nq_mod
+from repro.apps.ray import app as ray_mod
+from repro.cluster.platform import CM5_NODE, SPARCSTATION_10, PlatformProfile
+from repro.experiments.report import render_table
+from repro.phish import run_job
+from repro.tasks.cost import serial_time_seconds
+
+#: The published Table 1.
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "fib": {"cm5-node": 4.44, "sparcstation-10": 5.90},
+    "nqueens": {"cm5-node": 1.09, "sparcstation-10": 1.12},
+    "ray": {"cm5-node": 1.00, "sparcstation-10": 1.04},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    app: str
+    platform: str
+    measured: float
+    paper: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.measured - self.paper) / self.paper
+
+
+def serial_slowdown(
+    job, serial_work_cycles: float, serial_calls: int, profile: PlatformProfile, seed: int = 0
+) -> float:
+    """One slowdown measurement: 1-worker run vs the serial cost model."""
+    result = run_job(job, n_workers=1, profile=profile, seed=seed)
+    t_serial = serial_time_seconds(serial_work_cycles, serial_calls, profile)
+    t_parallel = result.workers[0].stats.busy_s
+    return t_parallel / t_serial
+
+
+def run_table1(
+    fib_n: int = 18,
+    nqueens_n: int = 8,
+    ray_width: int = 32,
+    ray_height: int = 24,
+    seed: int = 0,
+) -> List[Table1Row]:
+    """Regenerate Table 1 (three applications, two platforms)."""
+    rows: List[Table1Row] = []
+    fib_work, fib_calls = fib_mod.serial_metrics(fib_n)
+    nq = nq_mod.nqueens_serial(nqueens_n)
+    ray = ray_mod.ray_serial(width=ray_width, height=ray_height)
+    measurements = [
+        ("fib", lambda: fib_mod.fib_job(fib_n), fib_work, fib_calls),
+        ("nqueens", lambda: nq_mod.nqueens_job(nqueens_n), nq.work_cycles, nq.calls),
+        (
+            "ray",
+            lambda: ray_mod.ray_job(width=ray_width, height=ray_height),
+            ray.work_cycles,
+            ray.calls,
+        ),
+    ]
+    for app, job_factory, work, calls in measurements:
+        for profile in (CM5_NODE, SPARCSTATION_10):
+            measured = serial_slowdown(job_factory(), work, calls, profile, seed)
+            rows.append(
+                Table1Row(
+                    app=app,
+                    platform=profile.name,
+                    measured=measured,
+                    paper=PAPER_TABLE1[app][profile.name],
+                )
+            )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render the measured-vs-paper comparison."""
+    table = [
+        (r.app, r.platform, f"{r.measured:.2f}", f"{r.paper:.2f}",
+         f"{100 * r.relative_error:.1f}%")
+        for r in rows
+    ]
+    return render_table(
+        "Table 1 — serial slowdown (parallel 1-proc time / best serial time)",
+        ["app", "platform", "measured", "paper", "rel.err"],
+        table,
+    )

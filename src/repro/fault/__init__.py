@@ -1,0 +1,27 @@
+"""Fault injection and checkpointing.
+
+* :mod:`repro.fault.crash` — fail-stop crash plans exercising the redo
+  protocol ("enough redundant state is maintained so that lost work can
+  be redone").
+* :mod:`repro.fault.checkpoint` — checkpoint/restart of a whole job (the
+  paper's Section-6 planned extension), for outages redo cannot survive.
+"""
+
+from repro.fault.checkpoint import (
+    JobCheckpoint,
+    WorkerState,
+    checkpoint_and_kill_run,
+    restore_job,
+    take_checkpoint,
+)
+from repro.fault.crash import CrashPlan, run_job_with_crashes
+
+__all__ = [
+    "CrashPlan",
+    "run_job_with_crashes",
+    "JobCheckpoint",
+    "WorkerState",
+    "take_checkpoint",
+    "restore_job",
+    "checkpoint_and_kill_run",
+]

@@ -1,0 +1,36 @@
+"""The macro-level (inter-application) idle-initiated scheduler.
+
+Implements the paper's Section 2 "Macro-level scheduling" and the
+Section 3 architecture of Figure 2: parallel jobs are submitted to the
+**PhishJobQ** (an RPC server managing the job pool with non-preemptive
+round-robin assignment); every workstation runs a **PhishJobManager**
+daemon that polls its owner's idleness policy and *requests* a job when
+the machine is idle — work is never pushed onto a machine.  When the
+owner returns, the JobManager kills the worker within the reclaim-poll
+period (the paper's 2 seconds), after the worker migrates its tasks.
+"""
+
+from repro.macro.job import JobHandle, JobRecord
+from repro.macro.jobmanager import JobManagerConfig, PhishJobManager
+from repro.macro.jobq import PhishJobQ
+from repro.macro.policies import (
+    AssignmentPolicy,
+    LeastWorkersAssignment,
+    PriorityAssignment,
+    RoundRobinAssignment,
+)
+from repro.macro.system import PhishSystem, PhishSystemConfig
+
+__all__ = [
+    "JobRecord",
+    "JobHandle",
+    "PhishJobQ",
+    "PhishJobManager",
+    "JobManagerConfig",
+    "AssignmentPolicy",
+    "RoundRobinAssignment",
+    "LeastWorkersAssignment",
+    "PriorityAssignment",
+    "PhishSystem",
+    "PhishSystemConfig",
+]

@@ -1,0 +1,74 @@
+"""Job records and handles at the macro level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.micro.protocol import ports_for_job
+from repro.tasks.program import JobProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.clearinghouse.clearinghouse import Clearinghouse
+    from repro.micro.worker import Worker
+    from repro.sim.resources import Signal
+
+
+@dataclass
+class JobRecord:
+    """One entry in the PhishJobQ's pool.
+
+    Note: when a job is assigned to a workstation "the scheduler keeps
+    that job in its pool so that the job can also be assigned to other
+    idle workstations" — a record leaves the pool only on completion.
+    """
+
+    job_id: int
+    program: JobProgram
+    #: Host running the job's Clearinghouse (and usually its first worker).
+    ch_host: str
+    priority: int = 0
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+    #: Workstations currently participating (approximate, maintained from
+    #: grant/release notifications).
+    participants: Set[str] = field(default_factory=set)
+    done: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def ports(self) -> tuple[int, int, int]:
+        """(worker_port, ch_rpc_port, ch_data_port) for this job."""
+        return ports_for_job(self.job_id)
+
+    def descriptor(self) -> dict:
+        """What a JobManager needs to start a worker for this job."""
+        worker_port, ch_rpc, ch_data = self.ports()
+        return {
+            "job_id": self.job_id,
+            "program": self.program,
+            "ch_host": self.ch_host,
+            "worker_port": worker_port,
+            "ch_rpc_port": ch_rpc,
+            "ch_data_port": ch_data,
+        }
+
+
+@dataclass
+class JobHandle:
+    """What a submitter gets back: live objects to await and inspect."""
+
+    record: JobRecord
+    clearinghouse: "Clearinghouse"
+    first_worker: Optional["Worker"]
+
+    @property
+    def done(self) -> "Signal":
+        """Signal set (with the result) when the job completes."""
+        return self.clearinghouse.done
+
+    @property
+    def result(self):
+        return self.clearinghouse.result

@@ -1,0 +1,205 @@
+"""The PhishJobManager: the per-workstation idle-cycle harvesting daemon.
+
+"The PhishJobManager, a background daemon, resides on every workstation
+that is part of the Phish network and tries to obtain a job from the
+PhishJobQ when the workstation becomes idle. ... While users are logged
+in, the PhishJobManager checks every five minutes to see if they have
+logged out.  As soon as the PhishJobManager discovers that its
+workstation is idle, it requests a job from the PhishJobQ.  If the
+PhishJobQ responds negatively ... the PhishJobManager continues to
+request a job every thirty seconds ...  If the PhishJobQ responds
+positively by assigning a job, the PhishJobManager starts a worker
+process to participate in the job and waits for the worker to
+terminate.  In the meantime, the PhishJobManager checks every two
+seconds to see if anyone has logged in.  If the PhishJobManager
+discovers that the workstation is no longer idle, it terminates the
+worker process."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.cluster.owner import NobodyLoggedInPolicy
+from repro.cluster.workstation import Workstation
+from repro.errors import AddressError, RpcError
+from repro.micro import protocol as P
+from repro.micro.worker import Worker, WorkerConfig
+from repro.net.network import Network
+from repro.net.rpc import rpc_call
+from repro.sim.core import Interrupt, Simulator
+from repro.sim.events import AnyOf
+from repro.util.trace import TraceLog
+
+
+@dataclass
+class JobManagerConfig:
+    """Poll intervals (paper defaults) and worker parameters."""
+
+    #: While the owner is logged in, re-check this often (paper: 5 min).
+    busy_poll_s: float = 300.0
+    #: While the job pool is empty, re-request this often (paper: 30 s).
+    no_job_retry_s: float = 30.0
+    #: While a worker runs, check for owner login this often (paper: 2 s).
+    reclaim_poll_s: float = 2.0
+    #: Idleness policy (paper default: nobody logged in).
+    idleness_policy: object = field(default_factory=NobodyLoggedInPolicy)
+    #: Preempt the running worker when a strictly-higher-priority job
+    #: waits in the pool ("the only case in which the macro-level
+    #: scheduler performs time-sharing").  Checked on the reclaim poll.
+    enable_preemption: bool = False
+    #: Template for workers this manager starts.  Macro-managed workers
+    #: retire after this many consecutive failed steals so the machine
+    #: goes back into the pool when a job's parallelism shrinks.
+    worker_config: WorkerConfig = field(
+        default_factory=lambda: WorkerConfig(retire_after_failed_steals=25)
+    )
+
+
+class PhishJobManager:
+    """Idle-cycle harvesting daemon for one workstation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workstation: Workstation,
+        network: Network,
+        jobq_host: str,
+        config: Optional[JobManagerConfig] = None,
+        rng: Optional[random.Random] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.workstation = workstation
+        self.network = network
+        self.jobq_host = jobq_host
+        self.config = config or JobManagerConfig()
+        self.rng = rng or random.Random(0)
+        self.trace = trace
+        self.current_worker: Optional[Worker] = None
+        self.current_job_id: Optional[int] = None
+        #: Counters for the macro experiments.
+        self.jobs_started = 0
+        self.workers_reclaimed = 0
+        self.workers_preempted = 0
+        self.process = sim.process(self._run(), name=f"jobmanager@{workstation.name}")
+        workstation.register_process(self.process)
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> Generator:
+        cfg = self.config
+        ws = self.workstation
+        try:
+            while True:
+                # Phase 1: wait for the machine to become idle.
+                while not cfg.idleness_policy.is_idle(ws):
+                    yield self.sim.timeout(cfg.busy_poll_s)
+                # Phase 2: get a job (retrying while the pool is empty).
+                descriptor = None
+                while descriptor is None:
+                    if not cfg.idleness_policy.is_idle(ws):
+                        break  # owner came back while we were asking
+                    try:
+                        descriptor = yield from rpc_call(
+                            self.network, ws.name, self.jobq_host, P.JOBQ_PORT,
+                            "request_job", ws.name,
+                        )
+                    except RpcError:
+                        descriptor = None  # JobQ unreachable; retry later
+                    if descriptor is None:
+                        yield self.sim.timeout(cfg.no_job_retry_s)
+                if descriptor is None:
+                    continue
+                # Phase 3: run a worker and watch for the owner's return.
+                yield from self._run_worker(descriptor)
+        except Interrupt:
+            if self.current_worker is not None:
+                self.current_worker.stop()
+            return
+
+    def _run_worker(self, descriptor: dict) -> Generator:
+        cfg = self.config
+        ws = self.workstation
+        worker_cfg = dataclasses.replace(
+            cfg.worker_config,
+            port=descriptor["worker_port"],
+            ch_rpc_port=descriptor["ch_rpc_port"],
+            ch_data_port=descriptor["ch_data_port"],
+        )
+        try:
+            worker = Worker(
+                self.sim,
+                ws,
+                self.network,
+                descriptor["program"],
+                clearinghouse_host=descriptor["ch_host"],
+                config=worker_cfg,
+                rng=random.Random(self.rng.getrandbits(64)),
+                trace=self.trace,
+            )
+        except AddressError:
+            # A previous worker for this job still forwards on the port;
+            # release the slot and come back later.
+            try:
+                yield from rpc_call(
+                    self.network, ws.name, self.jobq_host, P.JOBQ_PORT,
+                    "release", {"job_id": descriptor["job_id"], "workstation": ws.name},
+                )
+            except RpcError:
+                pass
+            yield self.sim.timeout(self.config.no_job_retry_s)
+            return
+        self.current_worker = worker
+        self.current_job_id = descriptor["job_id"]
+        self.jobs_started += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "jm.start_worker", ws.name,
+                            job=descriptor["job_id"])
+        finished = worker.finished.wait()
+        while not worker.finished.is_set:
+            tick = self.sim.timeout(cfg.reclaim_poll_s)
+            yield AnyOf(self.sim, [finished, tick])
+            if worker.finished.is_set:
+                break
+            if not cfg.idleness_policy.is_idle(ws):
+                # Owner is back: kill the worker (it migrates its tasks).
+                self.workers_reclaimed += 1
+                if self.trace is not None:
+                    self.trace.emit(self.sim.now, "jm.reclaim", ws.name)
+                worker._run_proc.interrupt("owner-reclaimed")
+                yield worker.finished.wait()
+                break
+            if cfg.enable_preemption:
+                try:
+                    should = yield from rpc_call(
+                        self.network, ws.name, self.jobq_host, P.JOBQ_PORT,
+                        "check_preempt",
+                        {"workstation": ws.name, "job_id": descriptor["job_id"]},
+                    )
+                except RpcError:
+                    should = False
+                if should and not worker.finished.is_set:
+                    self.workers_preempted += 1
+                    if self.trace is not None:
+                        self.trace.emit(self.sim.now, "jm.preempt", ws.name)
+                    worker._run_proc.interrupt("preempted")
+                    yield worker.finished.wait()
+                    break
+        # Tell the JobQ this machine no longer participates.
+        try:
+            yield from rpc_call(
+                self.network, ws.name, self.jobq_host, P.JOBQ_PORT,
+                "release", {"job_id": self.current_job_id, "workstation": ws.name},
+            )
+        except RpcError:
+            pass
+        self.current_worker = None
+        self.current_job_id = None
+
+    def stop(self) -> None:
+        """Shut the daemon down (and any worker it is running)."""
+        self.process.interrupt("jobmanager-stop")

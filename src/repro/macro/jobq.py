@@ -1,0 +1,145 @@
+"""The PhishJobQ: the central pool of parallel jobs.
+
+"The PhishJobQ, an RPC server, resides on one computer and manages the
+pool of parallel jobs.  When a Phish application begins execution, it
+is submitted to the PhishJobQ.  When an idle workstation requests a
+job, the PhishJobQ assigns one of its parallel jobs to the idle
+workstation."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import JobError
+from repro.macro.job import JobRecord
+from repro.macro.policies import AssignmentPolicy, RoundRobinAssignment
+from repro.micro import protocol as P
+from repro.net.network import Network
+from repro.net.rpc import RpcServer
+from repro.sim.core import Simulator
+from repro.tasks.program import JobProgram
+from repro.util.trace import TraceLog
+
+
+class PhishJobQ:
+    """RPC server managing the pool of parallel jobs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: str,
+        policy: Optional[AssignmentPolicy] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.policy = policy or RoundRobinAssignment()
+        self.trace = trace
+        self.jobs: Dict[int, JobRecord] = {}
+        self._next_job_id = 0
+        #: Counters for the macro-level experiments.
+        self.requests = 0
+        self.grants = 0
+
+        self.rpc = RpcServer(network, host, P.JOBQ_PORT, name="jobq")
+        self.rpc.register("submit", self._rpc_submit)
+        self.rpc.register("request_job", self._rpc_request_job)
+        self.rpc.register("job_done", self._rpc_job_done)
+        self.rpc.register("release", self._rpc_release)
+        self.rpc.register("list_jobs", self._rpc_list_jobs)
+        self.rpc.register("check_preempt", self._rpc_check_preempt)
+
+    # -- direct (same-process) API, used by PhishSystem -----------------------
+
+    def submit_record(self, program: JobProgram, ch_host: str, priority: int = 0) -> JobRecord:
+        """Create and pool a job record (the submitter starts the CH)."""
+        record = JobRecord(
+            job_id=self._next_job_id,
+            program=program,
+            ch_host=ch_host,
+            priority=priority,
+            submitted_at=self.sim.now,
+        )
+        self._next_job_id += 1
+        record.participants.add(ch_host)  # the submitter's first worker
+        self.jobs[record.job_id] = record
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "jobq.submit", self.host,
+                            job=record.name, id=record.job_id)
+        return record
+
+    @property
+    def pool(self) -> List[JobRecord]:
+        """Jobs currently available for assignment (submission order)."""
+        return [rec for rec in self.jobs.values() if not rec.done]
+
+    # -- RPC handlers -----------------------------------------------------------
+
+    def _rpc_submit(self, args: dict, _msg) -> int:
+        record = self.submit_record(
+            args["program"], args["ch_host"], args.get("priority", 0)
+        )
+        return record.job_id
+
+    def _rpc_request_job(self, workstation: str, _msg) -> Optional[dict]:
+        self.requests += 1
+        record = self.policy.choose(self.pool, workstation)
+        if record is None:
+            return None
+        record.participants.add(workstation)
+        self.grants += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "jobq.grant", self.host,
+                            job=record.name, to=workstation)
+        return record.descriptor()
+
+    def _rpc_job_done(self, job_id: int, _msg) -> bool:
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise JobError(f"job_done for unknown job {job_id}")
+        record.done = True
+        record.finished_at = self.sim.now
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "jobq.done", self.host, id=job_id)
+        return True
+
+    def _rpc_release(self, args: dict, _msg) -> bool:
+        record = self.jobs.get(args["job_id"])
+        if record is not None:
+            record.participants.discard(args["workstation"])
+        return True
+
+    def _rpc_check_preempt(self, args: dict, _msg) -> bool:
+        """Should *workstation* abandon *job_id* for a higher-priority job?
+
+        The paper: "the macro-level scheduler may preempt the process due
+        to scheduling priority.  This preemption is the only case in
+        which the macro-level scheduler performs time-sharing."
+        """
+        current = self.jobs.get(args["job_id"])
+        if current is None or current.done:
+            return False
+        workstation = args["workstation"]
+        return any(
+            rec.priority > current.priority
+            for rec in self.pool
+            if workstation not in rec.participants
+        )
+
+    def _rpc_list_jobs(self, _args, _msg) -> List[dict]:
+        return [
+            {
+                "job_id": rec.job_id,
+                "name": rec.name,
+                "done": rec.done,
+                "participants": sorted(rec.participants),
+                "priority": rec.priority,
+            }
+            for rec in self.jobs.values()
+        ]
+
+    def stop(self) -> None:
+        self.rpc.stop()

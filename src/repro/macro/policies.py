@@ -1,0 +1,87 @@
+"""Job-assignment policies for the PhishJobQ.
+
+"Our current implementation of the PhishJobQ uses a non-preemptive
+round-robin scheduling algorithm to assign jobs.  Future implementations
+of Phish will provide opportunities for using and studying more
+sophisticated job assignment algorithms" — this module is that
+opportunity: round-robin (the paper), least-participants (space-share
+evenly), and strict priority.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.macro.job import JobRecord
+
+
+class AssignmentPolicy:
+    """Chooses which pool job to hand an idle workstation."""
+
+    name = "abstract"
+
+    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
+        """Pick a job for *requester*, or None if nothing is eligible.
+
+        A job is ineligible if the requester already participates in it
+        (a workstation runs at most one worker per job).
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def eligible(pool: List[JobRecord], requester: str) -> List[JobRecord]:
+        return [
+            rec for rec in pool if not rec.done and requester not in rec.participants
+        ]
+
+
+class RoundRobinAssignment(AssignmentPolicy):
+    """The paper's policy: cycle through the pool, one job per request."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
+        eligible = self.eligible(pool, requester)
+        if not eligible:
+            return None
+        record = eligible[self._cursor % len(eligible)]
+        self._cursor += 1
+        return record
+
+
+class LeastWorkersAssignment(AssignmentPolicy):
+    """Send the workstation to the job with the fewest participants.
+
+    Equalises space shares, so a freshly-submitted job catches up fast;
+    ties break by submission order.
+    """
+
+    name = "least-workers"
+
+    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
+        eligible = self.eligible(pool, requester)
+        if not eligible:
+            return None
+        return min(eligible, key=lambda rec: (len(rec.participants), rec.job_id))
+
+
+class PriorityAssignment(AssignmentPolicy):
+    """Highest priority wins; round-robin within a priority level."""
+
+    name = "priority"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
+        eligible = self.eligible(pool, requester)
+        if not eligible:
+            return None
+        top = max(rec.priority for rec in eligible)
+        level = [rec for rec in eligible if rec.priority == top]
+        record = level[self._cursor % len(level)]
+        self._cursor += 1
+        return record

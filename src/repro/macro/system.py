@@ -1,0 +1,208 @@
+"""PhishSystem: the whole network of workstations, assembled.
+
+Builds the environment of the paper's Figure 2 — a network of
+workstations, each with an owner (activity trace) and a PhishJobManager
+daemon, plus the PhishJobQ — and provides the user-facing ``submit``
+that models typing ``ray my-scene`` on a workstation: it starts the
+job's Clearinghouse and first worker locally and registers the job with
+the PhishJobQ so that idle machines pick it up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.clearinghouse.clearinghouse import Clearinghouse, ClearinghouseConfig
+from repro.cluster.owner import AlwaysIdleTrace, Owner, OwnerTrace
+from repro.cluster.platform import SPARCSTATION_1, PlatformProfile
+from repro.cluster.workstation import Workstation
+from repro.errors import JobError
+from repro.macro.job import JobHandle, JobRecord
+from repro.macro.jobmanager import JobManagerConfig, PhishJobManager
+from repro.macro.jobq import PhishJobQ
+from repro.macro.policies import AssignmentPolicy
+from repro.micro import protocol as P
+from repro.micro.worker import Worker
+from repro.net.network import Network
+from repro.net.rpc import rpc_call
+from repro.net.topology import Topology, UniformTopology
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf
+from repro.tasks.program import JobProgram
+from repro.util.rng import RngRegistry
+from repro.util.trace import TraceLog
+
+#: Signature of an owner-trace factory: (rng, host_name) -> OwnerTrace.
+TraceFactory = Callable[[random.Random, str], OwnerTrace]
+
+
+@dataclass
+class PhishSystemConfig:
+    """Shape of the simulated workstation network."""
+
+    n_workstations: int = 8
+    profile: PlatformProfile = SPARCSTATION_1
+    seed: int = 0
+    jobmanager: JobManagerConfig = field(default_factory=JobManagerConfig)
+    clearinghouse: ClearinghouseConfig = field(default_factory=ClearinghouseConfig)
+    #: Factory building each workstation's owner activity trace
+    #: (default: machines are always idle, the paper's measurement mode).
+    owner_trace: TraceFactory = field(
+        default=lambda rng, host: AlwaysIdleTrace()
+    )
+    #: Assignment policy for the JobQ (None: paper's round-robin).
+    policy: Optional[AssignmentPolicy] = None
+    topology: Optional[Topology] = None
+    trace: bool = False
+
+
+class PhishSystem:
+    """A running Phish network: JobQ + JobManagers + owners."""
+
+    def __init__(self, config: Optional[PhishSystemConfig] = None) -> None:
+        self.config = config or PhishSystemConfig()
+        cfg = self.config
+        if cfg.n_workstations < 1:
+            raise JobError("need at least one workstation")
+        self.sim = Simulator()
+        self.rng = RngRegistry(cfg.seed)
+        self.trace = TraceLog(enabled=True, capacity=200_000) if cfg.trace else None
+        self.network = Network(
+            self.sim,
+            cfg.topology or UniformTopology(cfg.profile.net),
+            rng=self.rng.stream("net"),
+            trace=self.trace,
+        )
+        self.workstations: List[Workstation] = []
+        self.owners: List[Owner] = []
+        self.jobmanagers: Dict[str, PhishJobManager] = {}
+        for i in range(cfg.n_workstations):
+            ws = Workstation(self.sim, f"ws{i:02d}", cfg.profile, self.network)
+            self.workstations.append(ws)
+            trace = cfg.owner_trace(self.rng.stream(f"owner.{i}"), ws.name)
+            self.owners.append(Owner(ws, trace))
+        #: The JobQ lives on the first workstation (paper: "one computer").
+        self.jobq = PhishJobQ(
+            self.sim, self.network, self.workstations[0].name, cfg.policy, self.trace
+        )
+        for i, ws in enumerate(self.workstations):
+            self.jobmanagers[ws.name] = PhishJobManager(
+                self.sim,
+                ws,
+                self.network,
+                jobq_host=self.workstations[0].name,
+                config=cfg.jobmanager,
+                rng=self.rng.stream(f"jm.{i}"),
+                trace=self.trace,
+            )
+        self.handles: List[JobHandle] = []
+
+    def workstation(self, name: str) -> Workstation:
+        for ws in self.workstations:
+            if ws.name == name:
+                return ws
+        raise JobError(f"no workstation named {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        program: JobProgram,
+        from_host: Optional[str] = None,
+        priority: int = 0,
+        start_first_worker: bool = True,
+    ) -> JobHandle:
+        """Submit a job the way a user invokes a Phish program.
+
+        Starts the Clearinghouse (and, by default, the first worker) on
+        *from_host* and pools the job at the PhishJobQ.  Idle machines
+        then join via their JobManagers.
+        """
+        host = from_host or self.workstations[0].name
+        self.workstation(host)  # validates
+        record = self.jobq.submit_record(program, host, priority)
+        worker_port, ch_rpc, ch_data = record.ports()
+        ch = Clearinghouse(
+            self.sim,
+            self.network,
+            host,
+            job_name=record.name,
+            config=self.config.clearinghouse,
+            trace=self.trace,
+            worker_port=worker_port,
+            rpc_port=ch_rpc,
+            data_port=ch_data,
+        )
+        first_worker: Optional[Worker] = None
+        if start_first_worker:
+            wcfg = dataclasses.replace(
+                self.config.jobmanager.worker_config,
+                port=worker_port,
+                ch_rpc_port=ch_rpc,
+                ch_data_port=ch_data,
+            )
+            first_worker = Worker(
+                self.sim,
+                self.workstation(host),
+                self.network,
+                program,
+                clearinghouse_host=host,
+                config=wcfg,
+                rng=self.rng.stream(f"job{record.job_id}.first"),
+                trace=self.trace,
+            )
+        else:
+            record.participants.discard(host)
+        self.sim.process(
+            self._job_watcher(record, ch, first_worker),
+            name=f"job-watcher:{record.job_id}",
+        )
+        handle = JobHandle(record=record, clearinghouse=ch, first_worker=first_worker)
+        self.handles.append(handle)
+        return handle
+
+    def _job_watcher(self, record: JobRecord, ch: Clearinghouse, first_worker) -> Generator:
+        """Submitter-side bookkeeping: release the first worker's slot and
+        mark the job done at the JobQ."""
+        if first_worker is not None:
+            yield first_worker.finished.wait()
+            yield from rpc_call(
+                self.network, record.ch_host, self.jobq.host, P.JOBQ_PORT,
+                "release", {"job_id": record.job_id, "workstation": record.ch_host},
+            )
+        yield ch.done.wait()
+        yield from rpc_call(
+            self.network, record.ch_host, self.jobq.host, P.JOBQ_PORT,
+            "job_done", record.job_id,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_until_done(self, timeout_s: float = 1e7, drain_s: float = 5.0) -> None:
+        """Run until every submitted job completed (or raise on timeout)."""
+        if not self.handles:
+            raise JobError("no jobs submitted")
+        all_done = AllOf(self.sim, [h.done.wait() for h in self.handles])
+        deadline = self.sim.now + timeout_s
+        while not all_done.triggered:
+            if self.sim.peek() > deadline:
+                raise JobError(
+                    f"jobs did not finish within {timeout_s} simulated seconds"
+                )
+            self.sim.step()
+        self.sim.run(until=self.sim.now + drain_s)
+
+    def run(self, until: float) -> None:
+        """Advance the whole system to an absolute simulated time."""
+        self.sim.run(until=until)
+
+    def stop(self) -> None:
+        """Tear all daemons down (end of an experiment)."""
+        for jm in self.jobmanagers.values():
+            jm.stop()
+        self.jobq.stop()
+        for handle in self.handles:
+            handle.clearinghouse.stop()

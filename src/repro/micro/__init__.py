@@ -1,0 +1,26 @@
+"""The micro-level (intra-application) idle-initiated scheduler.
+
+Implements the paper's Section 2 "Micro-level scheduling": each
+participating worker keeps a local ready-task list, executes in LIFO
+order, and when out of work becomes a *thief* stealing the tail task of
+a uniformly-random victim.  Also implements the machinery around it:
+the worker's network protocol, task migration on owner reclaim,
+graceful retirement when parallelism shrinks, and crash redo.
+"""
+
+from repro.micro.deque import ReadyDeque
+from repro.micro.steal import RandomVictim, RoundRobinVictim, VictimPolicy, make_victim_policy
+from repro.micro.stats import JobStats, WorkerStats
+from repro.micro.worker import Worker, WorkerConfig
+
+__all__ = [
+    "ReadyDeque",
+    "VictimPolicy",
+    "RandomVictim",
+    "RoundRobinVictim",
+    "make_victim_policy",
+    "Worker",
+    "WorkerConfig",
+    "WorkerStats",
+    "JobStats",
+]

@@ -1,0 +1,81 @@
+"""The ready-task list (Figure 1 of the paper).
+
+The paper's discipline — execute from the **head** in LIFO order, steal
+from the **tail** in FIFO order — is the default.  Both orders are
+configurable so the ablation benches can demonstrate *why* the paper's
+combination wins (FIFO execution blows up the working set; LIFO stealing
+exports leaf tasks and therefore steals constantly).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.errors import SchedulerError
+from repro.tasks.closure import Closure
+
+_ORDERS = ("lifo", "fifo")
+
+
+class ReadyDeque:
+    """Double-ended ready list with configurable execute/steal ends.
+
+    ``exec_order="lifo"`` pops work where it is pushed (the head);
+    ``steal_order="fifo"`` steals from the opposite end (the tail).
+    """
+
+    __slots__ = ("exec_order", "steal_order", "_items")
+
+    def __init__(self, exec_order: str = "lifo", steal_order: str = "fifo") -> None:
+        if exec_order not in _ORDERS:
+            raise SchedulerError(f"exec_order must be one of {_ORDERS}, got {exec_order!r}")
+        if steal_order not in _ORDERS:
+            raise SchedulerError(f"steal_order must be one of {_ORDERS}, got {steal_order!r}")
+        self.exec_order = exec_order
+        self.steal_order = steal_order
+        self._items: Deque[Closure] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def push(self, closure: Closure) -> None:
+        """Insert a newly-ready task at the head (paper, Figure 1b)."""
+        self._items.appendleft(closure)
+
+    def pop_exec(self) -> Optional[Closure]:
+        """Take the next task to execute locally, or None if empty."""
+        if not self._items:
+            return None
+        if self.exec_order == "lifo":
+            return self._items.popleft()  # head: most recently pushed
+        return self._items.pop()  # fifo execution (ablation)
+
+    def pop_steal(self) -> Optional[Closure]:
+        """Take the task to hand a thief, or None if empty."""
+        if not self._items:
+            return None
+        if self.steal_order == "fifo":
+            return self._items.pop()  # tail: oldest task (paper, Figure 1c)
+        return self._items.popleft()  # lifo stealing (ablation)
+
+    def drain(self) -> List[Closure]:
+        """Remove and return everything (head first) — used by migration."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def extend_tail(self, closures: Iterable[Closure]) -> None:
+        """Append migrated-in tasks at the tail, preserving their order.
+
+        Migrated tasks are old work (like steals, they come from the far
+        end of someone's list), so they belong behind local work.
+        """
+        self._items.extend(closures)
+
+    def peek_all(self) -> List[Closure]:
+        """Snapshot (head first) for tests and debugging."""
+        return list(self._items)

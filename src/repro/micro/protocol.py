@@ -1,0 +1,108 @@
+"""Wire protocol shared by workers and the Clearinghouse.
+
+All datagram payloads are tuples whose first element is a tag below.
+Keeping tags and well-known ports in one module lets the worker and
+Clearinghouse modules avoid importing each other.
+"""
+
+from __future__ import annotations
+
+#: Well-known ports.
+WORKER_PORT = 7000
+CLEARINGHOUSE_PORT = 6000
+#: Plain-datagram (non-RPC) traffic to the Clearinghouse: results, I/O.
+CLEARINGHOUSE_DATA_PORT = 6001
+JOBQ_PORT = 5000
+
+# -- worker <-> worker -------------------------------------------------------
+
+#: ("steal_req", thief_name) — reply goes to the datagram's source addr.
+STEAL_REQ = "steal_req"
+#: ("steal_reply", closure_or_None, victim_name)
+STEAL_REPLY = "steal_reply"
+#: ("arg", continuation, value, sender_name) — a non-local synchronization.
+ARG = "arg"
+#: ("migrate", [closures], [suspended_closures], sender_name) — a dying or
+#: retiring worker evacuating its tasks (also used by the central-queue
+#: and sender-initiated baseline modes to move work).
+MIGRATE = "migrate"
+#: ("migrate_ack", acceptor_name) — the receiver took responsibility for
+#: a migration batch (sent to the migrator's reply address).
+MIGRATE_ACK = "migrate_ack"
+#: ("load", sender_name, ready_list_length) — sender-initiated baseline's
+#: periodic load broadcast (the Parform's "load sensors").
+LOAD = "load"
+
+
+#: Wire-size model (bytes).  The simulation does not serialise payloads;
+#: these estimates feed the bandwidth term of the network cost model.
+HEADER_BYTES = 28  # IP + UDP headers
+CONTROL_BYTES = 36  # tag + ids + addresses
+CLOSURE_BYTES = 96  # thread name, cid, small argument slots
+VALUE_BYTES = 24  # one argument value (word-sized results dominate)
+
+
+def estimate_size(payload: object) -> int:
+    """Rough wire size of a protocol datagram.
+
+    Tagged tuples get per-tag estimates (a MIGRATE batch scales with the
+    number of closures it carries); anything else gets the control size.
+    """
+    size = HEADER_BYTES + CONTROL_BYTES
+    if isinstance(payload, tuple) and payload:
+        tag = payload[0]
+        if tag == STEAL_REPLY and len(payload) > 1 and payload[1] is not None:
+            size += CLOSURE_BYTES
+        elif tag == ARG:
+            size += VALUE_BYTES
+        elif tag == MIGRATE and len(payload) > 2:
+            size += CLOSURE_BYTES * (len(payload[1]) + len(payload[2]))
+        elif tag == RESULT:
+            size += VALUE_BYTES
+        elif tag == SNAPSHOT_REPLY and len(payload) > 3:
+            size += CLOSURE_BYTES * (len(payload[2]) + len(payload[3]))
+    return size
+
+
+def ports_for_job(job_id: int) -> tuple[int, int, int]:
+    """(worker_port, ch_rpc_port, ch_data_port) for one macro-level job.
+
+    Each job gets its own port block so several jobs can have workers
+    and Clearinghouses on the same workstation.
+    """
+    if job_id < 0:
+        raise ValueError("job_id must be non-negative")
+    base = 10000 + job_id * 10
+    return (base, base + 1, base + 2)
+
+# -- clearinghouse -> worker ---------------------------------------------------
+
+#: ("job_done", result)
+JOB_DONE = "job_done"
+#: ("peer_update", [worker names])
+PEER_UPDATE = "peer_update"
+#: ("worker_died", name) — triggers crash-redo of outstanding steals.
+WORKER_DIED = "worker_died"
+#: ("run_root",) — (re)start the root task on this worker.
+RUN_ROOT = "run_root"
+#: ("pause",) / ("resume",) — stop-the-world brackets for checkpointing.
+PAUSE = "pause"
+RESUME = "resume"
+#: ("snapshot_req",) — reply ("snapshot_reply", name, ready, suspended, seq)
+#: to the requester's address with this worker's frozen task state.
+SNAPSHOT_REQ = "snapshot_req"
+SNAPSHOT_REPLY = "snapshot_reply"
+
+# -- worker -> clearinghouse ---------------------------------------------------
+
+#: ("result", value, worker_name) — the job's final result.
+RESULT = "result"
+
+# -- RPC method names on the Clearinghouse -------------------------------------
+
+RPC_REGISTER = "register"
+RPC_UNREGISTER = "unregister"
+RPC_UPDATE = "update"  # doubles as the heartbeat
+RPC_RELOCATE = "relocate"
+RPC_LOCATE = "locate"
+RPC_IO_WRITE = "io_write"

@@ -1,0 +1,71 @@
+"""Victim-selection policies for work stealing.
+
+The paper's thief "chooses uniformly at random a victim participant" —
+the policy the Blumofe–Leiserson analysis ([2], FOCS'94) proves gives
+linear speedup with tightly bounded communication.  A deterministic
+round-robin alternative is provided for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import SchedulerError
+
+
+class VictimPolicy:
+    """Chooses a steal victim from the current peer list."""
+
+    name = "abstract"
+
+    def choose(self, victims: Sequence[str]) -> str:
+        raise NotImplementedError
+
+
+class RandomVictim(VictimPolicy):
+    """Uniformly random victim (the paper's policy)."""
+
+    name = "random"
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def choose(self, victims: Sequence[str]) -> str:
+        if not victims:
+            raise SchedulerError("no victims to choose from")
+        return victims[self.rng.randrange(len(victims))]
+
+
+class RoundRobinVictim(VictimPolicy):
+    """Cycle deterministically through the peer list (ablation baseline).
+
+    Keeps its own cursor; robust to the peer list growing or shrinking
+    between steals.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, victims: Sequence[str]) -> str:
+        if not victims:
+            raise SchedulerError("no victims to choose from")
+        victim = victims[self._cursor % len(victims)]
+        self._cursor += 1
+        return victim
+
+
+def make_victim_policy(name: str, rng: random.Random) -> VictimPolicy:
+    """Construct a policy by name ("random" or "round-robin")."""
+    policies: dict[str, VictimPolicy] = {
+        "random": RandomVictim(rng),
+        "round-robin": RoundRobinVictim(),
+    }
+    try:
+        return policies[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown victim policy {name!r}; known: {sorted(policies)}"
+        ) from None

@@ -1,0 +1,752 @@
+"""The participating worker process: LIFO execution, FIFO random stealing.
+
+One :class:`Worker` corresponds to one "participating process" of the
+paper: an instance of the application program running on one
+workstation.  It is realised as three simulation processes sharing the
+worker's state:
+
+* the **run loop** — pops ready tasks (LIFO) and executes them; when the
+  ready list is empty, turns thief and steals (FIFO, random victim);
+  after enough consecutive failed steals it concludes the job's
+  parallelism has shrunk and retires, returning its workstation to the
+  macro-level scheduler;
+* the **net loop** — services the worker's UDP port: steal requests
+  (answered immediately from the tail of the ready list, which is what
+  keeps thieves from waiting on a busy victim's task boundary), incoming
+  argument sends, migrations, and Clearinghouse broadcasts;
+* the **update loop** — fetches a peer update from the Clearinghouse
+  every ``update_interval_s`` (the paper's 2 minutes); this doubles as
+  the heartbeat used for crash detection.
+
+Fault-tolerance machinery ("enough redundant state is maintained so that
+lost work can be redone"): a victim remembers every closure it gave a
+thief; when the Clearinghouse announces a worker's death, victims
+re-enqueue copies of the closures that worker had stolen.  Duplicate
+argument sends produced by redo are deduplicated at the receiving slot.
+
+Graceful departures (owner reclaim, retirement) migrate the ready list
+and suspended closures to a peer; the departing worker's net loop lives
+on as a tiny *forwarder* so in-flight and future sends still arrive (the
+paper states data migrates before termination but leaves the forwarding
+protocol unspecified; DESIGN.md documents this choice).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
+
+from repro.cluster.workstation import Workstation
+from repro.micro import protocol as P
+from repro.micro.deque import ReadyDeque
+from repro.micro.stats import WorkerStats
+from repro.micro.steal import make_victim_policy
+from repro.net.network import Network
+from repro.net.rpc import rpc_call
+from repro.net.socket import Socket
+from repro.sim.core import Event, Interrupt, Simulator
+from repro.sim.events import AnyOf
+from repro.sim.resources import Signal
+from repro.tasks.closure import CLEARINGHOUSE_TARGET, Closure, ClosureId, Continuation
+from repro.tasks.program import Frame, JobProgram
+from repro.util.trace import TraceLog
+
+
+@dataclass
+class WorkerConfig:
+    """Tunables of the micro-level scheduler.
+
+    Defaults follow the paper where it gives numbers (2-minute
+    Clearinghouse updates) and use LAN-plausible values elsewhere.
+    """
+
+    #: How long a thief waits for a steal reply before giving up on it.
+    steal_timeout_s: float = 0.05
+    #: Pause after a failed steal attempt before choosing a new victim.
+    steal_backoff_s: float = 0.005
+    #: Consecutive failed steals after which the worker retires (None:
+    #: never retire — the mode used for fixed-P speedup measurements).
+    retire_after_failed_steals: Optional[int] = None
+    #: Peer-update / heartbeat period (paper: every 2 minutes).
+    update_interval_s: float = 120.0
+    #: One-time process startup cost (fork/exec, binary load, init).
+    startup_cost_s: float = 0.25
+    #: Task-list discipline ("lifo"/"fifo" each) — the paper uses
+    #: LIFO execution with FIFO stealing; others are for ablations.
+    exec_order: str = "lifo"
+    steal_order: str = "fifo"
+    #: Victim selection: "random" (paper) or "round-robin" (ablation).
+    victim_policy: str = "random"
+    #: Remember completed successor ids to deduplicate crash-redo sends.
+    #: Costs memory proportional to task count; enable for fault runs.
+    track_completed: bool = False
+    #: Worker protocol port (macro scheduler gives each job its own).
+    port: int = 7000
+    #: Scheduling mode: "steal" (the paper's idle-initiated work
+    #: stealing), "central" (all spawns go to a central queue — the
+    #: locality-free baseline), or "push" (sender-initiated Parform-style
+    #: load balancing driven by periodic load broadcasts).
+    mode: str = "steal"
+    #: push mode: keep at most this many ready tasks before exporting.
+    push_threshold: int = 4
+    #: push mode: period of the load broadcast.
+    load_broadcast_s: float = 0.25
+    #: Clearinghouse ports this job's workers talk to.
+    ch_rpc_port: int = 6000
+    ch_data_port: int = 6001
+
+
+class Worker:
+    """One participant of one parallel job."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workstation: Workstation,
+        network: Network,
+        job: JobProgram,
+        clearinghouse_host: str,
+        config: Optional[WorkerConfig] = None,
+        rng: Optional[random.Random] = None,
+        trace: Optional[TraceLog] = None,
+        name: Optional[str] = None,
+        initial_state: Optional[tuple] = None,
+    ) -> None:
+        self.sim = sim
+        self.workstation = workstation
+        self.network = network
+        self.job = job
+        self.ch_host = clearinghouse_host
+        self.config = config or WorkerConfig()
+        self.rng = rng or random.Random(0)
+        self.trace = trace
+        #: Worker identity; one worker per workstation, so the host name.
+        self.name = name or workstation.name
+        self.host = workstation.name
+
+        self.stats = WorkerStats(self.name)
+        self.deque = ReadyDeque(self.config.exec_order, self.config.steal_order)
+        #: Suspended (waiting) closures created here, keyed by cid —
+        #: including closures migrated in from departing peers.
+        self.suspended: Dict[ClosureId, Closure] = {}
+        #: Redundant state: closure copies handed to each thief, for redo.
+        self.outstanding: Dict[str, Dict[ClosureId, Closure]] = {}
+        #: Completed-successor ids (dedup of crash-redo sends); only
+        #: populated when config.track_completed.
+        self.completed: Set[ClosureId] = set()
+        #: After departure: where each of my suspended closures went.
+        self.forward_map: Dict[ClosureId, str] = {}
+        self.peers: List[str] = [self.name]
+        self.victim_policy = make_victim_policy(self.config.victim_policy, self.rng)
+
+        self.done = False
+        self.result: Any = None
+        self.retired = False
+        self.departed = False  # retired or evacuated (run loop gone)
+        self.executing = False
+        self._failed_steals = 0
+        self._seq = 0
+        #: push mode: last known ready-list length of each peer.
+        self.peer_loads: Dict[str, int] = {}
+        #: Outstanding steal attempts: req_id -> event the run loop awaits.
+        self._steal_waiters: Dict[int, Event] = {}
+        self._steal_seq = 0
+        #: Stop-the-world flag for checkpointing: the run loop idles and
+        #: steal requests are refused while set.
+        self.paused = False
+        #: Set when the run loop has ended for any reason; the macro
+        #: scheduler's JobManager waits on this.
+        self.finished = Signal(sim)
+        #: Why the run loop ended: "done", "retired", "reclaimed", "crashed".
+        self.exit_reason: Optional[str] = None
+        #: Optional hook invoked (reason) when the run loop ends.
+        self.on_exit: Optional[Callable[[str], None]] = None
+
+        if initial_state is not None:
+            # Checkpoint restore: preload frozen task state.  Pushing in
+            # reverse recreates the original head-to-tail order; the
+            # sequence counter resumes above every id ever issued so
+            # restored cids never collide with new ones.
+            ready, suspended_list, seq = initial_state
+            for closure in reversed(list(ready)):
+                self.deque.push(closure)
+            for closure in suspended_list:
+                self.suspended[closure.cid] = closure
+            self._seq = max(self._seq, int(seq))
+            self._note_in_use()
+
+        self.socket = Socket(network, self.host, self.config.port)
+        self._run_proc = sim.process(self._run(), name=f"worker-run@{self.name}")
+        self._net_proc = sim.process(self._net(), name=f"worker-net@{self.name}")
+        self._update_proc = sim.process(self._updates(), name=f"worker-upd@{self.name}")
+        workstation.register_process(self._run_proc)
+        workstation.register_process(self._net_proc)
+        workstation.register_process(self._update_proc)
+        if self.config.mode == "push":
+            self._balancer_proc = sim.process(
+                self._balancer(), name=f"worker-bal@{self.name}"
+            )
+            workstation.register_process(self._balancer_proc)
+        else:
+            self._balancer_proc = None
+
+    # ------------------------------------------------------------------
+    # SchedulerOps interface (used by Frame)
+    # ------------------------------------------------------------------
+
+    def new_cid(self) -> ClosureId:
+        self._seq += 1
+        return (self.name, self._seq)
+
+    def enqueue_ready(self, closure: Closure, local: bool = False) -> None:
+        """Make a ready closure schedulable.
+
+        Under the paper's work stealing this pushes at the head of the
+        local ready list.  Under the "central" baseline, newly-enabled
+        tasks are shipped to the central queue host instead (``local``
+        forces local placement — used when adopting a task we just
+        fetched, so it is not bounced straight back).
+        """
+        if (
+            not local
+            and self.config.mode == "central"
+            and self.name != self.ch_host
+        ):
+            self.stats.tasks_migrated_out += 1
+            self._post(self.ch_host, self.config.port, (P.MIGRATE, [closure], [], self.name))
+            return
+        self.deque.push(closure)
+        self._note_in_use()
+
+    def register_suspended(self, closure: Closure) -> None:
+        """Park a successor closure until its missing arguments arrive."""
+        self.suspended[closure.cid] = closure
+        self._note_in_use()
+
+    def deliver(self, continuation: Continuation, value: Any) -> None:
+        """send_argument, performed by a task running on this worker."""
+        self.stats.synchronizations += 1
+        if continuation.target == CLEARINGHOUSE_TARGET:
+            if self.ch_host != self.host:
+                self.stats.non_local_synchs += 1
+            self._post(self.ch_host, self.config.ch_data_port, (P.RESULT, value, self.name))
+            return
+        if self._fill_local(continuation, value):
+            return
+        self.stats.non_local_synchs += 1
+        dest = self.forward_map.get(continuation.target, continuation.target[0])
+        self._post(dest, self.config.port, (P.ARG, continuation, value, self.name))
+
+    # ------------------------------------------------------------------
+    # Local argument delivery
+    # ------------------------------------------------------------------
+
+    def _fill_local(self, continuation: Continuation, value: Any) -> bool:
+        """Try to fill a slot held on this worker.
+
+        Returns True if the send terminated here (filled, or recognised
+        as a duplicate/stray); False if the target lives elsewhere.
+        """
+        cid = continuation.target
+        closure = self.suspended.get(cid)
+        if closure is not None:
+            if closure.slot_filled(continuation.slot):
+                self.stats.duplicate_sends += 1
+                return True
+            if closure.fill(continuation.slot, value):
+                del self.suspended[cid]
+                if self.config.track_completed:
+                    self.completed.add(cid)
+                self.enqueue_ready(closure)
+            return True
+        if cid in self.forward_map:
+            return False  # departed: the caller forwards
+        if cid[0] == self.name or cid in self.completed:
+            # A send to a closure of mine that no longer exists: a
+            # crash-redo duplicate (the original already ran).
+            self.stats.duplicate_sends += 1
+            return True
+        return False
+
+    def _on_remote_arg(self, continuation: Continuation, value: Any, sender: str) -> None:
+        """ARG datagram: fill locally or forward (no synch counted here —
+        the synchronization was counted at the sending worker)."""
+        if self._fill_local(continuation, value):
+            return
+        dest = self.forward_map.get(continuation.target, continuation.target[0])
+        if dest == self.name:
+            self.stats.duplicate_sends += 1
+            return
+        self._post(dest, self.config.port, (P.ARG, continuation, value, sender))
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> Generator:
+        cfg = self.config
+        try:
+            yield self.sim.timeout(cfg.startup_cost_s)
+            reply = yield from rpc_call(
+                self.network, self.host, self.ch_host, self.config.ch_rpc_port,
+                P.RPC_REGISTER, self.name,
+            )
+            self.stats.start_time = self.sim.now
+            if reply.get("done"):
+                # The job finished before we could join.
+                self._on_job_done(reply.get("result"))
+                self._finish("done")
+                return
+            self.peers = list(reply["peers"])
+            if reply["run_root"]:
+                self._enqueue_root()
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "worker.start", self.name)
+
+            while not self.done:
+                if self.paused:
+                    # Checkpoint in progress: hold still between tasks.
+                    yield self.sim.timeout(cfg.steal_backoff_s)
+                    continue
+                closure = self.deque.pop_exec()
+                if closure is not None:
+                    self._failed_steals = 0
+                    yield from self._execute(closure)
+                    if cfg.mode == "push":
+                        self._maybe_push()
+                    continue
+                if self.done:
+                    break
+                if cfg.mode == "push":
+                    # Sender-initiated balancing: idle workers wait for
+                    # work to be pushed to them (no stealing).
+                    self.stats.failed_steal_attempts += 1
+                    yield self.sim.timeout(cfg.steal_backoff_s)
+                    continue
+                got = yield from self._steal_once()
+                if got:
+                    self._failed_steals = 0
+                    continue
+                self._failed_steals += 1
+                if (
+                    cfg.retire_after_failed_steals is not None
+                    and self._failed_steals >= cfg.retire_after_failed_steals
+                    and len(self.peers) > 1
+                    and not self.suspended_or_deque_nonempty()
+                ):
+                    yield from self._depart(reason="retired", migrate_ready=False)
+                    return
+                yield self.sim.timeout(cfg.steal_backoff_s)
+
+            self._finish("done")
+        except Interrupt as intr:
+            cause = str(intr.cause)
+            if cause == "machine-crash":
+                self._finish("crashed")
+                return
+            if cause == "worker-stop":
+                # Teardown halt (Worker.stop()): no migration, no protocol.
+                self._finish("stopped")
+                return
+            # Graceful eviction (owner reclaim or priority preemption):
+            # migrate tasks and die.
+            reason = {"owner-reclaimed": "reclaimed"}.get(cause, cause)
+            yield from self._depart(reason=reason, migrate_ready=True)
+
+    def suspended_or_deque_nonempty(self) -> bool:
+        """True if this worker still holds closures it cannot abandon
+        without migrating them (blocks no-migration retirement paths)."""
+        return bool(self.deque) or bool(self.suspended)
+
+    def _finish(self, reason: str) -> None:
+        if self.stats.end_time == 0.0:
+            self.stats.end_time = self.sim.now
+        self.stats.busy_s = self.workstation.cpu_busy_s
+        self.exit_reason = reason
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, f"worker.exit.{reason}", self.name)
+        if self.on_exit:
+            self.on_exit(reason)
+        self.finished.set(reason)
+
+    def _enqueue_root(self) -> None:
+        """Create and enqueue the job's root closure (Clearinghouse said so)."""
+        args = [Continuation(CLEARINGHOUSE_TARGET, 0), *self.job.root_args]
+        root = Closure(self.new_cid(), self.job.root.name, args, depth=0)
+        self.enqueue_ready(root)
+
+    def _execute(self, closure: Closure) -> Generator:
+        self.executing = True
+        self._note_in_use()
+        frame = Frame(self, self.workstation.profile, closure)
+        ref = self.job.program.resolve(closure.thread_name)
+        ref.fn(frame, *closure.call_args())
+        self.stats.tasks_executed += 1
+        if self.config.track_completed and closure.join_counter == 0:
+            self.completed.add(closure.cid)
+        self.executing = False
+        # Charge the task's simulated cycles (dispatch + work + spawns +
+        # sends); yielding here is also the poll point where concurrent
+        # steal requests and arriving arguments interleave.
+        yield self.workstation.execute(frame.cycles)
+
+    # ------------------------------------------------------------------
+    # Stealing (thief side)
+    # ------------------------------------------------------------------
+
+    def _steal_once(self) -> Generator:
+        cfg = self.config
+        if cfg.mode == "central":
+            # Central-queue baseline: the only place to fetch work is
+            # the queue holder (the Clearinghouse host's worker).
+            victims = [] if self.name == self.ch_host else [self.ch_host]
+        else:
+            victims = sorted(p for p in self.peers if p != self.name)
+        if not victims:
+            self.stats.failed_steal_attempts += 1
+            yield self.sim.timeout(cfg.steal_backoff_s)
+            return False
+        victim = self.victim_policy.choose(victims)
+        self.stats.steal_requests_sent += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "steal.request", self.name, victim=victim)
+        # Replies come back to the worker's *main* socket (tagged with a
+        # request id), so a reply that arrives after we stopped waiting —
+        # slow link, or we were interrupted by the owner — is adopted by
+        # the net loop rather than lost.  The victim only regenerates
+        # stolen work on a *crash*, so a lost grant would hang the job.
+        self._steal_seq += 1
+        req_id = self._steal_seq
+        waiter = Event(self.sim)
+        self._steal_waiters[req_id] = waiter
+        try:
+            self._post(victim, cfg.port, (P.STEAL_REQ, self.name, req_id))
+            deadline = self.sim.timeout(cfg.steal_timeout_s)
+            settled = yield AnyOf(self.sim, [waiter, deadline])
+        finally:
+            self._steal_waiters.pop(req_id, None)
+        if waiter in settled and settled[waiter]:
+            return True  # the net loop already enqueued the task
+        self.stats.failed_steal_attempts += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # The net loop (victim side + control messages)
+    # ------------------------------------------------------------------
+
+    def _net(self) -> Generator:
+        try:
+            while True:
+                msg = yield self.socket.recv()
+                payload = msg.payload
+                if not isinstance(payload, tuple) or not payload:
+                    continue
+                tag = payload[0]
+                if tag == P.STEAL_REQ:
+                    yield from self._serve_steal(msg, payload[1], payload[2])
+                elif tag == P.STEAL_REPLY:
+                    yield from self._on_steal_reply(payload[1], payload[2], payload[3])
+                elif tag == P.ARG:
+                    self._on_remote_arg(payload[1], payload[2], payload[3])
+                elif tag == P.MIGRATE:
+                    self._on_migrate(msg, payload[1], payload[2], payload[3])
+                elif tag == P.JOB_DONE:
+                    self._on_job_done(payload[1])
+                    if self.departed:
+                        return  # forwarder duty over
+                elif tag == P.PEER_UPDATE:
+                    self._on_peer_update(payload[1])
+                elif tag == P.WORKER_DIED:
+                    self._on_worker_died(payload[1])
+                elif tag == P.RUN_ROOT:
+                    self._enqueue_root()
+                elif tag == P.LOAD:
+                    self.peer_loads[payload[1]] = payload[2]
+                elif tag == P.PAUSE:
+                    self.paused = True
+                elif tag == P.RESUME:
+                    self.paused = False
+                elif tag == P.SNAPSHOT_REQ:
+                    host, port = msg.reply_addr()
+                    self._post(
+                        host, port,
+                        (
+                            P.SNAPSHOT_REPLY,
+                            self.name,
+                            self.deque.peek_all(),
+                            list(self.suspended.values()),
+                            self._seq,
+                        ),
+                    )
+        except Interrupt:
+            return
+        finally:
+            if self.done or self.workstation.crashed:
+                self.socket.close()
+
+    def _serve_steal(self, msg, thief: str, req_id: int) -> Generator:
+        self.stats.steal_requests_received += 1
+        closure = None
+        if not self.departed and not self.done and not self.paused:
+            closure = self.deque.pop_steal()
+        if closure is not None:
+            self.stats.tasks_stolen_from += 1
+            # Redundant state for crash redo: remember what went where.
+            self.outstanding.setdefault(thief, {})[closure.cid] = closure
+            self._note_in_use()
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "steal.grant", self.name,
+                                thief=thief, cid=closure.cid)
+        host, port = msg.reply_addr()
+        reply = (P.STEAL_REPLY, closure, self.name, req_id)
+        yield self.socket.sendto(reply, host, port, size_bytes=P.estimate_size(reply))
+
+    def _on_steal_reply(self, closure: Optional[Closure], victim: str, req_id: int) -> Generator:
+        """A steal reply (possibly late) arrived at the main socket."""
+        waiter = self._steal_waiters.pop(req_id, None)
+        if closure is not None:
+            if self.done:
+                pass  # job over; the victim's redundant copy is harmless
+            elif self.departed:
+                # We no longer run tasks: pass the late grant to a peer.
+                yield from self._migrate_with_ack([closure], [])
+            else:
+                self.stats.tasks_stolen += 1
+                self.enqueue_ready(closure, local=True)
+                if self.trace is not None:
+                    self.trace.emit(self.sim.now, "steal.success", self.name,
+                                    victim=victim, cid=closure.cid)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(closure is not None)
+
+    def _on_migrate(self, msg, ready: List[Closure], suspended: List[Closure], sender: str) -> None:
+        if self.departed or self.done:
+            # We cannot take responsibility; send no ack — the migrating
+            # worker will retry with another peer.
+            return
+        for closure in suspended:
+            self.suspended[closure.cid] = closure
+        self.deque.extend_tail(ready)
+        self.stats.tasks_migrated_in += len(ready) + len(suspended)
+        self._note_in_use()
+        host, port = msg.reply_addr()
+        self._post(host, port, (P.MIGRATE_ACK, self.name))
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "migrate.in", self.name,
+                            sender=sender, n=len(ready) + len(suspended))
+
+    def _on_job_done(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        if self.stats.end_time == 0.0:
+            self.stats.end_time = self.sim.now
+
+    def _on_peer_update(self, names: List[str]) -> None:
+        self.peers = list(names)
+
+    def _on_worker_died(self, dead: str) -> None:
+        """Crash redo: re-enqueue copies of everything *dead* stole from us."""
+        stolen = self.outstanding.pop(dead, None)
+        if not stolen:
+            return
+        copies = [c.redo_copy(self.new_cid()) for c in stolen.values()]
+        self.stats.tasks_redone += len(copies)
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "redo", self.name, dead=dead, n=len(copies))
+        if self.departed:
+            target = self._pick_live_peer()
+            if target is not None:
+                self._post(target, self.config.port, (P.MIGRATE, copies, [], self.name))
+            return
+        for copy in copies:
+            self.enqueue_ready(copy)
+
+    # ------------------------------------------------------------------
+    # Sender-initiated balancing (the "push" baseline)
+    # ------------------------------------------------------------------
+
+    def _balancer(self) -> Generator:
+        """Periodically broadcast our load and export excess tasks."""
+        try:
+            while not self.done and not self.departed:
+                yield self.sim.timeout(self.config.load_broadcast_s)
+                if self.done or self.departed:
+                    return
+                for peer in self.peers:
+                    if peer != self.name:
+                        self._post(
+                            peer, self.config.port, (P.LOAD, self.name, len(self.deque))
+                        )
+                self._maybe_push()
+        except Interrupt:
+            return
+
+    def _maybe_push(self) -> None:
+        """Export tasks to the least-loaded peer when we hold too many."""
+        cfg = self.config
+        if len(self.deque) <= cfg.push_threshold:
+            return
+        candidates = [
+            (load, name)
+            for name, load in self.peer_loads.items()
+            if name in self.peers and name != self.name
+        ]
+        if not candidates:
+            return
+        load, target = min(candidates)
+        if load + 1 >= len(self.deque):
+            return
+        batch: List[Closure] = []
+        while len(self.deque) > cfg.push_threshold and len(batch) < 4:
+            closure = self.deque.pop_steal()
+            if closure is None:
+                break
+            batch.append(closure)
+        if batch:
+            self.stats.tasks_migrated_out += len(batch)
+            self.peer_loads[target] = load + len(batch)
+            self._post(target, cfg.port, (P.MIGRATE, batch, [], self.name))
+
+    # ------------------------------------------------------------------
+    # Peer updates / heartbeat
+    # ------------------------------------------------------------------
+
+    def _updates(self) -> Generator:
+        try:
+            while not self.done and not self.departed:
+                yield self.sim.timeout(self.config.update_interval_s)
+                if self.done or self.departed:
+                    return
+                try:
+                    reply = yield from rpc_call(
+                        self.network, self.host, self.ch_host, self.config.ch_rpc_port,
+                        P.RPC_UPDATE, self.name,
+                    )
+                except Exception:
+                    continue  # Clearinghouse unreachable; try next period
+                if not self.done and not self.departed:
+                    self.peers = list(reply["peers"])
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    # Departure: retirement and owner reclaim
+    # ------------------------------------------------------------------
+
+    def _depart(self, reason: str, migrate_ready: bool) -> Generator:
+        """Leave the computation gracefully, migrating tasks to a peer."""
+        self.retired = reason == "retired"
+        self.departed = True
+        ready = self.deque.drain() if migrate_ready else []
+        suspended = list(self.suspended.values())
+        if ready or suspended:
+            target = yield from self._migrate_with_ack(ready, suspended)
+            if target is None:
+                if reason == "reclaimed":
+                    # Owner wants the machine *now* and nobody took the
+                    # work: treat it as a fail-stop.  The closures are
+                    # lost; the Clearinghouse times our heartbeat out and
+                    # the crash-redo protocol regenerates the work.
+                    self.suspended.clear()
+                    self._finish("crashed")
+                    return
+                # Voluntary retirement: undo and keep living (the run
+                # loop returns us to stealing).
+                self.deque.extend_tail(ready)
+                self.departed = False
+                self.retired = False
+                return
+            for closure in suspended:
+                self.forward_map[closure.cid] = target
+            self.suspended.clear()
+            self.stats.tasks_migrated_out += len(ready) + len(suspended)
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "migrate.out", self.name,
+                                target=target, n=len(ready) + len(suspended))
+        try:
+            yield from rpc_call(
+                self.network, self.host, self.ch_host, self.config.ch_rpc_port,
+                P.RPC_UNREGISTER, {"name": self.name, "graceful": True},
+            )
+        except Exception:
+            pass  # Clearinghouse will eventually time us out
+        self._finish(reason)
+        if not self.forward_map:
+            # Nothing to forward: release the port now so this machine
+            # can later rejoin the same job with a fresh worker.
+            self._net_proc.interrupt("departed-no-forwarding")
+            self._update_proc.interrupt("departed")
+            self.socket.close()
+        # Otherwise the net loop stays alive as a forwarder until JOB_DONE.
+
+    def _migrate_with_ack(self, ready: List[Closure], suspended: List[Closure]) -> Generator:
+        """Hand our closures to a peer, requiring an explicit ack.
+
+        Tries peers in random order until one acknowledges (a peer may
+        itself be departing or already done, in which case it stays
+        silent and we try the next).  Returns the accepting peer's name,
+        or None if nobody took the work.
+        """
+        candidates = sorted(p for p in self.peers if p != self.name)
+        self.rng.shuffle(candidates)
+        for target in candidates:
+            sock = Socket(self.network, self.host)  # ephemeral ack port
+            try:
+                ack_ev = sock.recv()
+                batch = (P.MIGRATE, ready, suspended, self.name)
+                yield sock.sendto(
+                    batch, target, self.config.port,
+                    size_bytes=P.estimate_size(batch),
+                )
+                deadline = self.sim.timeout(self.config.steal_timeout_s)
+                try:
+                    settled = yield AnyOf(self.sim, [ack_ev, deadline])
+                except Interrupt:
+                    settled = {}
+                if ack_ev in settled:
+                    payload = settled[ack_ev].payload
+                    if isinstance(payload, tuple) and payload[0] == P.MIGRATE_ACK:
+                        return target
+                else:
+                    sock.cancel_recv(ack_ev)
+            finally:
+                sock.close()
+        return None
+
+    def _pick_live_peer(self) -> Optional[str]:
+        candidates = sorted(p for p in self.peers if p != self.name)
+        if not candidates:
+            return None
+        return candidates[self.rng.randrange(len(candidates))]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _post(self, host: str, port: int, payload: tuple) -> None:
+        """Fire-and-forget datagram (split-phase: nobody waits on it)."""
+        self.network.transmit(
+            self.host, self.socket.port, host, port, payload,
+            P.estimate_size(payload),
+        )
+
+    def _note_in_use(self) -> None:
+        n = len(self.deque) + len(self.suspended) + (1 if self.executing else 0)
+        if n > self.stats.max_tasks_in_use:
+            self.stats.max_tasks_in_use = n
+
+    def stop(self) -> None:
+        """Forcibly stop all of this worker's processes (test teardown)."""
+        procs = [self._run_proc, self._net_proc, self._update_proc]
+        if self._balancer_proc is not None:
+            procs.append(self._balancer_proc)
+        for proc in procs:
+            proc.interrupt("worker-stop")
+        self.socket.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Worker {self.name} deque={len(self.deque)} "
+            f"susp={len(self.suspended)} done={self.done}>"
+        )

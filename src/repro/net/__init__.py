@@ -1,0 +1,31 @@
+"""Simulated workstation-network substrate.
+
+Models the communication environment the paper runs on: UDP/IP datagrams
+over a shared LAN, with the two costs the paper calls out as the key
+weakness of workstation networks versus supercomputer interconnects —
+large *per-message software overhead* and modest *bandwidth* — plus
+propagation latency, optional jitter, and optional loss (datagrams are
+unreliable; the RPC layer retransmits).
+
+Public surface: :class:`Message`, :class:`NetworkParams`,
+:class:`Network`, :class:`Socket`, :class:`RpcServer`, :func:`rpc_call`,
+topologies in :mod:`repro.net.topology`.
+"""
+
+from repro.net.message import Message
+from repro.net.network import Network, NetworkParams
+from repro.net.rpc import RpcServer, rpc_call
+from repro.net.socket import Socket
+from repro.net.topology import SegmentedTopology, Topology, UniformTopology
+
+__all__ = [
+    "Message",
+    "Network",
+    "NetworkParams",
+    "Socket",
+    "RpcServer",
+    "rpc_call",
+    "Topology",
+    "UniformTopology",
+    "SegmentedTopology",
+]

@@ -1,0 +1,41 @@
+"""The datagram record exchanged over the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Default payload size when the sender does not specify one.  The paper's
+#: messages (steal requests/replies, argument sends, registrations) are
+#: small control messages; 64 bytes is a representative envelope.
+DEFAULT_SIZE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Message:
+    """One UDP-like datagram.
+
+    Attributes:
+        src: sending host name.
+        src_port: sending port (where replies should go).
+        dst: destination host name.
+        dst_port: destination port.
+        payload: arbitrary Python object (the simulation does not
+            serialise; ``size_bytes`` stands in for the wire size).
+        size_bytes: simulated wire size, used for the bandwidth term.
+        msg_id: unique id assigned by the network at transmit time.
+        sent_at: simulated time the datagram entered the network.
+    """
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    payload: Any
+    size_bytes: int = DEFAULT_SIZE_BYTES
+    msg_id: int = field(default=-1, compare=False)
+    sent_at: float = field(default=0.0, compare=False)
+
+    def reply_addr(self) -> tuple[str, int]:
+        """(host, port) to which a reply should be sent."""
+        return (self.src, self.src_port)

@@ -1,0 +1,281 @@
+"""The simulated network: cost model, delivery, loss, and counters.
+
+Delivery of one datagram costs::
+
+    send_overhead            (sender-side software overhead, busies sender CPU)
+    + wire_latency + size/bandwidth (+ jitter)     (in-flight)
+    + recv_overhead          (receiver-side software overhead, busies receiver CPU)
+
+The per-message software overhead is the term the paper singles out as
+"often at least two orders of magnitude greater" on workstations than on
+a parallel supercomputer; platform profiles in :mod:`repro.cluster`
+instantiate it per machine type.
+
+Message counters are the raw data behind the "Messages sent" row of the
+paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.errors import AddressError, NetworkError
+from repro.net.message import Message
+from repro.sim.core import Event, Simulator
+from repro.util.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.socket import Socket
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Link cost parameters (seconds and bytes/second).
+
+    Defaults approximate mid-1990s Ethernet + UDP/IP as characterised in
+    the paper's introduction: ~1 ms of software overhead per message end
+    and ~10 Mbit/s shared bandwidth.
+    """
+
+    send_overhead_s: float = 1.0e-3
+    recv_overhead_s: float = 1.0e-3
+    wire_latency_s: float = 0.5e-3
+    bandwidth_bytes_per_s: float = 1.25e6
+    loss_prob: float = 0.0
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if not (0.0 <= self.loss_prob < 1.0):
+            raise NetworkError("loss_prob must be in [0, 1)")
+        for name in ("send_overhead_s", "recv_overhead_s", "wire_latency_s", "jitter_s"):
+            if getattr(self, name) < 0:
+                raise NetworkError(f"{name} must be non-negative")
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """In-flight time for a datagram of the given size (no overheads)."""
+        return self.wire_latency_s + size_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class NetCounters:
+    """Aggregate and per-host message statistics."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_unroutable: int = 0
+    bytes_sent: int = 0
+    #: Same-host datagrams (loopback): delivered but not "sent on the wire",
+    #: so they do not count toward the paper's "Messages sent" statistic.
+    local: int = 0
+    sent_by_host: Dict[str, int] = field(default_factory=dict)
+    received_by_host: Dict[str, int] = field(default_factory=dict)
+
+    def messages_sent(self, host: Optional[str] = None) -> int:
+        """Messages sent overall, or by one host."""
+        if host is None:
+            return self.sent
+        return self.sent_by_host.get(host, 0)
+
+
+class Network:
+    """Connects sockets on named hosts; delivers datagrams with delay/loss.
+
+    The network is intentionally unreliable (UDP semantics): datagrams to
+    unbound ports or unknown hosts vanish, and ``loss_prob`` drops others
+    at random.  Reliability, where needed, lives in :mod:`repro.net.rpc`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology,
+        rng: Optional[random.Random] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        from repro.net.topology import Topology  # local: avoid import cycle
+
+        if not isinstance(topology, Topology):
+            raise NetworkError(f"expected a Topology, got {topology!r}")
+        self.sim = sim
+        self.topology = topology
+        self.rng = rng or random.Random(0)
+        self.trace = trace
+        self.counters = NetCounters()
+        self._sockets: Dict[Tuple[str, int], "Socket"] = {}
+        self._next_ephemeral: Dict[str, int] = {}
+        self._next_msg_id = 0
+        #: Optional per-host CPU accounting hooks: host -> charge(seconds).
+        self._cpu_charge: Dict[str, Callable[[float], None]] = {}
+        #: Hosts currently crashed (their sockets drop all traffic).
+        self._down: set[str] = set()
+
+    # -- host / socket management ------------------------------------------
+
+    def attach_cpu(self, host: str, charge: Callable[[float], None]) -> None:
+        """Register a CPU-time accounting hook for *host*.
+
+        The network calls it with the send/recv software-overhead seconds
+        so that workstation `rusage`-style accounting includes messaging
+        cost, as real rusage did in the paper's measurements.
+        """
+        self._cpu_charge[host] = charge
+
+    def bind(self, socket: "Socket") -> None:
+        key = (socket.host, socket.port)
+        if key in self._sockets:
+            raise AddressError(f"port {socket.port} already bound on {socket.host!r}")
+        self._sockets[key] = socket
+
+    def unbind(self, socket: "Socket") -> None:
+        self._sockets.pop((socket.host, socket.port), None)
+
+    def alloc_port(self, host: str) -> int:
+        """Allocate an ephemeral port number on *host* (never reused)."""
+        port = self._next_ephemeral.get(host, 49152)
+        self._next_ephemeral[host] = port + 1
+        return port
+
+    def set_host_down(self, host: str, down: bool = True) -> None:
+        """Mark a host crashed/recovered; crashed hosts send and receive nothing."""
+        if down:
+            self._down.add(host)
+        else:
+            self._down.discard(host)
+
+    def is_down(self, host: str) -> bool:
+        return host in self._down
+
+    # -- transmission -------------------------------------------------------
+
+    def transmit(
+        self,
+        src: str,
+        src_port: int,
+        dst: str,
+        dst_port: int,
+        payload,
+        size_bytes: int,
+    ) -> Event:
+        """Send one datagram.
+
+        Returns an event that succeeds once the *sender-side* software
+        overhead has elapsed (split-phase: the sender does not wait for
+        delivery).  Delivery to the destination socket is scheduled
+        independently.
+        """
+        if self.is_down(src):
+            # A crashed host cannot transmit; callers inside the host have
+            # normally been interrupted already.  Succeed silently.
+            ev = Event(self.sim)
+            ev.succeed(None)
+            return ev
+        if src == dst:
+            return self._transmit_loopback(src, src_port, dst_port, payload, size_bytes)
+        params = self.topology.params_for(src, dst)
+        self._next_msg_id += 1
+        msg = Message(
+            src=src,
+            src_port=src_port,
+            dst=dst,
+            dst_port=dst_port,
+            payload=payload,
+            size_bytes=size_bytes,
+            msg_id=self._next_msg_id,
+            sent_at=self.sim.now,
+        )
+        self.counters.sent += 1
+        self.counters.bytes_sent += size_bytes
+        self.counters.sent_by_host[src] = self.counters.sent_by_host.get(src, 0) + 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "net.send", src, dst=dst, port=dst_port, id=msg.msg_id)
+
+        charge = self._cpu_charge.get(src)
+        if charge:
+            charge(params.send_overhead_s)
+
+        if params.loss_prob > 0.0 and self.rng.random() < params.loss_prob:
+            self.counters.dropped_loss += 1
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "net.loss", src, id=msg.msg_id)
+        else:
+            flight = params.send_overhead_s + params.transfer_time(size_bytes)
+            if params.jitter_s > 0.0:
+                flight += self.rng.random() * params.jitter_s
+            deliver = Event(self.sim)
+            deliver.callbacks.append(  # type: ignore[union-attr]
+                lambda _ev, m=msg, p=params: self._deliver(m, p)
+            )
+            deliver.succeed(None, delay=flight)
+
+        done = Event(self.sim)
+        done.succeed(None, delay=params.send_overhead_s)
+        return done
+
+    #: Cost of a same-host (loopback) datagram: no wire, just a kernel copy.
+    LOOPBACK_S = 5.0e-5
+
+    def _transmit_loopback(
+        self, host: str, src_port: int, dst_port: int, payload, size_bytes: int
+    ) -> Event:
+        self._next_msg_id += 1
+        msg = Message(
+            src=host,
+            src_port=src_port,
+            dst=host,
+            dst_port=dst_port,
+            payload=payload,
+            size_bytes=size_bytes,
+            msg_id=self._next_msg_id,
+            sent_at=self.sim.now,
+        )
+        self.counters.local += 1
+        charge = self._cpu_charge.get(host)
+        if charge:
+            charge(self.LOOPBACK_S)
+        deliver = Event(self.sim)
+        deliver.callbacks.append(  # type: ignore[union-attr]
+            lambda _ev, m=msg: self._deliver_local(m)
+        )
+        deliver.succeed(None, delay=self.LOOPBACK_S)
+        done = Event(self.sim)
+        done.succeed(None, delay=self.LOOPBACK_S)
+        return done
+
+    def _deliver_local(self, msg: Message) -> None:
+        if self.is_down(msg.dst):
+            self.counters.dropped_unroutable += 1
+            return
+        sock = self._sockets.get((msg.dst, msg.dst_port))
+        if sock is None:
+            self.counters.dropped_unroutable += 1
+            return
+        self.counters.delivered += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "net.loopback", msg.dst, id=msg.msg_id)
+        sock._enqueue(msg)
+
+    def _deliver(self, msg: Message, params: NetworkParams) -> None:
+        if self.is_down(msg.dst):
+            self.counters.dropped_unroutable += 1
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "net.drop.down", msg.dst, id=msg.msg_id)
+            return
+        sock = self._sockets.get((msg.dst, msg.dst_port))
+        if sock is None:
+            self.counters.dropped_unroutable += 1
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "net.drop.unbound", msg.dst, id=msg.msg_id)
+            return
+        charge = self._cpu_charge.get(msg.dst)
+        if charge:
+            charge(params.recv_overhead_s)
+        self.counters.delivered += 1
+        self.counters.received_by_host[msg.dst] = self.counters.received_by_host.get(msg.dst, 0) + 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "net.recv", msg.dst, src=msg.src, id=msg.msg_id)
+        sock._enqueue(msg)

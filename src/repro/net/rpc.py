@@ -1,0 +1,178 @@
+"""Split-phase RPC over unreliable datagrams.
+
+The paper: "almost all communications are done with split-phase
+operations ... all communications are implemented on top of UDP/IP
+messages."  This module provides the request/reply discipline used by
+the PhishJobQ and the Clearinghouse: the caller opens an ephemeral
+socket, sends a request, and waits for the reply *or* a retransmission
+timer — so lost datagrams are retried, and the caller's process is free
+to structure waiting however it likes (``rpc_call`` is itself a
+generator to be driven with ``yield from``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator
+
+from repro.errors import RpcError
+from repro.net.message import DEFAULT_SIZE_BYTES
+from repro.net.network import Network
+from repro.net.socket import Socket
+from repro.sim.events import AnyOf
+
+#: Default retransmission timer and attempt budget.  The PhishJobManager
+#: retries every 30 s anyway, so a small budget suffices.
+DEFAULT_TIMEOUT_S = 2.0
+DEFAULT_RETRIES = 4
+
+
+@dataclass(frozen=True)
+class _Request:
+    req_id: int
+    method: str
+    args: Any
+
+
+@dataclass(frozen=True)
+class _Reply:
+    req_id: int
+    ok: bool
+    value: Any
+
+
+class RpcServer:
+    """Serves named methods on a well-known port.
+
+    Handlers are plain functions ``handler(args, msg) -> reply`` (the
+    message gives access to the caller's address); a handler raising an
+    exception produces an error reply that re-raises at the caller as
+    :class:`RpcError`.  Duplicate requests (retransmissions of a request
+    already answered) are answered from a reply cache so that handlers
+    observe at-most-once execution despite at-least-once delivery.
+    """
+
+    def __init__(self, network: Network, host: str, port: int, name: str = "rpc") -> None:
+        self.network = network
+        self.host = host
+        self.name = name
+        self.socket = Socket(network, host, port)
+        self._handlers: Dict[str, Callable[[Any, Any], Any]] = {}
+        self._reply_cache: Dict[tuple, _Reply] = {}
+        self._proc = network.sim.process(self._serve(), name=f"{name}@{host}:{port}")
+        #: Number of requests actually executed (cache hits excluded).
+        self.requests_served = 0
+
+    def register(self, method: str, handler: Callable[[Any, Any], Any]) -> None:
+        """Expose *handler* under *method*."""
+        if method in self._handlers:
+            raise RpcError(f"method {method!r} already registered on {self.name}")
+        self._handlers[method] = handler
+
+    def stop(self) -> None:
+        """Shut the server down and release its port."""
+        self._proc.interrupt("rpc-server-stop")
+        self.socket.close()
+
+    def _serve(self) -> Generator:
+        from repro.sim.core import Interrupt
+
+        try:
+            while True:
+                msg = yield self.socket.recv()
+                req = msg.payload
+                if not isinstance(req, _Request):
+                    continue  # stray datagram; UDP semantics say ignore
+                cache_key = (msg.src, msg.src_port, req.req_id)
+                reply = self._reply_cache.get(cache_key)
+                if reply is None:
+                    handler = self._handlers.get(req.method)
+                    if handler is None:
+                        reply = _Reply(req.req_id, False, f"no such method {req.method!r}")
+                    else:
+                        try:
+                            self.requests_served += 1
+                            reply = _Reply(req.req_id, True, handler(req.args, msg))
+                        except Exception as exc:  # handler bug -> error reply
+                            reply = _Reply(req.req_id, False, f"{type(exc).__name__}: {exc}")
+                    self._reply_cache[cache_key] = reply
+                yield self.socket.sendto(reply, msg.src, msg.src_port)
+        except Interrupt:
+            return
+
+
+def rpc_call(
+    network: Network,
+    src_host: str,
+    dst: str,
+    dst_port: int,
+    method: str,
+    args: Any = None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    retries: int = DEFAULT_RETRIES,
+    size_bytes: int = DEFAULT_SIZE_BYTES,
+) -> Generator:
+    """Call ``method(args)`` on the server at (dst, dst_port).
+
+    A generator: drive it with ``result = yield from rpc_call(...)``
+    inside a simulation process.  Retransmits on timeout; raises
+    :class:`RpcError` after the retry budget is exhausted or if the
+    handler errored.
+    """
+    sim = network.sim
+    sock = Socket(network, src_host, port=None)  # ephemeral
+    try:
+        req = _Request(req_id=sock.port, method=method, args=args)
+        for _attempt in range(1 + retries):
+            yield sock.sendto(req, dst, dst_port, size_bytes=size_bytes)
+            deadline = sim.timeout(timeout_s)
+            while True:
+                got = sock.recv()
+                settled = yield AnyOf(sim, [got, deadline])
+                if got in settled:
+                    reply = settled[got].payload
+                    if isinstance(reply, _Reply) and reply.req_id == req.req_id:
+                        if reply.ok:
+                            return reply.value
+                        raise RpcError(f"{method} at {dst}:{dst_port} failed: {reply.value}")
+                    continue  # stray or stale datagram; keep waiting
+                sock.cancel_recv(got)
+                break  # timed out -> retransmit
+        raise RpcError(
+            f"{method} at {dst}:{dst_port}: no reply after {1 + retries} attempts"
+        )
+    finally:
+        sock.close()
+
+
+class RpcClient:
+    """Convenience wrapper binding the static arguments of :func:`rpc_call`."""
+
+    def __init__(
+        self,
+        network: Network,
+        src_host: str,
+        dst: str,
+        dst_port: int,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        retries: int = DEFAULT_RETRIES,
+    ) -> None:
+        self.network = network
+        self.src_host = src_host
+        self.dst = dst
+        self.dst_port = dst_port
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    def call(self, method: str, args: Any = None) -> Generator:
+        """``yield from client.call("method", args)`` inside a process."""
+        return rpc_call(
+            self.network,
+            self.src_host,
+            self.dst,
+            self.dst_port,
+            method,
+            args,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+        )

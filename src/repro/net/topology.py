@@ -1,0 +1,70 @@
+"""Network topologies: who pays which link costs to reach whom.
+
+The 1994 evaluation ran on a single Ethernet segment, which
+:class:`UniformTopology` models.  The paper's *future work* section
+proposes scheduling that is aware of heterogeneous network capability
+("preserve locality with respect to those network cuts that have the
+least bandwidth"); :class:`SegmentedTopology` provides exactly that
+substrate — several LAN segments joined by a slower backbone — and is
+used by the heterogeneity ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import NetworkError
+from repro.net.network import NetworkParams
+
+
+class Topology:
+    """Maps an (src_host, dst_host) pair to the link parameters it pays."""
+
+    def params_for(self, src: str, dst: str) -> NetworkParams:
+        raise NotImplementedError
+
+    def segment_of(self, host: str) -> str:
+        """Name of the segment a host lives on (single segment by default)."""
+        return "lan0"
+
+
+class UniformTopology(Topology):
+    """Every pair of hosts communicates with the same link parameters."""
+
+    def __init__(self, params: NetworkParams) -> None:
+        self.params = params
+
+    def params_for(self, src: str, dst: str) -> NetworkParams:
+        return self.params
+
+
+class SegmentedTopology(Topology):
+    """Hosts grouped into LAN segments joined by a slower backbone.
+
+    Intra-segment traffic pays ``intra``; traffic crossing segments pays
+    ``inter`` (typically higher latency / lower bandwidth — the "least
+    bandwidth cut" of the paper's future-work discussion).
+    """
+
+    def __init__(
+        self,
+        segment_of: Mapping[str, str],
+        intra: NetworkParams,
+        inter: NetworkParams,
+    ) -> None:
+        self._segment_of: Dict[str, str] = dict(segment_of)
+        self.intra = intra
+        self.inter = inter
+
+    def add_host(self, host: str, segment: str) -> None:
+        """Place *host* on *segment* (hosts may be added as they appear)."""
+        self._segment_of[host] = segment
+
+    def segment_of(self, host: str) -> str:
+        try:
+            return self._segment_of[host]
+        except KeyError:
+            raise NetworkError(f"host {host!r} is not placed on any segment") from None
+
+    def params_for(self, src: str, dst: str) -> NetworkParams:
+        return self.intra if self.segment_of(src) == self.segment_of(dst) else self.inter

@@ -1,0 +1,20 @@
+"""A real (threaded) work-stealing runtime with the paper's discipline.
+
+Everything else in this repository *simulates* the Phish scheduler to
+reproduce the paper's measurements; this package *executes* it: a pool
+of OS threads, each with its own ready deque, running tasks LIFO and
+stealing FIFO from uniformly-random victims, with helping joins (a
+worker blocked on a future executes other tasks instead of sleeping).
+
+Because of CPython's GIL, pure-Python tasks do not speed up with
+threads — the repro band for this paper notes exactly that limitation —
+so this runtime is shipped as a *correctness* demonstration (the same
+algorithm, actually scheduling) and is useful for I/O-bound or
+C-extension workloads.  The measured claims all come from the
+simulator.
+"""
+
+from repro.rt.future import Future
+from repro.rt.pool import WorkStealingPool, current_pool
+
+__all__ = ["WorkStealingPool", "Future", "current_pool"]

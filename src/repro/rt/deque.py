@@ -1,0 +1,47 @@
+"""A lock-protected work deque for the threaded runtime.
+
+The owner pushes and pops at the head (LIFO); thieves take from the
+tail (FIFO) — the same discipline as the simulated
+:class:`repro.micro.deque.ReadyDeque`, made thread-safe.  A single lock
+per deque is plenty at Python-thread contention levels; the classic
+lock-free variants (Arora–Blumofe–Plaxton) optimise costs the GIL
+dwarfs anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Optional
+
+
+class WorkDeque:
+    """Head-LIFO / tail-FIFO deque with a per-instance lock."""
+
+    __slots__ = ("_items", "_lock")
+
+    def __init__(self) -> None:
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, item: Any) -> None:
+        """Owner: push a task at the head."""
+        with self._lock:
+            self._items.appendleft(item)
+
+    def pop(self) -> Optional[Any]:
+        """Owner: take the most recently pushed task (head)."""
+        with self._lock:
+            if self._items:
+                return self._items.popleft()
+        return None
+
+    def steal(self) -> Optional[Any]:
+        """Thief: take the oldest task (tail)."""
+        with self._lock:
+            if self._items:
+                return self._items.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)  # racy read; used only as a hint

@@ -1,0 +1,50 @@
+"""Futures for the threaded work-stealing pool."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.errors import ReproError
+
+
+class Future:
+    """A write-once result slot with blocking and polling reads."""
+
+    __slots__ = ("_event", "_result", "_exception", "_lock")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._lock = threading.Lock()
+
+    def done(self) -> bool:
+        """True once a result or exception has been set."""
+        return self._event.is_set()
+
+    def set_result(self, value: Any) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise ReproError("future already resolved")
+            self._result = value
+            self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise ReproError("future already resolved")
+            self._exception = exc
+            self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until resolved; re-raises the task's exception.
+
+        Worker threads should prefer :meth:`WorkStealingPool.join`,
+        which helps execute other tasks instead of blocking.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("future not resolved within timeout")
+        if self._exception is not None:
+            raise self._exception
+        return self._result

@@ -1,0 +1,168 @@
+"""The threaded work-stealing pool.
+
+Usage::
+
+    from repro.rt import WorkStealingPool
+
+    def fib(pool, n):
+        if n < 2:
+            return n
+        a = pool.spawn(fib, pool, n - 1)   # child task (stealable)
+        b = fib(pool, n - 2)               # work-first: run one inline
+        return pool.join(a) + b            # helping join
+
+    with WorkStealingPool(4) as pool:
+        print(pool.run(fib, pool, 25))
+
+Scheduling discipline: per-worker deques, LIFO local execution, FIFO
+steals from uniformly-random victims, and *helping* joins — a worker
+waiting on a future executes other ready tasks instead of blocking, so
+fork-join programs cannot deadlock the pool.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import ReproError, RuntimeShutdown
+from repro.rt.deque import WorkDeque
+from repro.rt.future import Future
+
+_tls = threading.local()
+
+
+def current_pool() -> Optional["WorkStealingPool"]:
+    """The pool whose worker thread is running the caller, if any."""
+    return getattr(_tls, "pool", None)
+
+
+class _Task:
+    __slots__ = ("fn", "args", "future")
+
+    def __init__(self, fn: Callable, args: tuple, future: Future) -> None:
+        self.fn = fn
+        self.args = args
+        self.future = future
+
+    def run(self) -> None:
+        try:
+            self.future.set_result(self.fn(*self.args))
+        except BaseException as exc:  # noqa: BLE001 - delivered via future
+            self.future.set_exception(exc)
+
+
+class WorkStealingPool:
+    """N worker threads with per-worker steal deques."""
+
+    #: Idle backoff while no task is found anywhere (seconds).
+    IDLE_SLEEP_S = 0.0005
+
+    def __init__(self, n_workers: int = 4, seed: int = 0) -> None:
+        if n_workers < 1:
+            raise ReproError("need at least one worker thread")
+        self.n_workers = n_workers
+        self._deques: List[WorkDeque] = [WorkDeque() for _ in range(n_workers)]
+        self._rngs = [random.Random(seed * 7919 + i) for i in range(n_workers)]
+        self._shutdown = threading.Event()
+        self._submit_cursor = 0
+        #: Statistics (approximate; updated without locks).
+        self.tasks_executed = 0
+        self.tasks_stolen = 0
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,), daemon=True,
+                             name=f"ws-pool-{i}")
+            for i in range(n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+
+    def spawn(self, fn: Callable, *args: Any) -> Future:
+        """Create a task; from a worker thread it lands on that worker's
+        deque head (LIFO), from outside it is distributed round-robin."""
+        if self._shutdown.is_set():
+            raise RuntimeShutdown("spawn() after shutdown")
+        future = Future()
+        task = _Task(fn, args, future)
+        idx = getattr(_tls, "worker_index", None)
+        if idx is None or getattr(_tls, "pool", None) is not self:
+            idx = self._submit_cursor % self.n_workers
+            self._submit_cursor += 1
+        self._deques[idx].push(task)
+        return future
+
+    submit = spawn
+
+    def join(self, future: Future) -> Any:
+        """Wait for *future*, helping with other tasks meanwhile.
+
+        Safe from worker threads (no deadlock: the blocked worker keeps
+        the pool moving) and from external threads (plain blocking).
+        """
+        if getattr(_tls, "pool", None) is not self:
+            return future.result()
+        idx: int = _tls.worker_index
+        while not future.done():
+            task = self._find_task(idx)
+            if task is not None:
+                self.tasks_executed += 1
+                task.run()
+            else:
+                time.sleep(self.IDLE_SLEEP_S)
+        return future.result()
+
+    def run(self, fn: Callable, *args: Any) -> Any:
+        """Submit a root task from outside and wait for its result."""
+        return self.join(self.spawn(fn, *args))
+
+    def map(self, fn: Callable, items: Sequence[Any]) -> List[Any]:
+        """Apply *fn* to every item in parallel; results in order."""
+        futures = [self.spawn(fn, item) for item in items]
+        return [self.join(f) for f in futures]
+
+    # ------------------------------------------------------------------
+
+    def _find_task(self, idx: int) -> Optional[_Task]:
+        task = self._deques[idx].pop()
+        if task is not None:
+            return task
+        rng = self._rngs[idx]
+        # A few random steal attempts (uniformly-random victim, FIFO end).
+        for _ in range(2 * self.n_workers):
+            victim = rng.randrange(self.n_workers)
+            if victim == idx:
+                continue
+            task = self._deques[victim].steal()
+            if task is not None:
+                self.tasks_stolen += 1
+                return task
+        return None
+
+    def _worker(self, idx: int) -> None:
+        _tls.pool = self
+        _tls.worker_index = idx
+        while not self._shutdown.is_set():
+            task = self._find_task(idx)
+            if task is None:
+                time.sleep(self.IDLE_SLEEP_S)
+                continue
+            self.tasks_executed += 1
+            task.run()
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the workers (pending tasks are abandoned)."""
+        self._shutdown.set()
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkStealingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

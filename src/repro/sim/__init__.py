@@ -1,0 +1,48 @@
+"""A small, dependency-free discrete-event simulation kernel.
+
+This package is the "hardware" substrate of the Phish reproduction: it
+plays the role that real SparcStations, Ethernet, and wall clocks played
+in the paper.  It is modelled on the classic process-interaction style
+(generator coroutines yielding events), and is deterministic: given the
+same seed and the same program, every run produces the same event order.
+
+Public surface:
+
+* :class:`Simulator` — the event loop and clock.
+* :class:`Event`, :class:`Timeout`, :class:`Process` — waitables.
+* :class:`Interrupt` — exception delivered by :meth:`Process.interrupt`.
+* :class:`AnyOf`, :class:`AllOf` — condition events.
+* :class:`Store`, :class:`Channel`, :class:`Resource`, :class:`Signal` —
+  synchronised containers.
+* :class:`Probe` — time-series measurement.
+"""
+
+from repro.sim.core import (
+    NORMAL,
+    URGENT,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.events import AllOf, AnyOf
+from repro.sim.monitor import Probe
+from repro.sim.resources import Channel, Resource, Signal, Store
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Store",
+    "Channel",
+    "Resource",
+    "Signal",
+    "Probe",
+    "URGENT",
+    "NORMAL",
+]

@@ -1,0 +1,361 @@
+"""Core of the discrete-event simulation kernel.
+
+The design follows the process-interaction paradigm: simulation *processes*
+are Python generators that ``yield`` :class:`Event` objects to wait on
+them.  The :class:`Simulator` owns the clock and a priority queue of
+triggered events; processing an event runs its callbacks, which resume the
+processes waiting on it.
+
+Determinism: events scheduled for the same time are processed in
+(priority, insertion-order) order, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import inspect
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+
+#: Event priorities. URGENT events at a given time are processed before
+#: NORMAL ones; insertion order breaks remaining ties.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Delivered into a process by :meth:`Process.interrupt`.
+
+    The macro-level scheduler uses this to model a workstation owner
+    reclaiming their machine: the worker process is interrupted at its
+    next yield point and must migrate its tasks before dying.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *pending* until someone calls :meth:`succeed` or
+    :meth:`fail` (which also enqueues it), *triggered* once it has a
+    value, and *processed* after the simulator has run its callbacks.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks to run when processed; ``None`` once processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failure has been delivered to a waiter; prevents the
+        #: kernel from escalating the failure to the whole run.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True/False after triggering; None while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully and schedule its processing."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0, priority: int = NORMAL) -> "Event":
+        """Trigger the event with a failure; waiters get the exception thrown."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay, priority)
+        return self
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Run *callback(event)* when this event is processed.
+
+        If the event was already processed, the callback is delivered on a
+        fresh zero-delay event so that it still runs from the event loop
+        (never synchronously from the subscriber's stack).
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+        else:
+            self.sim.call_soon(lambda: callback(self))
+
+    def unsubscribe(self, callback: Callable[["Event"], None]) -> bool:
+        """Remove a previously-subscribed callback; True if it was present."""
+        if self.callbacks is None:
+            return False
+        try:
+            self.callbacks.remove(callback)
+            return True
+        except ValueError:
+            return False
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay, NORMAL)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event: it succeeds with the generator's
+    return value, or fails with its uncaught exception, when the
+    generator finishes.  Other processes can therefore ``yield proc`` to
+    join it.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None) -> None:
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(f"Process requires a generator, got {gen!r}")
+        super().__init__(sim)
+        self._gen: Optional[Generator] = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick the generator off from the event loop, not synchronously.
+        # The boot event is tracked as the current wait target so that an
+        # interrupt landing before the first resume detaches it cleanly.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)  # type: ignore[union-attr]
+        boot.succeed(None, priority=URGENT)
+        self._target = boot
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._gen is not None
+
+    def interrupt(self, cause: Any = None) -> bool:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Returns False (and does nothing) if the process already finished —
+        a benign race when, e.g., a worker terminates naturally just as
+        its owner reclaims the workstation.
+        """
+        if not self.is_alive:
+            return False
+        if self.sim._active is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever we were waiting on so we are not resumed twice.
+        if self._target is not None:
+            self._target.unsubscribe(self._resume)
+            self._target = None
+        kick = Event(self.sim)
+        kick.callbacks.append(self._resume)  # type: ignore[union-attr]
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick.defused = True  # the interrupt is delivered, never escalated
+        self.sim._enqueue(kick, 0.0, URGENT)
+        return True
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        gen = self._gen
+        if gen is None:  # finished before a queued interrupt arrived
+            event.defused = True
+            return
+        self._target = None
+        self.sim._active = self
+        try:
+            if event._ok:
+                target = gen.send(event._value)
+            else:
+                event.defused = True
+                if inspect.getgeneratorstate(gen) == inspect.GEN_CREATED:
+                    # The generator never started: throwing would raise at
+                    # its definition line instead of delivering in-band.
+                    # Treat the interrupt as a quiet cancellation.
+                    self._gen = None
+                    self.sim._active = None
+                    self.succeed(None, priority=URGENT)
+                    return
+                target = gen.throw(event._value)
+        except StopIteration as stop:
+            self._gen = None
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except BaseException as exc:
+            self._gen = None
+            self.fail(exc, priority=URGENT)
+            return
+        finally:
+            self.sim._active = None
+
+        if not isinstance(target, Event):
+            # Deliver the misuse as an error inside the generator so the
+            # offending process gets a useful traceback.
+            bad = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+            err = Event(self.sim)
+            err.callbacks.append(self._resume)  # type: ignore[union-attr]
+            err._ok = False
+            err._value = bad
+            err.defused = True
+            self.sim._enqueue(err, 0.0, URGENT)
+            return
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another Simulator")
+        self._target = target
+        target.subscribe(self._resume)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self) -> None:
+        #: Current simulated time in seconds.
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+        #: Count of processed events (a cheap progress/perf metric).
+        self.events_processed = 0
+
+    # -- construction helpers ---------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after *delay* simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator; returns the Process event."""
+        return Process(self, gen, name)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run *fn* from the event loop at the current time (zero delay)."""
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: fn())  # type: ignore[union-attr]
+        ev.succeed(None, priority=URGENT)
+
+    # -- scheduling & execution -------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("time went backwards (kernel bug)")
+        self.now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        self.events_processed += 1
+        for callback in callbacks:  # type: ignore[union-attr]
+            callback(event)
+        if event._ok is False and not event.defused:
+            # A failure nobody waited on: crash the run loudly rather than
+            # silently losing the error.
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        Args:
+            until: ``None`` runs until no events remain; a number runs
+                until the clock would pass that time (the clock is then
+                set to it); an :class:`Event` runs until that event has
+                been processed and returns its value (re-raising its
+                failure, if any).
+        """
+        if isinstance(until, Event):
+            target = until
+            if not target.processed:
+                done = [False]
+                target.subscribe(lambda _ev: done.__setitem__(0, True))
+                while not done[0]:
+                    if not self._heap:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited "
+                            "event triggered (deadlock?)"
+                        )
+                    self.step()
+            if target._ok is False:
+                target.defused = True
+                raise target._value
+            return target._value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self.now:
+                raise SimulationError(f"run(until={horizon}) is in the past (now={self.now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        while self._heap:
+            self.step()
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} queued={len(self._heap)}>"

@@ -1,0 +1,63 @@
+"""Time-series probes for measuring simulated quantities over time."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+
+
+class Probe:
+    """Records (time, value) samples of a piecewise-constant quantity.
+
+    Typical uses: deque length over time, number of live participants,
+    outstanding messages.  Provides the time-average (integral divided by
+    elapsed time), which is the right summary for utilisation-style
+    metrics.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "probe") -> None:
+        self.sim = sim
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, value: float) -> None:
+        """Sample the quantity at the current simulated time."""
+        self.samples.append((self.sim.now, float(value)))
+
+    @property
+    def last(self) -> float:
+        """Most recent sample value."""
+        if not self.samples:
+            raise SimulationError(f"probe {self.name!r} has no samples")
+        return self.samples[-1][1]
+
+    @property
+    def peak(self) -> float:
+        """Maximum sampled value."""
+        if not self.samples:
+            raise SimulationError(f"probe {self.name!r} has no samples")
+        return max(v for _, v in self.samples)
+
+    def time_average(self, until: float | None = None) -> float:
+        """Time-weighted average, treating the series as a step function.
+
+        The quantity holds each sampled value until the next sample; the
+        final value extends to *until* (default: current sim time).
+        """
+        if not self.samples:
+            raise SimulationError(f"probe {self.name!r} has no samples")
+        end = self.sim.now if until is None else until
+        first_t = self.samples[0][0]
+        if end < first_t:
+            raise SimulationError("time_average horizon precedes first sample")
+        if end == first_t:
+            return self.samples[0][1]
+        area = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
+            area += v0 * (min(t1, end) - t0)
+        last_t, last_v = self.samples[-1]
+        if end > last_t:
+            area += last_v * (end - last_t)
+        return area / (end - first_t)

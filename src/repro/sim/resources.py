@@ -1,0 +1,194 @@
+"""Synchronised containers for simulation processes.
+
+* :class:`Store` — a bounded FIFO buffer with blocking put/get.
+* :class:`Channel` — an unbounded Store with message-passing aliases,
+  the building block of the simulated UDP sockets.
+* :class:`Resource` — counted mutual exclusion (e.g. "the CPU").
+* :class:`Signal` — a broadcast flag many processes can wait on (e.g.
+  "this job has terminated").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+
+class Store:
+    """A FIFO buffer of Python objects with blocking put/get events.
+
+    ``put(item)`` returns an event that succeeds once the item is in the
+    buffer (immediately unless the store is full); ``get()`` returns an
+    event that succeeds with the oldest item once one is available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert *item*; the returned event succeeds once inserted."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._service()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event succeeds with it."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._service()
+        return ev
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``.
+
+        Only valid when no getter is already queued (otherwise it would
+        jump the FIFO queue).
+        """
+        if self._getters:
+            raise SimulationError("try_get() while blocking getters are queued")
+        if self.items:
+            item = self.items.popleft()
+            self._service()
+            return True, item
+        return False, None
+
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending :meth:`get` whose event has not yet fired.
+
+        Returns True if the event was still queued.  Needed by protocol
+        code that abandons a receive after a timeout — otherwise the
+        stale getter would steal the next item.
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+    def _service(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(None)
+                progressed = True
+            while self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progressed = True
+
+
+class Channel(Store):
+    """An unbounded Store with message-passing vocabulary.
+
+    ``send`` never blocks (UDP-like: the network, not the sender, pays
+    the cost of queued messages).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__(sim, capacity=float("inf"))
+
+    def send(self, message: Any) -> None:
+        """Enqueue a message (non-blocking)."""
+        self.put(message)
+
+    def recv(self) -> Event:
+        """Event that succeeds with the next message."""
+        return self.get()
+
+
+class Resource:
+    """Counted resource with FIFO request queue (classic semaphore).
+
+    Used by the baseline *time-sharing* macro policy to model CPU
+    multiplexing, and in tests.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        """Event that succeeds once a unit of the resource is held."""
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit; hands it to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() of an idle Resource")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting."""
+        return len(self._waiters)
+
+
+class Signal:
+    """A broadcast flag: many processes wait, one ``set()`` wakes them all.
+
+    Once set, further waits succeed immediately (level-triggered).  The
+    Clearinghouse uses a Signal to broadcast job termination.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._set = False
+        self._value: Any = None
+        self._waiters: List[Event] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`set` (None before that)."""
+        return self._value
+
+    def wait(self) -> Event:
+        """Event that succeeds (with the signal's value) once set."""
+        ev = Event(self.sim)
+        if self._set:
+            ev.succeed(self._value)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def set(self, value: Any = None) -> None:
+        """Set the flag and wake all current waiters."""
+        if self._set:
+            return
+        self._set = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)

@@ -1,0 +1,36 @@
+"""The Phish programming model: continuation-passing threads.
+
+Phish applications are "coded using a simple extension to the C
+programming language" that compiles to *continuation-passing threads*
+(Halbherr, Zhou & Joerg — the paper's reference [13]): a computation is
+a dag of heap-allocated **closures**, each a thread function plus an
+argument list with some slots possibly empty, guarded by a join counter.
+A closure becomes a *ready task* when its last missing argument arrives.
+Running a closure may
+
+* ``spawn`` fully-applied child closures (ready immediately),
+* create a ``successor`` closure with missing slots, obtaining
+  :class:`Continuation` handles to those slots, and
+* ``send`` a value along a continuation, filling a slot (and possibly
+  enabling the target).
+
+This package provides the Python rendering of that model; the
+micro-level scheduler in :mod:`repro.micro` executes it.
+"""
+
+from repro.tasks.closure import CLEARINGHOUSE_TARGET, Closure, ClosureId, Continuation
+from repro.tasks.program import Frame, JobProgram, SuccessorRef, ThreadProgram
+from repro.tasks.cost import CALL_CYCLES, serial_time_seconds
+
+__all__ = [
+    "Closure",
+    "ClosureId",
+    "Continuation",
+    "CLEARINGHOUSE_TARGET",
+    "ThreadProgram",
+    "JobProgram",
+    "Frame",
+    "SuccessorRef",
+    "CALL_CYCLES",
+    "serial_time_seconds",
+]

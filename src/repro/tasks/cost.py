@@ -1,0 +1,38 @@
+"""Cost-model helpers shared by the serial baselines and the experiments.
+
+The unit of work throughout the library is the *cycle* — one simulated
+machine instruction.  Application code charges cycles for the real
+computation it performs; platform profiles convert cycles to simulated
+seconds and add scheduling overheads.
+
+The serial baselines model the "best serial implementation" of the
+paper's Table 1: the same application work, but tasks collapse to plain
+procedure calls costing :data:`CALL_CYCLES` instead of the parallel
+machinery's spawn/schedule/sync/poll overheads.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.platform import PlatformProfile
+
+#: Cost of a plain procedure call in the serial implementation (call,
+#: frame setup, return).  The parallel/serial per-task overhead gap —
+#: profile.task_overhead_cycles() versus this — is what Table 1 measures.
+CALL_CYCLES = 8.0
+
+
+def serial_time_seconds(
+    total_work_cycles: float, n_calls: int, profile: PlatformProfile
+) -> float:
+    """Simulated runtime of the best serial implementation.
+
+    Args:
+        total_work_cycles: application work (same quantity the parallel
+            version charges via ``frame.work``).
+        n_calls: procedure calls the serial code makes (one per task the
+            parallel version would have spawned).
+        profile: machine running the serial code.
+    """
+    if total_work_cycles < 0 or n_calls < 0:
+        raise ValueError("work and call count must be non-negative")
+    return profile.seconds(total_work_cycles + CALL_CYCLES * n_calls)

@@ -1,0 +1,138 @@
+"""Small statistics helpers used by the metrics and experiment layers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+class OnlineStats:
+    """Streaming mean/variance/min/max (Welford's algorithm).
+
+    Used for per-worker busy-time accounting and benchmark summaries
+    without storing every sample.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 for fewer than 2 samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineStats(n={self.count}, mean={self.mean:.6g}, "
+            f"sd={self.stdev:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+@dataclass
+class Histogram:
+    """An integer-keyed histogram.
+
+    This is the exact data structure the paper's pfold application
+    produces (a histogram of fold energy values), so it is part of the
+    public API rather than a private helper.
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, key: int, count: int = 1) -> None:
+        """Add *count* occurrences of *key*."""
+        self.counts[key] = self.counts.get(key, 0) + count
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (used at sync points)."""
+        for key, count in other.counts.items():
+            self.add(key, count)
+
+    def total(self) -> int:
+        """Total number of occurrences across all keys."""
+        return sum(self.counts.values())
+
+    def items(self) -> List[Tuple[int, int]]:
+        """(key, count) pairs sorted by key."""
+        return sorted(self.counts.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return {k: v for k, v in self.counts.items() if v} == {
+            k: v for k, v in other.counts.items() if v
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({dict(self.items())})"
+
+
+def summarize(xs: Iterable[float]) -> OnlineStats:
+    """Build an :class:`OnlineStats` from an iterable in one call."""
+    s = OnlineStats()
+    s.extend(xs)
+    return s
+
+
+def geometric_mean(xs: Iterable[float]) -> float:
+    """Geometric mean, the right average for ratios such as slowdowns."""
+    xs = list(xs)
+    if not xs:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(x <= 0 for x in xs):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def speedup_paper(t1: float, per_participant_times: Iterable[float]) -> float:
+    """The paper's P-processor speedup formula.
+
+    ``S_P = P * T1 / sum_i T_P(i)`` where ``T_P(i)`` is the wall-clock
+    execution time of the i-th participant (Section 4, Figure 5 caption).
+    The formula is the ratio of T1 to the *average* participant time.
+    """
+    times = list(per_participant_times)
+    if not times:
+        raise ValueError("need at least one participant time")
+    total = sum(times)
+    if total <= 0:
+        raise ValueError("participant times must be positive")
+    return len(times) * t1 / total
+
+
+def mean(xs: Mapping | Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty iterable."""
+    xs = list(xs)  # type: ignore[arg-type]
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)

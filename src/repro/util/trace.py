@@ -1,0 +1,106 @@
+"""Structured event tracing for simulated executions.
+
+A :class:`TraceLog` is an append-only list of timestamped, typed records.
+Schedulers and the network emit into it when tracing is enabled; tests and
+the experiment harness query it to assert ordering properties (e.g. "no
+steal reply precedes its request") and to debug runs.  Tracing is off by
+default because the paper's largest run executes millions of tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes:
+        time: simulated time at which the event occurred.
+        kind: short event-type tag, e.g. ``"steal.request"``.
+        source: name of the emitting component (worker/host name).
+        detail: free-form payload for humans and tests.
+    """
+
+    time: float
+    kind: str
+    source: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:12.6f}] {self.source:<16} {self.kind:<20} {extras}"
+
+
+class TraceLog:
+    """Append-only trace collector with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        """Create a log.
+
+        Args:
+            enabled: when False, :meth:`emit` is a no-op (cheap to leave in
+                hot paths).
+            capacity: optional bound; older events are discarded FIFO once
+                the bound is reached, so long runs cannot exhaust memory.
+        """
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def emit(self, time: float, kind: str, source: str, **detail: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(time, kind, source, detail))
+        if self.capacity is not None and len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self._dropped += overflow
+
+    @property
+    def dropped(self) -> int:
+        """Number of events discarded due to the capacity bound."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        where: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Return events filtered by kind and/or source and/or predicate."""
+        out = []
+        for ev in self._events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if source is not None and ev.source != source:
+                continue
+            if where is not None and not where(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of the given kind."""
+        return sum(1 for ev in self._events if ev.kind == kind)
+
+    def kinds(self) -> List[Tuple[str, int]]:
+        """(kind, count) pairs sorted by kind — a quick run fingerprint."""
+        acc: Dict[str, int] = {}
+        for ev in self._events:
+            acc[ev.kind] = acc.get(ev.kind, 0) + 1
+        return sorted(acc.items())
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0

@@ -1,0 +1,5 @@
+"""Text visualisation of simulated executions."""
+
+from repro.viz.timeline import render_timeline, worker_intervals
+
+__all__ = ["render_timeline", "worker_intervals"]

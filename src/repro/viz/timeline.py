@@ -1,0 +1,93 @@
+"""ASCII timelines of worker activity, built from a TraceLog.
+
+``render_timeline`` draws one lane per worker over the run's time span:
+
+* ``=`` — participating (between ``worker.start`` and its exit event),
+* ``S`` — a successful steal landed at that moment (thief lane),
+* ``m`` — a migration batch arrived (reclaim/retirement refugees),
+* ``X`` — the worker crashed,
+* ``.`` — registered but idle-ish (no marks recorded in that column).
+
+Useful for eyeballing macro-level churn: owners reclaiming machines,
+retirements during shrinking parallelism, crash redo waves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.trace import TraceLog
+
+#: Event kinds that mark the start/end of a worker's participation.
+_START = "worker.start"
+_EXITS = ("worker.exit.done", "worker.exit.retired", "worker.exit.reclaimed",
+          "worker.exit.crashed", "worker.exit.preempted")
+
+
+def worker_intervals(trace: TraceLog) -> Dict[str, Tuple[float, float, str]]:
+    """Per worker: (start time, end time, exit reason) from the trace.
+
+    Workers that never exited get the trace's last timestamp as their
+    end and reason ``"running"``.
+    """
+    starts: Dict[str, float] = {}
+    ends: Dict[str, Tuple[float, str]] = {}
+    last_t = 0.0
+    for ev in trace:
+        last_t = max(last_t, ev.time)
+        if ev.kind == _START:
+            starts.setdefault(ev.source, ev.time)
+        elif ev.kind in _EXITS:
+            ends.setdefault(ev.source, (ev.time, ev.kind.rsplit(".", 1)[1]))
+    out: Dict[str, Tuple[float, float, str]] = {}
+    for name, t0 in starts.items():
+        t1, reason = ends.get(name, (last_t, "running"))
+        out[name] = (t0, t1, reason)
+    return out
+
+
+def render_timeline(
+    trace: TraceLog,
+    width: int = 72,
+    until: Optional[float] = None,
+) -> str:
+    """Render one ASCII lane per worker (see module docstring legend)."""
+    intervals = worker_intervals(trace)
+    if not intervals:
+        return "(no worker activity in trace)"
+    t_end = until if until is not None else max(t1 for _t0, t1, _r in intervals.values())
+    t_end = max(t_end, 1e-9)
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int(t / t_end * (width - 1))))
+
+    lanes: Dict[str, List[str]] = {}
+    for name, (t0, t1, _reason) in sorted(intervals.items()):
+        lane = [" "] * width
+        for c in range(col(t0), col(t1) + 1):
+            lane[c] = "="
+        lanes[name] = lane
+
+    marks = [
+        ("steal.success", "S"),
+        ("migrate.in", "m"),
+        ("redo", "R"),
+    ]
+    for kind, ch in marks:
+        for ev in trace.events(kind=kind):
+            lane = lanes.get(ev.source)
+            if lane is not None:
+                lane[col(ev.time)] = ch
+    for ev in trace.events(kind="worker.exit.crashed"):
+        lane = lanes.get(ev.source)
+        if lane is not None:
+            lane[col(ev.time)] = "X"
+
+    name_w = max(len(n) for n in lanes)
+    lines = [
+        f"timeline 0 .. {t_end:.2f}s   (= run, S steal, m migrate-in, R redo, X crash)"
+    ]
+    for name, lane in sorted(lanes.items()):
+        _t0, _t1, reason = intervals[name]
+        lines.append(f"{name:<{name_w}} |{''.join(lane)}| {reason}")
+    return "\n".join(lines)

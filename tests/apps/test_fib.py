@@ -1,0 +1,60 @@
+"""Tests for the fib application."""
+
+import pytest
+
+from repro.apps.fib import (
+    fib_job,
+    fib_serial,
+    node_count,
+    serial_metrics,
+    task_count,
+)
+from repro.baselines.serial import execute_serially
+
+
+@pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (2, 1), (10, 55), (20, 6765)])
+def test_fib_serial_values(n, expected):
+    assert fib_serial(n) == expected
+
+
+def test_fib_serial_negative_raises():
+    with pytest.raises(ValueError):
+        fib_serial(-1)
+    with pytest.raises(ValueError):
+        fib_job(-1)
+
+
+@pytest.mark.parametrize("n", [0, 1, 5, 12])
+def test_parallel_matches_serial(n):
+    assert execute_serially(fib_job(n)).result == fib_serial(n)
+
+
+def test_node_count_recurrence():
+    # calls(n) = 1 + calls(n-1) + calls(n-2)
+    for n in range(2, 15):
+        assert node_count(n) == 1 + node_count(n - 1) + node_count(n - 2)
+    assert node_count(0) == 1
+    assert node_count(1) == 1
+
+
+def test_task_count_matches_execution():
+    for n in (0, 1, 6, 10):
+        assert execute_serially(fib_job(n)).tasks_executed == task_count(n)
+
+
+def test_serial_metrics_positive_and_scaling():
+    w10, c10 = serial_metrics(10)
+    w12, c12 = serial_metrics(12)
+    assert w12 > w10 > 0
+    assert c12 > c10 > 0
+    assert c10 == node_count(10)
+
+
+def test_tiny_grain_size():
+    """fib is 'almost nothing but spawn': work per task is tiny compared
+    to the scheduler's per-task overhead — the cause of Table 1's 4-6x."""
+    from repro.cluster.platform import SPARCSTATION_10
+
+    work, calls = serial_metrics(15)
+    work_per_call = work / calls
+    assert work_per_call < SPARCSTATION_10.task_overhead_cycles()

@@ -1,0 +1,57 @@
+"""Tests for the knary synthetic scheduler stress test."""
+
+import pytest
+
+from repro.apps.knary import build_program, knary_job, knary_nodes
+from repro.baselines.serial import execute_serially
+from repro.phish import run_job
+
+
+@pytest.mark.parametrize("n,k,r", [
+    (1, 2, 0), (3, 3, 0), (3, 3, 3), (4, 2, 1), (2, 5, 2), (4, 1, 1),
+])
+def test_counts_match_closed_form(n, k, r):
+    assert execute_serially(knary_job(n, k, r)).result == knary_nodes(n, k)
+
+
+def test_r_does_not_change_the_answer():
+    results = {
+        r: execute_serially(knary_job(4, 3, r)).result for r in range(4)
+    }
+    assert len(set(results.values())) == 1
+
+
+def test_parallel_execution_correct():
+    r = run_job(knary_job(6, 2, 1), n_workers=4, seed=0)
+    assert r.result == knary_nodes(6, 2)
+
+
+def test_r_dials_parallelism():
+    """Full serialisation (r=k) runs measurably longer on 4 machines
+    than the fully parallel tree (r=0)."""
+    fast = run_job(knary_job(8, 2, 0), n_workers=4, seed=1)
+    slow = run_job(knary_job(8, 2, 2), n_workers=4, seed=1)
+    assert slow.stats.average_execution_time > 1.5 * fast.stats.average_execution_time
+
+
+def test_serial_chain_limits_steals():
+    """With r=k there is never more than one ready subtree at a time per
+    chain, so thieves find little to take."""
+    parallel = run_job(knary_job(8, 2, 0), n_workers=4, seed=1)
+    serial = run_job(knary_job(8, 2, 2), n_workers=4, seed=1)
+    assert serial.stats.tasks_stolen <= parallel.stats.tasks_stolen + 10
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        build_program(0, 2, 0)
+    with pytest.raises(ValueError):
+        build_program(2, 0, 0)
+    with pytest.raises(ValueError):
+        build_program(2, 2, 3)
+
+
+def test_closed_form():
+    assert knary_nodes(3, 2) == 7
+    assert knary_nodes(4, 3) == 40
+    assert knary_nodes(5, 1) == 5

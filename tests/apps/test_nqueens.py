@@ -1,0 +1,66 @@
+"""Tests for the nqueens application."""
+
+import pytest
+
+from repro.apps.nqueens import (
+    KNOWN_COUNTS,
+    _safe,
+    build_program,
+    nqueens_job,
+    nqueens_serial,
+)
+from repro.baselines.serial import execute_serially
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8])
+def test_serial_counts_match_oeis(n):
+    assert nqueens_serial(n).result == KNOWN_COUNTS[n]
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 6, 7])
+def test_parallel_matches_serial(n):
+    assert execute_serially(nqueens_job(n)).result == KNOWN_COUNTS[n]
+
+
+def test_safe_predicate():
+    # Queens at (0,0) and (1,2): column 2 in row 2 conflicts by column;
+    # column 4 conflicts diagonally with (1,2); column 1 is safe.
+    placement = (0, 2)
+    assert not _safe(placement, 0)  # column clash with row 0
+    assert not _safe(placement, 2)  # column clash with row 1
+    assert not _safe(placement, 3)  # diagonal with (1, 2)
+    assert _safe(placement, 5)
+
+
+def test_invalid_board_size():
+    with pytest.raises(ValueError):
+        nqueens_job(0)
+    with pytest.raises(ValueError):
+        nqueens_serial(0)
+
+
+def test_serial_metrics_sane():
+    run = nqueens_serial(6)
+    assert run.calls > 0
+    assert run.work_cycles > run.calls  # more than one cycle per node
+
+
+def test_join_arity_is_board_size_plus_one():
+    prog = build_program(5)
+    assert prog.resolve("nq_join").arity == 6
+
+
+def test_programs_independent_across_sizes():
+    a, b = build_program(4), build_program(5)
+    assert a.resolve("nq_join").arity == 5
+    assert b.resolve("nq_join").arity == 6
+
+
+def test_moderate_grain_size():
+    """nqueens does real conflict-checking work per node, so its
+    overhead ratio is small (Table 1: ~1.1)."""
+    from repro.cluster.platform import SPARCSTATION_10
+
+    run = nqueens_serial(8)
+    work_per_call = run.work_cycles / run.calls
+    assert work_per_call > 3 * SPARCSTATION_10.task_overhead_cycles()

@@ -1,0 +1,122 @@
+"""Tests for the protein-folding application (lattice HP model)."""
+
+import pytest
+
+from repro.apps.pfold import (
+    BENCHMARK_20MER,
+    build_program,
+    count_foldings,
+    fold_energy,
+    pfold_job,
+    pfold_serial,
+)
+from repro.baselines.serial import execute_serially
+from repro.util.stats import Histogram
+
+#: Self-avoiding walk counts on Z^2 (OEIS A001411): c_n for n steps.
+SAW_COUNTS = {1: 4, 2: 12, 3: 36, 4: 100, 5: 284, 6: 780, 7: 2172, 8: 5916}
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("steps", [1, 2, 3, 4, 5, 6, 7])
+    def test_folding_count_is_saw_count_over_4(self, steps):
+        # Foldings of an (steps+1)-mer = SAWs of `steps` steps, divided
+        # by 4 for the fixed first step (rotation symmetry).
+        assert count_foldings(steps + 1) == SAW_COUNTS[steps] // 4
+
+    def test_all_p_sequence_has_zero_energy(self):
+        run = pfold_serial("PPPPPP")
+        assert set(run.result.counts) == {0}
+
+    def test_short_sequence_validation(self):
+        with pytest.raises(ValueError):
+            pfold_serial("H")
+        with pytest.raises(ValueError):
+            pfold_serial("HXH")
+        with pytest.raises(ValueError):
+            build_program("HPH", work_scale=0)
+
+
+class TestEnergy:
+    def test_straight_chain_no_contacts(self):
+        path = tuple((i, 0) for i in range(5))
+        assert fold_energy("HHHHH", path) == 0
+
+    def test_u_turn_creates_contact(self):
+        # H at (0,0), then (1,0), (1,1), (0,1): monomer 0 and 3 adjacent,
+        # non-consecutive -> one H-H contact.
+        path = ((0, 0), (1, 0), (1, 1), (0, 1))
+        assert fold_energy("HHHH", path) == -1
+        assert fold_energy("HPPH", path) == -1
+        assert fold_energy("HPPP", path) == 0
+        assert fold_energy("PHHP", path) == 0
+
+    def test_consecutive_monomers_never_contact(self):
+        path = ((0, 0), (1, 0))
+        assert fold_energy("HH", path) == 0
+
+    def test_energies_nonpositive(self):
+        run = pfold_serial("HPHPPHHP")
+        assert all(e <= 0 for e in run.result.counts)
+
+    def test_known_8mer_spectrum(self):
+        # Regression-pinned spectrum for HPHPPHHP (543 foldings).
+        run = pfold_serial("HPHPPHHP")
+        assert dict(run.result.items()) == {-2: 6, -1: 80, 0: 457}
+
+
+class TestParallelAgreement:
+    @pytest.mark.parametrize("seq", ["HP", "HPH", "HPHPPH", "HPHPPHHP"])
+    def test_serial_executor_matches_reference(self, seq):
+        assert execute_serially(pfold_job(seq)).result == pfold_serial(seq).result
+
+    def test_work_scale_does_not_change_results(self):
+        a = pfold_serial("HPHPPH", work_scale=1.0)
+        b = pfold_serial("HPHPPH", work_scale=100.0)
+        assert a.result == b.result
+        assert b.work_cycles == pytest.approx(100.0 * a.work_cycles)
+
+    def test_benchmark_sequence_is_valid(self):
+        assert len(BENCHMARK_20MER) == 20
+        assert set(BENCHMARK_20MER) == {"H", "P"}
+
+
+class TestHistogramResult:
+    def test_result_is_histogram(self):
+        run = pfold_serial("HPHP")
+        assert isinstance(run.result, Histogram)
+        assert run.result.total() == count_foldings(4)
+
+
+class TestCubicLattice:
+    """The 3D extension: HP folding on the cubic lattice."""
+
+    #: Self-avoiding walk counts on Z^3 (OEIS A001412).
+    SAW3D = {1: 6, 2: 30, 3: 150, 4: 726, 5: 3534}
+
+    @pytest.mark.parametrize("steps", [1, 2, 3, 4, 5])
+    def test_folding_count_is_3d_saw_over_6(self, steps):
+        assert count_foldings(steps + 1, lattice="cubic") == self.SAW3D[steps] // 6
+
+    def test_parallel_matches_serial_3d(self):
+        job = pfold_job("HPHPHH", lattice="cubic")
+        assert execute_serially(job).result == pfold_serial(
+            "HPHPHH", lattice="cubic"
+        ).result
+
+    def test_3d_admits_lower_energies(self):
+        """More neighbours per site: the cubic lattice can realise at
+        least as many contacts as the square one for the same chain."""
+        seq = "HHPHH"
+        e2 = min(pfold_serial(seq).result.counts)
+        e3 = min(pfold_serial(seq, lattice="cubic").result.counts)
+        assert e3 <= e2
+
+    def test_3d_energy_uses_6_neighbours(self):
+        # A 3D U-turn: positions 0 and 3 adjacent in z.
+        path = ((0, 0, 0), (1, 0, 0), (1, 0, 1), (0, 0, 1))
+        assert fold_energy("HHHH", path, lattice="cubic") == -1
+
+    def test_unknown_lattice_rejected(self):
+        with pytest.raises(ValueError, match="unknown lattice"):
+            pfold_serial("HPHP", lattice="hexagonal")

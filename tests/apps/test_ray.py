@@ -1,0 +1,176 @@
+"""Tests for the ray tracer: vectors, geometry, shading, parallel app."""
+
+import math
+
+import pytest
+
+from repro.apps.ray import vec
+from repro.apps.ray.app import ray_job, ray_serial
+from repro.apps.ray.geometry import EPSILON, Hit, Material, Plane, Sphere
+from repro.apps.ray.scene import Camera, Light, Scene, default_scene
+from repro.apps.ray.tracer import OpCounter, render, render_rows, trace_ray
+from repro.baselines.serial import execute_serially
+
+
+class TestVec:
+    def test_add_sub_scale(self):
+        assert vec.add((1, 2, 3), (4, 5, 6)) == (5, 7, 9)
+        assert vec.sub((4, 5, 6), (1, 2, 3)) == (3, 3, 3)
+        assert vec.scale((1, 2, 3), 2) == (2, 4, 6)
+
+    def test_dot_cross(self):
+        assert vec.dot((1, 0, 0), (0, 1, 0)) == 0
+        assert vec.cross((1, 0, 0), (0, 1, 0)) == (0, 0, 1)
+
+    def test_unit_norm(self):
+        u = vec.unit((3, 0, 4))
+        assert vec.norm(u) == pytest.approx(1.0)
+        assert u == pytest.approx((0.6, 0.0, 0.8))
+
+    def test_unit_zero_raises(self):
+        with pytest.raises(ValueError):
+            vec.unit((0, 0, 0))
+
+    def test_reflect(self):
+        # Incoming at 45 degrees onto the XZ plane reflects the y term.
+        d = vec.unit((1, -1, 0))
+        r = vec.reflect(d, (0, 1, 0))
+        assert r == pytest.approx(vec.unit((1, 1, 0)))
+
+    def test_clamp01(self):
+        assert vec.clamp01((-0.5, 0.5, 1.5)) == (0.0, 0.5, 1.0)
+
+
+class TestGeometry:
+    def test_sphere_hit_from_outside(self):
+        s = Sphere((0, 0, -5), 1.0, Material())
+        hit = s.intersect((0, 0, 0), (0, 0, -1))
+        assert hit is not None
+        assert hit.t == pytest.approx(4.0)
+        assert hit.point == pytest.approx((0, 0, -4))
+        assert hit.normal == pytest.approx((0, 0, 1))
+
+    def test_sphere_miss(self):
+        s = Sphere((0, 0, -5), 1.0, Material())
+        assert s.intersect((0, 0, 0), (0, 1, 0)) is None
+
+    def test_sphere_from_inside_hits_far_side(self):
+        s = Sphere((0, 0, 0), 2.0, Material())
+        hit = s.intersect((0, 0, 0), (0, 0, -1))
+        assert hit is not None
+        assert hit.t == pytest.approx(2.0)
+
+    def test_sphere_behind_ray_ignored(self):
+        s = Sphere((0, 0, 5), 1.0, Material())
+        assert s.intersect((0, 0, 0), (0, 0, -1)) is None
+
+    def test_sphere_invalid_radius(self):
+        with pytest.raises(ValueError):
+            Sphere((0, 0, 0), 0.0, Material())
+
+    def test_plane_hit(self):
+        p = Plane((0, 0, 0), (0, 1, 0), Material())
+        hit = p.intersect((0, 5, 0), (0, -1, 0))
+        assert hit is not None
+        assert hit.t == pytest.approx(5.0)
+        assert hit.normal == pytest.approx((0, 1, 0))
+
+    def test_plane_parallel_ray_misses(self):
+        p = Plane((0, 0, 0), (0, 1, 0), Material())
+        assert p.intersect((0, 5, 0), (1, 0, 0)) is None
+
+    def test_plane_checker_alternates_colour(self):
+        p = Plane((0, 0, 0), (0, 1, 0), Material(colour=(1, 1, 1)), checker=True)
+        h1 = p.intersect((0.5, 1, 0.5), (0, -1, 0))
+        h2 = p.intersect((1.5, 1, 0.5), (0, -1, 0))
+        assert h1.material.colour != h2.material.colour
+
+
+class TestTracer:
+    def test_background_when_nothing_hit(self):
+        scene = Scene(objects=[], lights=[])
+        colour = trace_ray(scene, (0, 0, 0), (0, 0, -1))
+        assert colour == scene.background
+
+    def test_shadowed_point_gets_no_diffuse(self):
+        mat = Material(colour=(1, 0, 0), diffuse=1.0, specular=0.0)
+        # A big blocker between the light and the floor point.
+        scene = Scene(
+            objects=[
+                Plane((0, 0, 0), (0, 1, 0), mat),
+                Sphere((0, 5, 0), 2.0, Material()),
+            ],
+            lights=[Light((0, 10, 0))],
+        )
+        shadowed = trace_ray(scene, (0, 3, 0.0), (0.0, -1.0, 0.0))
+        lit = trace_ray(scene, (8, 3, 0.0), (0.0, -1.0, 0.0))
+        assert sum(lit) > sum(shadowed)
+
+    def test_op_counter_counts(self):
+        scene = default_scene()
+        ops = OpCounter()
+        trace_ray(scene, *scene.camera.primary_ray(10, 10, 32, 24), ops=ops)
+        assert ops.intersection_tests >= len(scene.objects)
+        assert ops.cycles > 0
+
+    def test_render_rows_bounds_checked(self):
+        with pytest.raises(ValueError):
+            render_rows(default_scene(), 8, 8, 5, 3)
+        with pytest.raises(ValueError):
+            render_rows(default_scene(), 8, 8, 0, 9)
+
+    def test_render_deterministic(self):
+        a = render(default_scene(), 16, 12)
+        b = render(default_scene(), 16, 12)
+        assert a == b
+
+    def test_render_rows_partition_equals_full(self):
+        scene = default_scene()
+        full = render(scene, 16, 12)
+        top = render_rows(scene, 16, 12, 0, 6)
+        bottom = render_rows(scene, 16, 12, 6, 12)
+        merged = {**top, **bottom}
+        assert merged == full
+
+    def test_pixels_in_unit_range(self):
+        img = render(default_scene(), 16, 12)
+        for row in img.values():
+            for r, g, b in row:
+                assert 0.0 <= r <= 1.0 and 0.0 <= g <= 1.0 and 0.0 <= b <= 1.0
+
+
+class TestCamera:
+    def test_primary_rays_unit_length(self):
+        cam = Camera()
+        for px, py in [(0, 0), (31, 23), (16, 12)]:
+            _origin, direction = cam.primary_ray(px, py, 32, 24)
+            assert vec.norm(direction) == pytest.approx(1.0)
+
+    def test_rays_diverge_across_image(self):
+        cam = Camera()
+        _o1, d1 = cam.primary_ray(0, 12, 32, 24)
+        _o2, d2 = cam.primary_ray(31, 12, 32, 24)
+        assert d1 != d2
+
+
+class TestParallelApp:
+    def test_parallel_render_equals_serial(self):
+        job = ray_job(width=16, height=12, rows_per_task=2)
+        serial = ray_serial(width=16, height=12, rows_per_task=2)
+        result = execute_serially(job)
+        assert result.result == serial.result
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ray_job(width=0, height=10)
+        with pytest.raises(ValueError):
+            ray_job(width=10, height=10, rows_per_task=0)
+
+    def test_coarse_grain_size(self):
+        """ray's tasks are whole scanline blocks: work per task dwarfs
+        the scheduling overhead (Table 1: slowdown ~1.0)."""
+        from repro.cluster.platform import SPARCSTATION_10
+
+        run = ray_serial(width=32, height=24)
+        work_per_call = run.work_cycles / run.calls
+        assert work_per_call > 100 * SPARCSTATION_10.task_overhead_cycles()

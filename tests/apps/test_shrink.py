@@ -1,0 +1,28 @@
+"""Tests for the synthetic shrinking-parallelism workload."""
+
+import pytest
+
+from repro.apps.shrink import build_program, shrink_expected, shrink_job
+from repro.baselines.serial import execute_serially
+
+
+def test_result_oracle():
+    assert execute_serially(shrink_job(8, 20)).result == shrink_expected(8, 20)
+
+
+def test_task_count_structure():
+    width, chain = 8, 20
+    run = execute_serially(shrink_job(width, chain))
+    # root + width wide tasks + join + (chain + 1) chain tasks
+    assert run.tasks_executed == 1 + width + 1 + chain + 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        shrink_job(0, 10)
+    with pytest.raises(ValueError):
+        build_program(4, 0)
+
+
+def test_expected_formula():
+    assert shrink_expected(5, 9) == (10, 9)

@@ -1,0 +1,84 @@
+"""Tests for the serial reference executor."""
+
+import pytest
+
+from repro.apps.fib import fib_job, fib_serial
+from repro.baselines.serial import execute_serially
+from repro.cluster.platform import SPARCSTATION_1, SPARCSTATION_10
+from repro.errors import SchedulerError
+from repro.tasks.program import JobProgram, ThreadProgram
+
+
+def test_runs_fib():
+    execution = execute_serially(fib_job(10))
+    assert execution.result == fib_serial(10)
+    assert execution.tasks_executed > 0
+    assert execution.total_cycles > 0
+
+
+def test_seconds_scale_with_profile():
+    execution = execute_serially(fib_job(10))
+    assert execution.seconds(SPARCSTATION_10) < execution.seconds(SPARCSTATION_1)
+
+
+def test_lifo_schedule_keeps_peak_small():
+    execution = execute_serially(fib_job(12))
+    assert execution.max_tasks_in_use < 60
+
+
+def test_deadlocked_program_detected():
+    prog = ThreadProgram("deadlock")
+
+    @prog.thread
+    def join2(frame, k, a, b):
+        frame.send(k, a + b)
+
+    @prog.thread
+    def root(frame, k):
+        frame.successor(join2, k)  # nobody ever sends to its slots
+
+    with pytest.raises(SchedulerError, match="deadlock"):
+        execute_serially(JobProgram(prog, root))
+
+
+def test_missing_result_detected():
+    prog = ThreadProgram("silent")
+
+    @prog.thread
+    def root(frame, k):
+        pass  # never sends the result
+
+    with pytest.raises(SchedulerError, match="without delivering"):
+        execute_serially(JobProgram(prog, root))
+
+
+def test_double_result_detected():
+    prog = ThreadProgram("chatty")
+
+    @prog.thread
+    def root(frame, k):
+        frame.send(k, 1)
+        frame.send(k, 2)
+
+    with pytest.raises(SchedulerError, match="twice"):
+        execute_serially(JobProgram(prog, root))
+
+
+def test_send_to_unknown_closure_detected():
+    from repro.tasks.closure import Continuation
+
+    prog = ThreadProgram("wild")
+
+    @prog.thread
+    def root(frame, k):
+        frame.send(Continuation(("ghost", 99), 0), 1)
+
+    with pytest.raises(SchedulerError, match="unknown closure"):
+        execute_serially(JobProgram(prog, root))
+
+
+def test_sync_count():
+    execution = execute_serially(fib_job(8))
+    from repro.apps.fib import node_count
+
+    assert execution.synchronizations == node_count(8)

@@ -1,0 +1,49 @@
+"""Tests for the space- vs time-sharing comparison."""
+
+import pytest
+
+from repro.apps.pfold import pfold_job
+from repro.baselines.sharing import _gang_schedule, compare_sharing
+from repro.errors import ReproError
+
+
+def test_gang_schedule_single_job():
+    completion = _gang_schedule([10.0], quantum_s=1.0, switch_cost_s=0.1)
+    # One job: one initial switch, then 10 quanta back to back.
+    assert completion[0] == pytest.approx(10.0 + 0.1)
+
+
+def test_gang_schedule_two_equal_jobs():
+    completion = _gang_schedule([2.0, 2.0], quantum_s=1.0, switch_cost_s=0.0)
+    # Perfect interleave: both finish around 2x their solo time.
+    assert completion[0] == pytest.approx(3.0)
+    assert completion[1] == pytest.approx(4.0)
+
+
+def test_gang_schedule_switch_cost_hurts():
+    cheap = _gang_schedule([5.0, 5.0], 1.0, 0.0)
+    pricey = _gang_schedule([5.0, 5.0], 1.0, 0.5)
+    assert max(pricey) > max(cheap)
+
+
+def test_gang_schedule_validation():
+    with pytest.raises(ReproError):
+        _gang_schedule([1.0], quantum_s=0.0, switch_cost_s=0.0)
+
+
+def test_compare_sharing_space_wins_on_mean():
+    jobs = [pfold_job("HPHPPHHP", name=f"j{i}") for i in range(2)]
+    cmp = compare_sharing(jobs, n_workstations=4, quantum_s=0.05,
+                          switch_cost_s=0.01, seed=0)
+    assert cmp.mean_advantage > 1.0  # time-sharing's mean completion is worse
+
+
+def test_compare_sharing_requires_even_partition():
+    jobs = [pfold_job("HPHP", name=f"j{i}") for i in range(3)]
+    with pytest.raises(ReproError):
+        compare_sharing(jobs, n_workstations=4)
+
+
+def test_compare_sharing_empty_jobs():
+    with pytest.raises(ReproError):
+        compare_sharing([], n_workstations=4)

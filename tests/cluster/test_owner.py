@@ -1,0 +1,104 @@
+"""Tests for owner activity traces and idleness policies."""
+
+import random
+
+import pytest
+
+from repro.cluster.owner import (
+    AlwaysBusyTrace,
+    AlwaysIdleTrace,
+    LoadThresholdPolicy,
+    NobodyLoggedInPolicy,
+    Owner,
+    RenewalOwnerTrace,
+    ScriptedTrace,
+)
+from repro.cluster.platform import SPARCSTATION_1
+from repro.cluster.workstation import Workstation
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def ws(sim):
+    return Workstation(sim, "ws00", SPARCSTATION_1)
+
+
+class TestTraces:
+    def test_always_idle(self, sim, ws):
+        Owner(ws, AlwaysIdleTrace())
+        sim.run(until=100.0)
+        assert not ws.user_logged_in
+
+    def test_always_busy(self, sim, ws):
+        Owner(ws, AlwaysBusyTrace())
+        sim.run(until=100.0)
+        assert ws.user_logged_in
+
+    def test_scripted_transitions(self, sim, ws):
+        Owner(ws, ScriptedTrace([("busy", 10.0), ("idle", 10.0), ("busy", 10.0)]))
+        sim.run(until=5.0)
+        assert ws.user_logged_in
+        sim.run(until=15.0)
+        assert not ws.user_logged_in
+        sim.run(until=25.0)
+        assert ws.user_logged_in
+
+    def test_scripted_validation(self):
+        with pytest.raises(ReproError):
+            ScriptedTrace([("weird", 1.0)])
+        with pytest.raises(ReproError):
+            ScriptedTrace([("busy", -1.0)])
+
+    def test_scripted_sets_load(self, sim, ws):
+        Owner(ws, ScriptedTrace([("busy", 5.0), ("idle", 100.0)]))
+        sim.run(until=1.0)
+        assert ws.load == 1.0
+        sim.run(until=10.0)
+        assert ws.load == 0.0
+
+    def test_renewal_alternates(self):
+        trace = RenewalOwnerTrace(random.Random(1), busy_mean_s=10, idle_mean_s=10)
+        periods = []
+        it = trace.periods()
+        for _ in range(6):
+            periods.append(next(it))
+        states = [s for s, _ in periods]
+        assert states in (["busy", "idle"] * 3, ["idle", "busy"] * 3)
+        assert all(d > 0 for _, d in periods)
+
+    def test_renewal_reproducible(self):
+        a = RenewalOwnerTrace(random.Random(7), 10, 10)
+        b = RenewalOwnerTrace(random.Random(7), 10, 10)
+        ia, ib = a.periods(), b.periods()
+        assert [next(ia) for _ in range(4)] == [next(ib) for _ in range(4)]
+
+    def test_renewal_validation(self):
+        with pytest.raises(ReproError):
+            RenewalOwnerTrace(random.Random(0), busy_mean_s=0)
+
+
+class TestPolicies:
+    def test_nobody_logged_in(self, ws):
+        policy = NobodyLoggedInPolicy()
+        ws.user_logged_in = False
+        assert policy.is_idle(ws)
+        ws.user_logged_in = True
+        assert not policy.is_idle(ws)
+
+    def test_load_threshold(self, ws):
+        policy = LoadThresholdPolicy(threshold=0.5)
+        ws.load = 0.2
+        assert policy.is_idle(ws)
+        ws.load = 0.8
+        assert not policy.is_idle(ws)
+
+    def test_load_threshold_ignores_login(self, ws):
+        """A load-threshold owner tolerates logins while load stays low."""
+        policy = LoadThresholdPolicy(threshold=0.5)
+        ws.user_logged_in = True
+        ws.load = 0.1
+        assert policy.is_idle(ws)
+
+    def test_load_threshold_validation(self):
+        with pytest.raises(ReproError):
+            LoadThresholdPolicy(threshold=0.0)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.platform import SPARCSTATION_1
+from repro.net.network import Network, NetworkParams
+from repro.net.topology import UniformTopology
+from repro.sim.core import Simulator
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng_registry() -> RngRegistry:
+    return RngRegistry(1234)
+
+
+@pytest.fixture
+def network(sim, rng_registry) -> Network:
+    """A lossless uniform LAN with SparcStation-era parameters."""
+    return Network(sim, UniformTopology(SPARCSTATION_1.net), rng=rng_registry.stream("net"))
+
+
+@pytest.fixture
+def lossy_network(sim, rng_registry) -> Network:
+    """A LAN that drops 25% of datagrams (RPC must retransmit)."""
+    params = NetworkParams(loss_prob=0.25)
+    return Network(sim, UniformTopology(params), rng=rng_registry.stream("net"))
+
+
+def run_process(sim: Simulator, gen):
+    """Run one process to completion and return its value."""
+    proc = sim.process(gen)
+    return sim.run(proc)

@@ -1,0 +1,103 @@
+"""Shape tests for the experiment drivers (small scales).
+
+These assert the qualitative claims each exhibit makes; the benchmark
+harness in benchmarks/ runs the paper-scale versions.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_speedup_curve, format_figure4, format_figure5
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, format_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    # Small workloads: the slowdown is a per-task property, so small
+    # instances measure the same ratios.
+    return run_table1(fib_n=14, nqueens_n=6, ray_width=16, ray_height=12)
+
+
+class TestTable1:
+    def test_six_rows(self, table1_rows):
+        assert len(table1_rows) == 6
+
+    def test_fib_worst_ray_best(self, table1_rows):
+        by_app = {}
+        for row in table1_rows:
+            by_app.setdefault(row.app, []).append(row.measured)
+        assert min(by_app["fib"]) > max(by_app["nqueens"]) > max(by_app["ray"])
+
+    def test_phish_pays_more_than_strata(self, table1_rows):
+        for app in ("fib", "nqueens", "ray"):
+            cm5 = next(r for r in table1_rows if r.app == app and "cm5" in r.platform)
+            ss = next(r for r in table1_rows if r.app == app and "sparc" in r.platform)
+            assert ss.measured > cm5.measured
+
+    def test_within_25_percent_of_paper(self, table1_rows):
+        for row in table1_rows:
+            assert row.relative_error < 0.25, (row.app, row.platform, row.measured)
+
+    def test_formatting_mentions_paper_values(self, table1_rows):
+        out = format_table1(table1_rows)
+        assert "4.44" in out and "5.90" in out
+
+
+class TestSpeedupCurve:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_speedup_curve(
+            sequence="HPHPPHHPHP", work_scale=300.0, participants=(1, 2, 4, 8),
+            seed=0,
+        )
+
+    def test_speedup_nearly_linear(self, points):
+        for pt in points:
+            assert pt.speedup > 0.85 * pt.participants
+
+    def test_time_decreases_with_p(self, points):
+        times = [pt.average_time_s for pt in points]
+        assert times == sorted(times, reverse=True)
+
+    def test_figure4_format(self, points):
+        out = format_figure4(points)
+        assert "Figure 4" in out and "avg time" in out
+
+    def test_figure5_format(self, points):
+        out = format_figure5(points)
+        assert "Figure 5" in out and "efficiency" in out
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def columns(self):
+        return run_table2(sequence="HPHPPHHPHP", work_scale=300.0,
+                          participants=(4, 8), seed=0)
+
+    def test_locality_ratios_tiny(self, columns):
+        for col in columns:
+            ratios = col.locality_ratios()
+            assert ratios["steals_per_task"] < 0.02
+            assert ratios["nonlocal_synch_fraction"] < 0.02
+            assert ratios["working_set_fraction"] < 0.02
+
+    def test_tasks_executed_independent_of_p(self, columns):
+        assert columns[0].rows["Tasks executed"] == columns[1].rows["Tasks executed"]
+
+    def test_time_roughly_halves(self, columns):
+        t4 = columns[0].rows["Execution time"]
+        t8 = columns[1].rows["Execution time"]
+        assert 1.6 < t4 / t8 < 2.4
+
+    def test_format_includes_paper_columns(self, columns):
+        out = format_table2(columns)
+        assert "10,390,216" in out
+        assert "Locality ratios" in out
+
+
+def test_paper_reference_data_is_complete():
+    assert set(PAPER_TABLE1) == {"fib", "nqueens", "ray"}
+    for app in PAPER_TABLE1.values():
+        assert set(app) == {"cm5-node", "sparcstation-10"}
+    for col in PAPER_TABLE2.values():
+        assert len(col) == 7

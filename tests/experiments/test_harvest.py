@@ -1,0 +1,44 @@
+"""Tests for the idle-cycle harvesting experiment."""
+
+import pytest
+
+from repro.experiments.harvest import HarvestReport, format_harvest, run_harvest
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Small instance: 6 machines, 2 jobs, quick churn.
+    return run_harvest(n_machines=6, n_jobs=2, seed=7, busy_mean_s=20.0,
+                       idle_mean_s=40.0)
+
+
+def test_all_jobs_finish_exactly(report):
+    assert report.jobs_completed == report.n_jobs
+    assert report.all_results_exact
+
+
+def test_accounting_is_sane(report):
+    # Can't harvest more than the idle capacity (up to the 1 s sampling
+    # granularity and the submit host's always-idle contribution).
+    assert 0 < report.harvested_s
+    assert report.harvested_s <= report.idle_capacity_s + report.n_machines
+    assert 0 < report.harvest_fraction <= 1.1
+
+
+def test_machines_joined(report):
+    assert report.workers_started >= report.n_jobs
+
+
+def test_format(report):
+    out = format_harvest(report)
+    assert "Harvest fraction" in out
+    assert "machine-seconds" in out
+
+
+def test_zero_capacity_fraction():
+    r = HarvestReport(
+        n_machines=1, n_jobs=0, horizon_s=0.0, idle_capacity_s=0.0,
+        harvested_s=0.0, jobs_completed=0, all_results_exact=True,
+        workers_started=0, workers_reclaimed=0,
+    )
+    assert r.harvest_fraction == 0.0

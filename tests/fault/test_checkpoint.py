@@ -1,0 +1,64 @@
+"""Tests for checkpoint/restart (the paper's planned extension)."""
+
+import pytest
+
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.errors import ReproError
+from repro.fault.checkpoint import (
+    JobCheckpoint,
+    checkpoint_and_kill_run,
+    restore_job,
+)
+
+SEQ = "HPHPPHHPHPPH"
+SCALE = 60.0
+
+
+def job():
+    return pfold_job(SEQ, work_scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def cp_and_restored():
+    return checkpoint_and_kill_run(job(), 4, checkpoint_at_s=4.0, seed=3)
+
+
+def test_checkpoint_captures_live_state(cp_and_restored):
+    checkpoint, _ = cp_and_restored
+    assert len(checkpoint.workers) == 4
+    assert checkpoint.live_closures > 0
+    assert checkpoint.taken_at >= 4.0
+
+
+def test_restored_run_result_exact(cp_and_restored):
+    _, restored = cp_and_restored
+    assert restored.result == pfold_serial(SEQ, work_scale=SCALE).result
+
+
+def test_restored_run_does_not_rerun_root(cp_and_restored):
+    checkpoint, restored = cp_and_restored
+    # Completing 65k tasks from scratch would need ~65k executions; the
+    # restored run only needs what remained past the checkpoint.
+    from repro.baselines.serial import execute_serially
+
+    full = execute_serially(job()).tasks_executed
+    assert restored.stats.tasks_executed < full
+
+
+def test_restore_rejects_empty_checkpoint():
+    with pytest.raises(ReproError):
+        restore_job(JobCheckpoint(job_name="x", taken_at=0.0), job())
+
+
+def test_checkpoint_too_late_raises():
+    with pytest.raises(ReproError, match="finished before"):
+        checkpoint_and_kill_run(job(), 4, checkpoint_at_s=10_000.0, seed=3)
+
+
+def test_checkpoint_deterministic():
+    a, _ = checkpoint_and_kill_run(job(), 3, checkpoint_at_s=3.0, seed=9)
+    b, _ = checkpoint_and_kill_run(job(), 3, checkpoint_at_s=3.0, seed=9)
+    assert a.taken_at == b.taken_at
+    assert {n: ws.live_closures for n, ws in a.workers.items()} == {
+        n: ws.live_closures for n, ws in b.workers.items()
+    }

@@ -1,0 +1,75 @@
+"""Tests for crash injection and the redo protocol."""
+
+import pytest
+
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.errors import ReproError
+from repro.fault.crash import CrashPlan, run_job_with_crashes
+
+SEQ = "HPHPPHHPHPPH"  # ~65k tasks: still running when the crashes land
+SCALE = 60.0
+
+
+def job():
+    return pfold_job(SEQ, work_scale=SCALE)
+
+
+def expected():
+    return pfold_serial(SEQ, work_scale=SCALE).result
+
+
+def test_plan_validation():
+    with pytest.raises(ReproError):
+        CrashPlan([(-1.0, 1)])
+    with pytest.raises(ReproError):
+        CrashPlan([(1.0, 0)])  # clearinghouse host protected
+
+
+def test_out_of_range_index():
+    with pytest.raises(ReproError):
+        run_job_with_crashes(job(), 4, CrashPlan([(1.0, 9)]))
+
+
+def test_single_crash_result_exact():
+    result = run_job_with_crashes(job(), 4, CrashPlan([(3.0, 2)]), seed=1)
+    assert result.result == expected()
+    assert result.workers[2].exit_reason == "crashed"
+
+
+def test_crash_redo_happens():
+    result = run_job_with_crashes(job(), 4, CrashPlan([(3.0, 2)]), seed=1)
+    # The dead worker had stolen work; someone redid it (or, rarely, it
+    # had stolen nothing — then nothing needed redoing and the run just
+    # finishes; assert consistency rather than a fixed count).
+    redone = sum(w.tasks_redone for w in result.stats.workers)
+    stolen_by_dead = result.workers[2].stats.tasks_stolen
+    assert redone >= 0
+    if stolen_by_dead > 0:
+        assert redone > 0
+
+
+def test_two_crashes_result_exact():
+    plan = CrashPlan([(3.0, 1), (5.0, 2)])
+    result = run_job_with_crashes(job(), 5, plan, seed=2)
+    assert result.result == expected()
+    reasons = [w.exit_reason for w in result.workers]
+    assert reasons.count("crashed") == 2
+
+
+def test_crash_makespan_overhead():
+    clean = run_job_with_crashes(job(), 4, CrashPlan([]), seed=3)
+    crashed = run_job_with_crashes(job(), 4, CrashPlan([(3.0, 2)]), seed=3)
+    assert crashed.makespan >= clean.makespan
+
+
+def test_duplicate_sends_are_dropped_not_applied():
+    result = run_job_with_crashes(job(), 4, CrashPlan([(3.0, 2)]), seed=4)
+    # Whatever duplicates the redo produced, the histogram stayed exact.
+    assert result.result == expected()
+
+
+def test_timeout_when_unsurvivable():
+    # Sanity: the harness reports a timeout instead of hanging (here we
+    # just use a tiny budget on a healthy run).
+    with pytest.raises(ReproError, match="did not survive"):
+        run_job_with_crashes(job(), 4, CrashPlan([]), seed=0, timeout_s=0.01)

@@ -1,0 +1,80 @@
+"""End-to-end integration: all apps x participant counts, cross-checked
+against their independent serial implementations."""
+
+import pytest
+
+from repro.apps.fib import fib_job, fib_serial
+from repro.apps.nqueens import KNOWN_COUNTS, nqueens_job
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.apps.ray.app import ray_job, ray_serial
+from repro.cluster.platform import CM5_NODE, SPARCSTATION_10
+from repro.phish import run_job
+
+
+@pytest.mark.parametrize("p", [1, 2, 5])
+def test_fib_all_counts(p):
+    assert run_job(fib_job(13), n_workers=p, seed=p).result == fib_serial(13)
+
+
+@pytest.mark.parametrize("p", [1, 3])
+def test_nqueens_all_counts(p):
+    assert run_job(nqueens_job(7), n_workers=p, seed=p).result == KNOWN_COUNTS[7]
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_pfold_all_counts(p):
+    expected = pfold_serial("HPHPPHHPH").result
+    assert run_job(pfold_job("HPHPPHHPH"), n_workers=p, seed=p).result == expected
+
+
+def test_ray_parallel_render_pixel_exact():
+    serial = ray_serial(width=20, height=16)
+    result = run_job(ray_job(width=20, height=16), n_workers=3, seed=1)
+    assert all(result.result[y] == serial.result[y] for y in range(16))
+
+
+def test_other_platforms_run_the_same_programs():
+    for profile in (CM5_NODE, SPARCSTATION_10):
+        r = run_job(fib_job(12), n_workers=2, profile=profile, seed=0)
+        assert r.result == fib_serial(12)
+
+
+def test_faster_platform_shorter_simulated_time():
+    slow = run_job(fib_job(14), n_workers=1, seed=0)  # SS-1 default
+    fast = run_job(fib_job(14), n_workers=1, profile=SPARCSTATION_10, seed=0)
+    assert fast.stats.workers[0].busy_s < slow.stats.workers[0].busy_s
+
+
+def test_makespan_reported_consistently():
+    r = run_job(fib_job(14), n_workers=2, seed=0)
+    assert r.makespan == r.stats.makespan > 0
+    # Makespan covers every participant's span.
+    for w in r.stats.workers:
+        assert w.execution_time <= r.makespan + 1e-9
+
+
+def test_trace_records_scheduler_events():
+    r = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4,
+                seed=1, trace=True)
+    assert r.trace is not None
+    kinds = dict(r.trace.kinds())
+    assert kinds.get("worker.start", 0) == 4
+    assert kinds.get("steal.request", 0) > 0
+    assert kinds.get("ch.result", 0) == 1
+    # Every successful steal has a matching grant.
+    assert kinds.get("steal.success", 0) <= kinds.get("steal.grant", 0)
+
+
+def test_steal_replies_follow_requests_in_trace():
+    r = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4,
+                seed=1, trace=True)
+    requests = r.trace.events(kind="steal.request")
+    grants = r.trace.events(kind="steal.grant")
+    assert grants and requests
+    assert min(g.time for g in grants) >= min(q.time for q in requests)
+
+
+def test_network_counters_match_job_stats():
+    r = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4, seed=1)
+    assert r.stats.messages_sent == r.network.counters.sent
+    assert r.network.counters.dropped_loss == 0

@@ -1,0 +1,59 @@
+"""Heterogeneous clusters: mixed machine speeds (the paper's dodge,
+implemented)."""
+
+import pytest
+
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.cluster.platform import SPARCSTATION_1, SPARCSTATION_10
+from repro.errors import ReproError
+from repro.phish import run_job
+
+SEQ = "HPHPPHHPHPPH"
+SCALE = 60.0
+
+
+def mixed_profiles(n):
+    """Half SparcStation 1s, half SparcStation 10s (8x faster)."""
+    return [SPARCSTATION_10 if i % 2 else SPARCSTATION_1 for i in range(n)]
+
+
+def test_mixed_speeds_still_exact():
+    expected = pfold_serial(SEQ, work_scale=SCALE).result
+    result = run_job(pfold_job(SEQ, work_scale=SCALE), n_workers=4, seed=0,
+                     profiles=mixed_profiles(4))
+    assert result.result == expected
+
+
+def test_fast_machines_execute_more_tasks():
+    """Work stealing naturally load-balances by speed: the SS-10s end up
+    executing several times more tasks than the SS-1s."""
+    result = run_job(pfold_job(SEQ, work_scale=SCALE), n_workers=4, seed=0,
+                     profiles=mixed_profiles(4))
+    slow = [w.tasks_executed for i, w in enumerate(result.stats.workers) if i % 2 == 0]
+    fast = [w.tasks_executed for i, w in enumerate(result.stats.workers) if i % 2 == 1]
+    assert min(fast) > 2 * max(slow)
+
+
+def test_mixed_cluster_beats_slow_homogeneous():
+    slow = run_job(pfold_job(SEQ, work_scale=SCALE), n_workers=4, seed=0)
+    mixed = run_job(pfold_job(SEQ, work_scale=SCALE), n_workers=4, seed=0,
+                    profiles=mixed_profiles(4))
+    assert mixed.makespan < slow.makespan
+
+
+def test_average_participants_and_effective_speedup():
+    t1 = run_job(pfold_job(SEQ, work_scale=SCALE), n_workers=1, seed=0)
+    r = run_job(pfold_job(SEQ, work_scale=SCALE), n_workers=4, seed=0)
+    t1_time = t1.stats.execution_times[0]
+    # Homogeneous simultaneous-start run: P-bar close to P and the
+    # effective speedup close to the paper's S_P.
+    assert 3.5 < r.stats.average_participants <= 4.01
+    assert r.stats.effective_speedup(t1_time) == pytest.approx(
+        t1_time / r.makespan
+    )
+    assert 0.8 < r.stats.effective_efficiency(t1_time) <= 1.05
+
+
+def test_profile_count_mismatch_rejected():
+    with pytest.raises(ReproError):
+        run_job(pfold_job("HPHP"), n_workers=3, profiles=mixed_profiles(2))

@@ -1,0 +1,87 @@
+"""Tests for JobQ assignment policies."""
+
+from repro.macro.job import JobRecord
+from repro.macro.policies import (
+    LeastWorkersAssignment,
+    PriorityAssignment,
+    RoundRobinAssignment,
+)
+from repro.tasks.program import JobProgram, ThreadProgram
+
+
+def make_job(job_id, priority=0):
+    prog = ThreadProgram(f"job{job_id}")
+
+    @prog.thread
+    def root(frame, k):
+        frame.send(k, None)
+
+    return JobRecord(
+        job_id=job_id,
+        program=JobProgram(prog, root),
+        ch_host=f"submit{job_id}",
+        priority=priority,
+    )
+
+
+def test_round_robin_cycles_through_pool():
+    policy = RoundRobinAssignment()
+    pool = [make_job(0), make_job(1), make_job(2)]
+    picks = [policy.choose(pool, "ws").job_id for ws in range(6) for _ in [0]]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_jobs_already_participated_in():
+    policy = RoundRobinAssignment()
+    pool = [make_job(0), make_job(1)]
+    pool[0].participants.add("wsX")
+    assert policy.choose(pool, "wsX").job_id == 1
+
+
+def test_no_eligible_returns_none():
+    policy = RoundRobinAssignment()
+    pool = [make_job(0)]
+    pool[0].participants.add("wsX")
+    assert policy.choose(pool, "wsX") is None
+    assert policy.choose([], "wsX") is None
+
+
+def test_done_jobs_ineligible():
+    policy = RoundRobinAssignment()
+    pool = [make_job(0), make_job(1)]
+    pool[0].done = True
+    assert policy.choose(pool, "ws").job_id == 1
+
+
+def test_least_workers_balances():
+    policy = LeastWorkersAssignment()
+    a, b = make_job(0), make_job(1)
+    a.participants.update({"w1", "w2", "w3"})
+    b.participants.update({"w4"})
+    assert policy.choose([a, b], "w9").job_id == 1
+
+
+def test_least_workers_tie_breaks_by_submission():
+    policy = LeastWorkersAssignment()
+    assert policy.choose([make_job(0), make_job(1)], "w").job_id == 0
+
+
+def test_priority_highest_wins():
+    policy = PriorityAssignment()
+    pool = [make_job(0, priority=1), make_job(1, priority=5), make_job(2, priority=5)]
+    picks = [policy.choose(pool, "w").job_id for _ in range(4)]
+    assert set(picks) == {1, 2}  # round-robin within the top level
+
+
+def test_job_record_ports_distinct_per_job():
+    a, b = make_job(0), make_job(1)
+    assert set(a.ports()).isdisjoint(set(b.ports()))
+
+
+def test_descriptor_contents():
+    rec = make_job(3)
+    d = rec.descriptor()
+    assert d["job_id"] == 3
+    assert d["ch_host"] == "submit3"
+    assert d["program"] is rec.program
+    assert d["worker_port"] == rec.ports()[0]

@@ -1,0 +1,98 @@
+"""Tests for the ready-task list, including the paper's Figure 1 spec."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.micro.deque import ReadyDeque
+from repro.tasks.closure import Closure
+
+
+def closure(name):
+    return Closure(("w", hash(name) % 10_000), name, [])
+
+
+class TestFigure1:
+    """The behavioural spec of the paper's Figure 1."""
+
+    def setup_method(self):
+        # Figure 1(a): the list holds A, B, C, D with D at the head.
+        self.dq = ReadyDeque()
+        for name in ("A", "B", "C", "D"):
+            self.dq.push(closure(name))
+
+    def names(self):
+        return [c.thread_name for c in self.dq.peek_all()]
+
+    def test_initial_state(self):
+        assert self.names() == ["D", "C", "B", "A"]
+
+    def test_execute_pops_head(self):
+        # The process "works on tasks at the head of the list".
+        assert self.dq.pop_exec().thread_name == "D"
+
+    def test_spawn_inserts_at_head(self):
+        # Figure 1(b): executing D spawned E, F, G, inserted at the head.
+        self.dq.pop_exec()
+        for name in ("E", "F", "G"):
+            self.dq.push(closure(name))
+        assert self.names() == ["G", "F", "E", "C", "B", "A"]
+
+    def test_steal_takes_tail(self):
+        # Figure 1(c): a thief steals A, which was at the tail.
+        assert self.dq.pop_steal().thread_name == "A"
+        assert self.names() == ["D", "C", "B"]
+
+    def test_lifo_execution_fifo_steal_disjoint_ends(self):
+        assert self.dq.pop_exec().thread_name == "D"
+        assert self.dq.pop_steal().thread_name == "A"
+        assert self.dq.pop_exec().thread_name == "C"
+        assert self.dq.pop_steal().thread_name == "B"
+
+
+class TestOrders:
+    def test_fifo_exec_ablation(self):
+        dq = ReadyDeque(exec_order="fifo")
+        for n in ("A", "B"):
+            dq.push(closure(n))
+        assert dq.pop_exec().thread_name == "A"
+
+    def test_lifo_steal_ablation(self):
+        dq = ReadyDeque(steal_order="lifo")
+        for n in ("A", "B"):
+            dq.push(closure(n))
+        assert dq.pop_steal().thread_name == "B"
+
+    def test_invalid_orders(self):
+        with pytest.raises(SchedulerError):
+            ReadyDeque(exec_order="random")
+        with pytest.raises(SchedulerError):
+            ReadyDeque(steal_order="middle")
+
+
+class TestEdges:
+    def test_empty_pops_return_none(self):
+        dq = ReadyDeque()
+        assert dq.pop_exec() is None
+        assert dq.pop_steal() is None
+
+    def test_len_and_bool(self):
+        dq = ReadyDeque()
+        assert not dq
+        dq.push(closure("A"))
+        assert dq and len(dq) == 1
+
+    def test_drain_returns_head_first_and_empties(self):
+        dq = ReadyDeque()
+        for n in ("A", "B", "C"):
+            dq.push(closure(n))
+        drained = [c.thread_name for c in dq.drain()]
+        assert drained == ["C", "B", "A"]
+        assert len(dq) == 0
+
+    def test_extend_tail_preserves_order_behind_local(self):
+        dq = ReadyDeque()
+        dq.push(closure("LOCAL"))
+        dq.extend_tail([closure("M1"), closure("M2")])
+        assert [c.thread_name for c in dq.peek_all()] == ["LOCAL", "M1", "M2"]
+        # Migrated tasks are stolen before local work is.
+        assert dq.pop_steal().thread_name == "M2"

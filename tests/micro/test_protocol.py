@@ -1,0 +1,55 @@
+"""Tests for protocol constants, port plans, and the wire-size model."""
+
+import pytest
+
+from repro.micro import protocol as P
+from repro.tasks.closure import Closure, Continuation
+
+
+def closure(i=0):
+    return Closure(("w", i), "t", [])
+
+
+def test_ports_for_job_disjoint_blocks():
+    seen = set()
+    for job_id in range(20):
+        ports = P.ports_for_job(job_id)
+        assert len(set(ports)) == 3
+        assert not (set(ports) & seen)
+        seen.update(ports)
+
+
+def test_ports_for_job_above_well_known():
+    for port in P.ports_for_job(0):
+        assert port > max(P.WORKER_PORT, P.CLEARINGHOUSE_DATA_PORT, P.JOBQ_PORT)
+
+
+def test_ports_for_job_negative_rejected():
+    with pytest.raises(ValueError):
+        P.ports_for_job(-1)
+
+
+class TestEstimateSize:
+    def test_control_messages_small(self):
+        assert P.estimate_size((P.JOB_DONE, None)) < 100
+        assert P.estimate_size((P.STEAL_REQ, "w1", 7)) < 100
+
+    def test_steal_reply_with_closure_bigger_than_refusal(self):
+        grant = P.estimate_size((P.STEAL_REPLY, closure(), "v", 1))
+        refusal = P.estimate_size((P.STEAL_REPLY, None, "v", 1))
+        assert grant > refusal
+
+    def test_migrate_scales_with_batch(self):
+        small = P.estimate_size((P.MIGRATE, [closure(1)], [], "w"))
+        big = P.estimate_size(
+            (P.MIGRATE, [closure(i) for i in range(10)], [closure(99)], "w")
+        )
+        assert big > small
+        assert big - small == 10 * P.CLOSURE_BYTES
+
+    def test_arg_carries_value(self):
+        arg = P.estimate_size((P.ARG, Continuation(("w", 1), 0), 42, "s"))
+        assert arg == P.HEADER_BYTES + P.CONTROL_BYTES + P.VALUE_BYTES
+
+    def test_non_tuple_payload_gets_control_size(self):
+        assert P.estimate_size("junk") == P.HEADER_BYTES + P.CONTROL_BYTES

@@ -1,0 +1,81 @@
+"""Tests for worker/job statistics aggregation."""
+
+import pytest
+
+from repro.micro.stats import JobStats, WorkerStats
+
+
+def worker(name, **kw):
+    w = WorkerStats(name)
+    for key, value in kw.items():
+        setattr(w, key, value)
+    return w
+
+
+def test_execution_time_span():
+    w = worker("w", start_time=10.0, end_time=25.0)
+    assert w.execution_time == 15.0
+
+
+def test_execution_time_never_negative():
+    assert worker("w", start_time=5.0, end_time=0.0).execution_time == 0.0
+
+
+def test_local_synchs():
+    w = worker("w", synchronizations=100, non_local_synchs=7)
+    assert w.local_synchs == 93
+
+
+def test_job_aggregates():
+    js = JobStats(
+        workers=[
+            worker("a", tasks_executed=10, tasks_stolen=1, synchronizations=9,
+                   non_local_synchs=1, max_tasks_in_use=5),
+            worker("b", tasks_executed=20, tasks_stolen=2, synchronizations=19,
+                   non_local_synchs=2, max_tasks_in_use=8),
+        ],
+        messages_sent=42,
+    )
+    assert js.participants == 2
+    assert js.tasks_executed == 30
+    assert js.tasks_stolen == 3
+    assert js.synchronizations == 28
+    assert js.non_local_synchs == 3
+    assert js.max_tasks_in_use == 8  # max across, not sum
+
+
+def test_average_execution_time():
+    js = JobStats(workers=[
+        worker("a", start_time=0.0, end_time=10.0),
+        worker("b", start_time=0.0, end_time=20.0),
+    ])
+    assert js.average_execution_time == 15.0
+
+
+def test_speedup_vs():
+    js = JobStats(workers=[
+        worker("a", start_time=0.0, end_time=25.0),
+        worker("b", start_time=0.0, end_time=25.0),
+    ])
+    assert js.speedup_vs(100.0) == pytest.approx(4.0)
+
+
+def test_table2_rows_keys():
+    js = JobStats(workers=[worker("a")])
+    rows = js.table2_rows()
+    assert list(rows) == [
+        "Tasks executed",
+        "Max tasks in use",
+        "Tasks stolen",
+        "Synchronizations",
+        "Non-local synchs",
+        "Messages sent",
+        "Execution time",
+    ]
+
+
+def test_empty_job_stats():
+    js = JobStats()
+    assert js.max_tasks_in_use == 0
+    assert js.average_execution_time == 0.0
+    assert js.tasks_executed == 0

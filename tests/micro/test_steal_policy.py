@@ -1,0 +1,55 @@
+"""Tests for victim-selection policies."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.micro.steal import RandomVictim, RoundRobinVictim, make_victim_policy
+
+
+def test_random_uniformish():
+    policy = RandomVictim(random.Random(0))
+    victims = ["a", "b", "c", "d"]
+    counts = Counter(policy.choose(victims) for _ in range(4000))
+    assert set(counts) == set(victims)
+    for v in victims:
+        assert 800 < counts[v] < 1200  # within 20% of uniform
+
+
+def test_random_empty_raises():
+    with pytest.raises(SchedulerError):
+        RandomVictim(random.Random(0)).choose([])
+
+
+def test_random_reproducible():
+    a = RandomVictim(random.Random(5))
+    b = RandomVictim(random.Random(5))
+    vs = ["x", "y", "z"]
+    assert [a.choose(vs) for _ in range(10)] == [b.choose(vs) for _ in range(10)]
+
+
+def test_round_robin_cycles():
+    policy = RoundRobinVictim()
+    vs = ["a", "b", "c"]
+    assert [policy.choose(vs) for _ in range(6)] == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_round_robin_survives_shrinking_list():
+    policy = RoundRobinVictim()
+    policy.choose(["a", "b", "c"])
+    policy.choose(["a", "b", "c"])
+    assert policy.choose(["a"]) == "a"  # cursor modulo new length
+
+
+def test_round_robin_empty_raises():
+    with pytest.raises(SchedulerError):
+        RoundRobinVictim().choose([])
+
+
+def test_factory():
+    assert make_victim_policy("random", random.Random(0)).name == "random"
+    assert make_victim_policy("round-robin", random.Random(0)).name == "round-robin"
+    with pytest.raises(SchedulerError):
+        make_victim_policy("psychic", random.Random(0))

@@ -1,0 +1,166 @@
+"""Integration tests for the Worker: the micro-level scheduler in motion."""
+
+import pytest
+
+from repro.apps.fib import fib_job, fib_serial, task_count
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.apps.shrink import shrink_expected, shrink_job
+from repro.micro.worker import WorkerConfig
+from repro.phish import run_job
+
+
+class TestSingleWorker:
+    def test_runs_job_to_completion(self):
+        r = run_job(fib_job(12), n_workers=1, seed=0)
+        assert r.result == fib_serial(12)
+
+    def test_task_count_matches_model(self):
+        r = run_job(fib_job(12), n_workers=1, seed=0)
+        assert r.stats.tasks_executed == task_count(12)
+
+    def test_no_steals_no_nonlocal_synchs_alone(self):
+        r = run_job(fib_job(12), n_workers=1, seed=0)
+        assert r.stats.tasks_stolen == 0
+        assert r.stats.non_local_synchs == 0
+
+    def test_synchronizations_counted(self):
+        from repro.apps.fib import node_count
+
+        r = run_job(fib_job(12), n_workers=1, seed=0)
+        # fib's leaves and fib_sum joins send exactly one argument each;
+        # internal fib nodes send none — one send per call node in total.
+        assert r.stats.synchronizations == node_count(12)
+
+    def test_exit_reason_done(self):
+        r = run_job(fib_job(8), n_workers=1, seed=0)
+        assert r.workers[0].exit_reason == "done"
+
+    def test_busy_time_tracks_wall_time(self):
+        r = run_job(fib_job(12), n_workers=1, seed=0)
+        w = r.stats.workers[0]
+        # Busy time also counts the registration messaging that precedes
+        # start_time, so allow a small boundary slack.
+        assert 0 < w.busy_s <= w.execution_time + 1e-3
+
+
+class TestStealing:
+    def test_work_spreads_to_all_participants(self):
+        r = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4, seed=1)
+        executed = [w.tasks_executed for w in r.stats.workers]
+        assert all(n > 0 for n in executed)
+
+    def test_steals_match_thief_and_victim_counters(self):
+        r = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4, seed=1)
+        stolen = sum(w.tasks_stolen for w in r.stats.workers)
+        given = sum(w.tasks_stolen_from for w in r.stats.workers)
+        # Every successful steal has one thief and one victim; a grant in
+        # flight at termination may be dropped by the thief (done), so
+        # thief-counted steals never exceed victim-counted grants.
+        assert stolen <= given <= stolen + r.stats.participants
+
+    def test_result_exact_despite_stealing(self):
+        expected = pfold_serial("HPHPPHHPHP", work_scale=30.0).result
+        r = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=6, seed=2)
+        assert r.result == expected
+        assert r.stats.tasks_stolen > 0  # stealing actually happened
+
+    def test_deterministic_given_seed(self):
+        a = run_job(pfold_job("HPHPPHHP"), n_workers=4, seed=9)
+        b = run_job(pfold_job("HPHPPHHP"), n_workers=4, seed=9)
+        assert a.stats.tasks_stolen == b.stats.tasks_stolen
+        assert a.stats.messages_sent == b.stats.messages_sent
+        assert a.makespan == b.makespan
+
+    def test_different_seeds_differ_somewhere(self):
+        a = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4, seed=1)
+        b = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4, seed=2)
+        assert (
+            a.stats.tasks_stolen != b.stats.tasks_stolen
+            or a.stats.messages_sent != b.stats.messages_sent
+        )
+
+    def test_max_tasks_in_use_small_and_p_independent(self):
+        seq = "HPHPPHHPHP"
+        r4 = run_job(pfold_job(seq), n_workers=4, seed=3)
+        r8 = run_job(pfold_job(seq), n_workers=8, seed=3)
+        assert r4.stats.max_tasks_in_use < 100
+        # The paper's key claim: the working set does not grow with P.
+        assert r8.stats.max_tasks_in_use <= r4.stats.max_tasks_in_use * 1.5
+
+
+class TestOrderAblationBehaviour:
+    def test_fifo_exec_explodes_working_set(self):
+        seq = "HPHPPHHPHP"
+        lifo = run_job(pfold_job(seq), n_workers=2, seed=0,
+                       worker_config=WorkerConfig(exec_order="lifo"))
+        fifo = run_job(pfold_job(seq), n_workers=2, seed=0,
+                       worker_config=WorkerConfig(exec_order="fifo"))
+        assert fifo.stats.max_tasks_in_use > 10 * lifo.stats.max_tasks_in_use
+
+    def test_lifo_steal_multiplies_steals(self):
+        seq = "HPHPPHHPHP"
+        scale = 30.0
+        fifo = run_job(pfold_job(seq, work_scale=scale), n_workers=4, seed=0,
+                       worker_config=WorkerConfig(steal_order="fifo"))
+        lifo = run_job(pfold_job(seq, work_scale=scale), n_workers=4, seed=0,
+                       worker_config=WorkerConfig(steal_order="lifo"))
+        assert lifo.stats.tasks_stolen > 5 * fifo.stats.tasks_stolen
+
+
+class TestRetirement:
+    def test_workers_retire_when_parallelism_shrinks(self):
+        width, chain = 24, 600
+        cfg = WorkerConfig(retire_after_failed_steals=5)
+        r = run_job(shrink_job(width, chain), n_workers=6, seed=0, worker_config=cfg)
+        assert r.result == shrink_expected(width, chain)
+        retired = [w for w in r.workers if w.exit_reason == "retired"]
+        assert len(retired) >= 1
+
+    def test_retired_worker_unregisters(self):
+        width, chain = 24, 600
+        cfg = WorkerConfig(retire_after_failed_steals=5)
+        r = run_job(shrink_job(width, chain), n_workers=6, seed=0, worker_config=cfg)
+        # All retired workers left the Clearinghouse registry before the end.
+        names = set(r.clearinghouse.workers)
+        for w in r.workers:
+            if w.exit_reason == "retired":
+                assert w.name not in names
+
+    def test_last_worker_never_retires(self):
+        cfg = WorkerConfig(retire_after_failed_steals=1)
+        r = run_job(fib_job(10), n_workers=1, seed=0, worker_config=cfg)
+        assert r.result == fib_serial(10)
+        assert r.workers[0].exit_reason == "done"
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["steal", "central", "push"])
+    def test_all_modes_correct(self, mode):
+        expected = pfold_serial("HPHPPHHP").result
+        cfg = WorkerConfig(mode=mode, load_broadcast_s=0.05)
+        r = run_job(pfold_job("HPHPPHHP"), n_workers=3, seed=4, worker_config=cfg)
+        assert r.result == expected
+
+    def test_central_mode_sends_many_more_messages(self):
+        seq = "HPHPPHHPHP"
+        steal = run_job(pfold_job(seq), n_workers=4, seed=0,
+                        worker_config=WorkerConfig(mode="steal"))
+        central = run_job(pfold_job(seq), n_workers=4, seed=0,
+                          worker_config=WorkerConfig(mode="central"))
+        assert central.stats.messages_sent > 5 * steal.stats.messages_sent
+
+    def test_push_mode_migrates_instead_of_stealing(self):
+        cfg = WorkerConfig(mode="push", load_broadcast_s=0.02, push_threshold=2)
+        r = run_job(pfold_job("HPHPPHHPHP", work_scale=30.0), n_workers=4,
+                    seed=0, worker_config=cfg)
+        assert r.stats.tasks_stolen == 0
+        assert sum(w.tasks_migrated_in for w in r.stats.workers) > 0
+
+
+class TestLateJoiner:
+    def test_worker_registering_after_completion_exits_cleanly(self):
+        # A job so short that jittered workers miss it entirely.
+        r = run_job(fib_job(5), n_workers=4, seed=0, start_jitter_s=2.0)
+        assert r.result == fib_serial(5)
+        for w in r.workers:
+            assert w.exit_reason == "done"

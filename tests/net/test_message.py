@@ -1,0 +1,32 @@
+"""Tests for the Message record."""
+
+from repro.net.message import DEFAULT_SIZE_BYTES, Message
+
+
+def test_defaults():
+    m = Message("a", 1, "b", 2, payload="x")
+    assert m.size_bytes == DEFAULT_SIZE_BYTES
+    assert m.msg_id == -1
+
+
+def test_reply_addr():
+    m = Message("alpha", 7777, "beta", 80, payload=None)
+    assert m.reply_addr() == ("alpha", 7777)
+
+
+def test_equality_ignores_bookkeeping_fields():
+    a = Message("a", 1, "b", 2, payload="x", msg_id=1, sent_at=0.5)
+    b = Message("a", 1, "b", 2, payload="x", msg_id=99, sent_at=7.0)
+    assert a == b
+
+
+def test_frozen():
+    import dataclasses
+
+    m = Message("a", 1, "b", 2, payload=None)
+    try:
+        m.src = "c"  # type: ignore[misc]
+        raised = False
+    except dataclasses.FrozenInstanceError:
+        raised = True
+    assert raised

@@ -1,0 +1,138 @@
+"""Tests for split-phase RPC: request/reply, retransmission, errors."""
+
+import pytest
+
+from repro.errors import RpcError
+from repro.net.rpc import RpcClient, RpcServer, rpc_call
+
+
+@pytest.fixture
+def server(network):
+    srv = RpcServer(network, "server", 9000, name="test")
+    srv.register("echo", lambda args, msg: args)
+    srv.register("add", lambda args, msg: args[0] + args[1])
+    srv.register("whoami", lambda args, msg: msg.src)
+    srv.register("boom", lambda args, msg: 1 / 0)
+    return srv
+
+
+def call(sim, network, method, args=None, **kw):
+    def proc(sim):
+        return (yield from rpc_call(network, "client", "server", 9000, method, args, **kw))
+
+    return sim.run(sim.process(proc(sim)))
+
+
+def test_echo(sim, network, server):
+    assert call(sim, network, "echo", {"a": 1}) == {"a": 1}
+
+
+def test_add(sim, network, server):
+    assert call(sim, network, "add", (2, 3)) == 5
+
+
+def test_handler_sees_caller(sim, network, server):
+    assert call(sim, network, "whoami") == "client"
+
+
+def test_unknown_method(sim, network, server):
+    with pytest.raises(RpcError, match="no such method"):
+        call(sim, network, "missing")
+
+
+def test_handler_exception_becomes_rpc_error(sim, network, server):
+    with pytest.raises(RpcError, match="ZeroDivisionError"):
+        call(sim, network, "boom")
+
+
+def test_no_server_times_out(sim, network):
+    with pytest.raises(RpcError, match="no reply"):
+        call(sim, network, "echo", timeout_s=0.1, retries=1)
+
+
+def test_retransmission_survives_loss(sim, lossy_network):
+    srv = RpcServer(lossy_network, "server", 9000)
+    calls = []
+
+    def handler(args, msg):
+        calls.append(args)
+        return args * 2
+
+    srv.register("double", handler)
+
+    def proc(sim):
+        results = []
+        for i in range(10):
+            r = yield from rpc_call(
+                lossy_network, "client", "server", 9000, "double", i, timeout_s=0.2
+            )
+            results.append(r)
+        return results
+
+    assert sim.run(sim.process(proc(sim))) == [i * 2 for i in range(10)]
+
+
+def test_at_most_once_execution_under_retransmission(sim, lossy_network):
+    """Handlers must not re-execute on duplicate (retransmitted) requests."""
+    srv = RpcServer(lossy_network, "server", 9000)
+    executions = {"n": 0}
+
+    def handler(args, msg):
+        executions["n"] += 1
+        return executions["n"]
+
+    srv.register("count", handler)
+
+    def proc(sim):
+        out = []
+        for _ in range(20):
+            out.append((yield from rpc_call(
+                lossy_network, "client", "server", 9000, "count", None, timeout_s=0.2
+            )))
+        return out
+
+    results = sim.run(sim.process(proc(sim)))
+    # Each logical call executed exactly once, in order.
+    assert results == list(range(1, 21))
+
+
+def test_duplicate_registration_raises(network):
+    srv = RpcServer(network, "server", 9000)
+    srv.register("m", lambda a, m: a)
+    with pytest.raises(RpcError):
+        srv.register("m", lambda a, m: a)
+
+
+def test_server_stop_releases_port(sim, network):
+    srv = RpcServer(network, "server", 9000)
+    srv.stop()
+    sim.run()
+    RpcServer(network, "server", 9000)  # rebind works
+
+
+def test_concurrent_clients(sim, network, server):
+    results = []
+
+    def proc(sim, name, x):
+        r = yield from rpc_call(network, name, "server", 9000, "add", (x, 1))
+        results.append((name, r))
+
+    for i in range(5):
+        sim.process(proc(sim, f"c{i}", i))
+    sim.run()
+    assert sorted(results) == [(f"c{i}", i + 1) for i in range(5)]
+
+
+def test_rpc_client_wrapper(sim, network, server):
+    client = RpcClient(network, "client", "server", 9000)
+
+    def proc(sim):
+        return (yield from client.call("add", (10, 20)))
+
+    assert sim.run(sim.process(proc(sim))) == 30
+
+
+def test_requests_served_counter(sim, network, server):
+    call(sim, network, "echo", 1)
+    call(sim, network, "echo", 2)
+    assert server.requests_served == 2

@@ -1,0 +1,44 @@
+"""Tests for network topologies."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import NetworkParams
+from repro.net.topology import SegmentedTopology, UniformTopology
+
+
+def test_uniform_same_params_everywhere():
+    p = NetworkParams()
+    topo = UniformTopology(p)
+    assert topo.params_for("a", "b") is p
+    assert topo.params_for("x", "y") is p
+    assert topo.segment_of("anything") == "lan0"
+
+
+def test_segmented_intra_vs_inter():
+    intra = NetworkParams(wire_latency_s=0.001)
+    inter = NetworkParams(wire_latency_s=0.1)
+    topo = SegmentedTopology({"a": "s1", "b": "s1", "c": "s2"}, intra, inter)
+    assert topo.params_for("a", "b") is intra
+    assert topo.params_for("a", "c") is inter
+    assert topo.params_for("c", "b") is inter
+
+
+def test_segmented_unknown_host_raises():
+    topo = SegmentedTopology({}, NetworkParams(), NetworkParams())
+    with pytest.raises(NetworkError):
+        topo.params_for("ghost", "ghost2")
+
+
+def test_segmented_add_host():
+    topo = SegmentedTopology({"a": "s1"}, NetworkParams(), NetworkParams())
+    topo.add_host("b", "s1")
+    assert topo.segment_of("b") == "s1"
+    assert topo.params_for("a", "b") is topo.intra
+
+
+def test_network_requires_topology(sim):
+    from repro.net.network import Network
+
+    with pytest.raises(NetworkError):
+        Network(sim, NetworkParams())  # params is not a topology

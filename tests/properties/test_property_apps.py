@@ -1,0 +1,83 @@
+"""Property tests on the applications themselves."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.pfold import fold_energy, pfold_serial
+from repro.apps.ray.tracer import render, render_rows
+from repro.apps.ray.scene import default_scene
+from repro.baselines.serial import execute_serially
+from repro.util.stats import Histogram
+
+hp_sequences = st.text(alphabet="HP", min_size=2, max_size=8)
+
+
+@given(seq=hp_sequences)
+@settings(max_examples=40, deadline=None)
+def test_pfold_total_depends_only_on_length(seq):
+    """The number of foldings is a geometry property (self-avoiding
+    walks), independent of the H/P labelling."""
+    run = pfold_serial(seq)
+    geometry_only = pfold_serial("P" * len(seq))
+    assert run.result.total() == geometry_only.result.total()
+
+
+@given(seq=hp_sequences)
+@settings(max_examples=30, deadline=None)
+def test_pfold_energies_bounded(seq):
+    """Each H monomer has at most 2 free lattice neighbours mid-chain,
+    so total contacts are bounded by the H count (loose bound: 2 per H)."""
+    run = pfold_serial(seq)
+    h_count = seq.count("H")
+    for energy in run.result.counts:
+        assert 0 >= energy >= -2 * h_count
+
+
+@given(seq=hp_sequences)
+@settings(max_examples=15, deadline=None)
+def test_pfold_parallel_model_matches_plain_recursion(seq):
+    assert execute_serially(
+        __import__("repro.apps.pfold", fromlist=["pfold_job"]).pfold_job(seq)
+    ).result == pfold_serial(seq).result
+
+
+@given(seq=hp_sequences)
+@settings(max_examples=30, deadline=None)
+def test_energy_of_reversed_sequence_on_reversed_path(seq):
+    """Energy is symmetric under simultaneously reversing chain & path."""
+    run = pfold_serial(seq)
+    rev = pfold_serial(seq[::-1])
+    assert run.result == rev.result  # bijection between folding sets
+
+
+def test_fold_energy_translation_invariant():
+    path = ((0, 0), (1, 0), (1, 1), (0, 1))
+    shifted = tuple((x + 7, y - 3) for x, y in path)
+    assert fold_energy("HHHH", path) == fold_energy("HHHH", shifted)
+
+
+@given(split=st.integers(min_value=1, max_value=11))
+@settings(max_examples=12, deadline=None)
+def test_ray_rows_compose(split):
+    """Rendering [0, k) and [k, H) separately equals the full render."""
+    scene = default_scene()
+    full = render(scene, 12, 12)
+    top = render_rows(scene, 12, 12, 0, split)
+    bottom = render_rows(scene, 12, 12, split, 12)
+    assert {**top, **bottom} == full
+
+
+@given(entries=st.lists(st.tuples(st.integers(-20, 0), st.integers(1, 50)),
+                        max_size=20))
+def test_histogram_merge_commutative_associative(entries):
+    h1, h2 = Histogram(), Histogram()
+    for i, (k, c) in enumerate(entries):
+        (h1 if i % 2 else h2).add(k, c)
+    a = Histogram()
+    a.merge(h1)
+    a.merge(h2)
+    b = Histogram()
+    b.merge(h2)
+    b.merge(h1)
+    assert a == b
+    assert a.total() == sum(c for _, c in entries)

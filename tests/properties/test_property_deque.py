@@ -1,0 +1,83 @@
+"""Property tests: ReadyDeque against a reference list model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.micro.deque import ReadyDeque
+from repro.tasks.closure import Closure
+
+#: Operation alphabet: push a fresh closure / pop for execution / steal.
+ops = st.lists(
+    st.sampled_from(["push", "exec", "steal"]), min_size=0, max_size=200
+)
+
+
+def fresh(i):
+    return Closure(("w", i), f"t{i}", [])
+
+
+@given(ops=ops)
+@settings(max_examples=200)
+def test_matches_list_model_paper_orders(ops):
+    """LIFO exec pops the most recent; FIFO steal pops the oldest."""
+    dq = ReadyDeque()
+    model = []  # append order == age order (oldest first)
+    counter = 0
+    for op in ops:
+        if op == "push":
+            c = fresh(counter)
+            counter += 1
+            dq.push(c)
+            model.append(c)
+        elif op == "exec":
+            got = dq.pop_exec()
+            want = model.pop() if model else None
+            assert got is want
+        else:
+            got = dq.pop_steal()
+            want = model.pop(0) if model else None
+            assert got is want
+    assert dq.peek_all() == list(reversed(model))
+
+
+@given(ops=ops)
+@settings(max_examples=100)
+def test_no_loss_no_duplication(ops):
+    """Every pushed closure is removed exactly once, whatever the mix."""
+    dq = ReadyDeque()
+    pushed, removed = [], []
+    counter = 0
+    for op in ops:
+        if op == "push":
+            c = fresh(counter)
+            counter += 1
+            dq.push(c)
+            pushed.append(c)
+        else:
+            got = dq.pop_exec() if op == "exec" else dq.pop_steal()
+            if got is not None:
+                removed.append(got)
+    removed.extend(dq.drain())
+    assert sorted(c.cid for c in removed) == sorted(c.cid for c in pushed)
+
+
+@given(
+    ops=ops,
+    exec_order=st.sampled_from(["lifo", "fifo"]),
+    steal_order=st.sampled_from(["lifo", "fifo"]),
+)
+@settings(max_examples=100)
+def test_all_order_combinations_conserve_items(ops, exec_order, steal_order):
+    dq = ReadyDeque(exec_order, steal_order)
+    n_pushed = n_removed = 0
+    counter = 0
+    for op in ops:
+        if op == "push":
+            dq.push(fresh(counter))
+            counter += 1
+            n_pushed += 1
+        else:
+            got = dq.pop_exec() if op == "exec" else dq.pop_steal()
+            if got is not None:
+                n_removed += 1
+    assert n_pushed == n_removed + len(dq)

@@ -1,0 +1,88 @@
+"""Property tests on the full macro system under random owner churn."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fib import fib_job, fib_serial
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.cluster.owner import AlwaysIdleTrace, RenewalOwnerTrace, ScriptedTrace
+from repro.macro import JobManagerConfig, PhishSystem, PhishSystemConfig
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_machines=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=10, deadline=None)
+def test_job_completes_exactly_under_random_churn(seed, n_machines):
+    """Whatever the churn pattern, a job whose submit host stays idle
+    finishes with the exact answer (migration + redo keep it sound)."""
+
+    def traces(rng, host):
+        if host == "ws00":
+            return AlwaysIdleTrace()
+        return RenewalOwnerTrace(rng, busy_mean_s=8.0, idle_mean_s=10.0)
+
+    system = PhishSystem(
+        PhishSystemConfig(
+            n_workstations=n_machines,
+            seed=seed,
+            owner_trace=traces,
+            jobmanager=JobManagerConfig(busy_poll_s=2.0, no_job_retry_s=2.0),
+        )
+    )
+    handle = system.submit(pfold_job("HPHPPHHPHP", work_scale=60.0),
+                           from_host="ws00")
+    system.run_until_done(timeout_s=36_000)
+    assert handle.result == pfold_serial("HPHPPHHPHP", work_scale=60.0).result
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    busy_first=st.booleans(),
+    flips=st.lists(st.floats(min_value=0.5, max_value=5.0), min_size=1,
+                   max_size=6),
+)
+@settings(max_examples=10, deadline=None)
+def test_scripted_churn_on_one_machine(seed, busy_first, flips):
+    """A single machine flipping busy/idle at arbitrary instants never
+    corrupts the result."""
+    states = []
+    state = "busy" if busy_first else "idle"
+    for duration in flips:
+        states.append((state, duration))
+        state = "idle" if state == "busy" else "busy"
+    states.append(("idle", 1e9))
+
+    def traces(rng, host):
+        return ScriptedTrace(states) if host == "ws01" else AlwaysIdleTrace()
+
+    system = PhishSystem(
+        PhishSystemConfig(n_workstations=3, seed=seed, owner_trace=traces,
+                          jobmanager=JobManagerConfig(busy_poll_s=1.0))
+    )
+    handle = system.submit(fib_job(16), from_host="ws00")
+    system.run_until_done(timeout_s=36_000)
+    assert handle.result == fib_serial(16)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_two_concurrent_jobs_under_churn(seed):
+    def traces(rng, host):
+        if host in ("ws00", "ws01"):
+            return AlwaysIdleTrace()
+        return RenewalOwnerTrace(rng, busy_mean_s=6.0, idle_mean_s=8.0)
+
+    system = PhishSystem(
+        PhishSystemConfig(n_workstations=5, seed=seed, owner_trace=traces,
+                          jobmanager=JobManagerConfig(busy_poll_s=2.0,
+                                                      no_job_retry_s=2.0))
+    )
+    h1 = system.submit(pfold_job("HPHPPHHP", work_scale=60.0), from_host="ws00")
+    h2 = system.submit(fib_job(15), from_host="ws01")
+    system.run_until_done(timeout_s=36_000)
+    assert h1.result == pfold_serial("HPHPPHHP", work_scale=60.0).result
+    assert h2.result == fib_serial(15)

@@ -1,0 +1,50 @@
+"""Property tests for the real-thread work-stealing pool."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rt import WorkStealingPool
+
+
+@given(
+    items=st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                   min_size=0, max_size=200),
+    n_workers=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=15, deadline=None)
+def test_map_equals_builtin(items, n_workers):
+    with WorkStealingPool(n_workers, seed=0) as pool:
+        assert pool.map(lambda x: x * x - 3, items) == [x * x - 3 for x in items]
+
+
+@given(depth=st.integers(min_value=0, max_value=60),
+       n_workers=st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_join_chains_never_deadlock(depth, n_workers):
+    def chain(pool, d):
+        if d == 0:
+            return 0
+        return pool.join(pool.spawn(chain, pool, d - 1)) + 1
+
+    with WorkStealingPool(n_workers, seed=1) as pool:
+        assert pool.run(chain, pool, depth) == depth
+
+
+@given(n=st.integers(min_value=0, max_value=18))
+@settings(max_examples=10, deadline=None)
+def test_fork_join_fib_matches_iterative(n):
+    def fib_iter(n):
+        a, b = 0, 1
+        for _ in range(n):
+            a, b = b, a + b
+        return a
+
+    def fib(pool, n):
+        if n < 6:
+            return fib_iter(n)
+        x = pool.spawn(fib, pool, n - 1)
+        y = fib(pool, n - 2)
+        return pool.join(x) + y
+
+    with WorkStealingPool(3, seed=2) as pool:
+        assert pool.run(fib, pool, n) == fib_iter(n)

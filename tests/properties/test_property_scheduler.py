@@ -1,0 +1,71 @@
+"""Property tests on the distributed scheduler: correctness is invariant
+under participant count, seed, and scheduling accidents."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fib import fib_job, fib_serial
+from repro.apps.pfold import pfold_job, pfold_serial
+from repro.micro.worker import WorkerConfig
+from repro.phish import run_job
+
+hp_sequences = st.text(alphabet="HP", min_size=2, max_size=8)
+
+
+@given(seq=hp_sequences, n_workers=st.integers(min_value=1, max_value=5),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_pfold_result_invariant_under_scheduling(seq, n_workers, seed):
+    """The histogram equals the serial one for every P and seed."""
+    expected = pfold_serial(seq).result
+    result = run_job(pfold_job(seq), n_workers=n_workers, seed=seed)
+    assert result.result == expected
+
+
+@given(n=st.integers(min_value=0, max_value=12),
+       n_workers=st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_fib_result_invariant(n, n_workers):
+    assert run_job(fib_job(n), n_workers=n_workers, seed=3).result == fib_serial(n)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_same_seed_bitwise_reproducible(seed):
+    a = run_job(pfold_job("HPHPPHHP"), n_workers=3, seed=seed)
+    b = run_job(pfold_job("HPHPPHHP"), n_workers=3, seed=seed)
+    assert a.makespan == b.makespan
+    assert a.stats.tasks_stolen == b.stats.tasks_stolen
+    assert a.stats.messages_sent == b.stats.messages_sent
+    assert [w.tasks_executed for w in a.stats.workers] == [
+        w.tasks_executed for w in b.stats.workers
+    ]
+
+
+@given(seed=st.integers(min_value=0, max_value=100),
+       exec_order=st.sampled_from(["lifo", "fifo"]),
+       steal_order=st.sampled_from(["lifo", "fifo"]))
+@settings(max_examples=12, deadline=None)
+def test_any_order_combination_still_correct(seed, exec_order, steal_order):
+    """The ablation orders change performance, never the answer."""
+    cfg = WorkerConfig(exec_order=exec_order, steal_order=steal_order)
+    expected = pfold_serial("HPHPPH").result
+    result = run_job(pfold_job("HPHPPH"), n_workers=3, seed=seed, worker_config=cfg)
+    assert result.result == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=10, deadline=None)
+def test_conservation_invariants(seed):
+    """Counter sanity: total executed tasks equal the serial task count;
+    non-local synchs never exceed total synchs; steals have victims."""
+    from repro.baselines.serial import execute_serially
+
+    job = pfold_job("HPHPPHHP")
+    serial = execute_serially(job)
+    result = run_job(pfold_job("HPHPPHHP"), n_workers=4, seed=seed)
+    stats = result.stats
+    assert stats.tasks_executed == serial.tasks_executed
+    assert stats.non_local_synchs <= stats.synchronizations
+    assert stats.tasks_stolen <= sum(w.tasks_stolen_from for w in stats.workers)
+    assert stats.max_tasks_in_use >= 1

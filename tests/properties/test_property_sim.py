@@ -1,0 +1,87 @@
+"""Property tests on the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=200)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d).subscribe(lambda e, d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                       min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_equal_delays_preserve_creation_order(delays):
+    sim = Simulator()
+    order = []
+    for i, d in enumerate(delays):
+        sim.timeout(round(d, 1)).subscribe(lambda e, i=i: order.append(i))
+    sim.run()
+    # Among equal times, creation order is preserved (stable schedule).
+    by_time = {}
+    for i in order:
+        by_time.setdefault(round(delays[i], 1), []).append(i)
+    for same_time in by_time.values():
+        assert same_time == sorted(same_time)
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=100),
+       capacity=st.integers(min_value=1, max_value=10))
+@settings(max_examples=100)
+def test_store_fifo_under_any_capacity(items, capacity):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    received = []
+
+    def producer(sim):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(sim):
+        for _ in items:
+            received.append((yield store.get()))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert received == items
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       n=st.integers(min_value=1, max_value=20))
+@settings(max_examples=50)
+def test_process_tree_joins_deterministically(seed, n):
+    import random
+
+    def build(seed):
+        rng = random.Random(seed)
+        sim = Simulator()
+        results = []
+
+        def child(sim, i, d):
+            yield sim.timeout(d)
+            return i
+
+        def parent(sim):
+            procs = [sim.process(child(sim, i, rng.random() * 10)) for i in range(n)]
+            for p in procs:
+                results.append((yield p))
+
+        sim.process(parent(sim))
+        sim.run()
+        return results, sim.now
+
+    assert build(seed) == build(seed)

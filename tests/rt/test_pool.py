@@ -1,0 +1,154 @@
+"""Tests for the real-thread work-stealing pool."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError, RuntimeShutdown
+from repro.rt import Future, WorkStealingPool, current_pool
+from repro.rt.deque import WorkDeque
+
+
+class TestWorkDeque:
+    def test_owner_lifo(self):
+        dq = WorkDeque()
+        dq.push(1)
+        dq.push(2)
+        assert dq.pop() == 2
+        assert dq.pop() == 1
+        assert dq.pop() is None
+
+    def test_thief_fifo(self):
+        dq = WorkDeque()
+        dq.push(1)
+        dq.push(2)
+        assert dq.steal() == 1
+        assert dq.steal() == 2
+        assert dq.steal() is None
+
+    def test_concurrent_push_steal_conserves_items(self):
+        dq = WorkDeque()
+        taken = []
+
+        def producer():
+            for i in range(2000):
+                dq.push(i)
+
+        def thief():
+            while len(taken) < 2000:
+                item = dq.steal()
+                if item is not None:
+                    taken.append(item)
+
+        tp, tt = threading.Thread(target=producer), threading.Thread(target=thief)
+        tp.start(); tt.start()
+        tp.join(); tt.join(timeout=10)
+        assert sorted(taken) == list(range(2000))
+
+
+class TestFuture:
+    def test_result_roundtrip(self):
+        f = Future()
+        f.set_result(5)
+        assert f.done()
+        assert f.result() == 5
+
+    def test_exception_reraised(self):
+        f = Future()
+        f.set_exception(ValueError("x"))
+        with pytest.raises(ValueError):
+            f.result()
+
+    def test_double_resolve_rejected(self):
+        f = Future()
+        f.set_result(1)
+        with pytest.raises(ReproError):
+            f.set_result(2)
+        with pytest.raises(ReproError):
+            f.set_exception(ValueError())
+
+    def test_timeout(self):
+        f = Future()
+        with pytest.raises(TimeoutError):
+            f.result(timeout=0.01)
+
+
+class TestPool:
+    def test_run_simple(self):
+        with WorkStealingPool(2, seed=0) as pool:
+            assert pool.run(lambda: 7) == 7
+
+    def test_map_preserves_order(self):
+        with WorkStealingPool(3, seed=0) as pool:
+            assert pool.map(lambda x: x * x, range(50)) == [x * x for x in range(50)]
+
+    def test_fork_join_fib(self):
+        def fib(pool, n):
+            if n < 2:
+                return n
+            a = pool.spawn(fib, pool, n - 1)
+            b = fib(pool, n - 2)
+            return pool.join(a) + b
+
+        with WorkStealingPool(4, seed=1) as pool:
+            assert pool.run(fib, pool, 16) == 987
+
+    def test_exceptions_propagate_through_join(self):
+        def boom():
+            raise RuntimeError("inside task")
+
+        with WorkStealingPool(2, seed=0) as pool:
+            fut = pool.spawn(boom)
+            with pytest.raises(RuntimeError, match="inside task"):
+                pool.join(fut)
+
+    def test_deep_nesting_does_not_deadlock(self):
+        """More simultaneous joins than workers — helping must keep the
+        pool live where blocking would deadlock it."""
+
+        def chain(pool, depth):
+            if depth == 0:
+                return 0
+            return pool.join(pool.spawn(chain, pool, depth - 1)) + 1
+
+        with WorkStealingPool(2, seed=0) as pool:
+            assert pool.run(chain, pool, 40) == 40
+
+    def test_current_pool_visible_in_tasks(self):
+        with WorkStealingPool(1, seed=0) as pool:
+            assert pool.run(lambda: current_pool()) is pool
+        assert current_pool() is None
+
+    def test_stats_counted(self):
+        with WorkStealingPool(2, seed=0) as pool:
+            pool.map(lambda x: x, range(100))
+            assert pool.tasks_executed >= 100
+
+    def test_spawn_after_shutdown_raises(self):
+        pool = WorkStealingPool(1, seed=0)
+        pool.shutdown()
+        with pytest.raises(RuntimeShutdown):
+            pool.spawn(lambda: 1)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ReproError):
+            WorkStealingPool(0)
+
+    def test_external_join_blocks_until_done(self):
+        with WorkStealingPool(2, seed=0) as pool:
+            fut = pool.spawn(lambda: (time.sleep(0.05), "late")[1])
+            assert fut.result(timeout=5) == "late"
+
+    def test_stealing_actually_happens(self):
+        def slow_identity(i):
+            time.sleep(0.001)  # give thieves a window
+            return i
+
+        def fanout(pool, n):
+            futures = [pool.spawn(slow_identity, i) for i in range(n)]
+            return sum(pool.join(f) for f in futures)
+
+        with WorkStealingPool(4, seed=2) as pool:
+            assert pool.run(fanout, pool, 300) == sum(range(300))
+            assert pool.tasks_stolen > 0

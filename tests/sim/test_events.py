@@ -1,0 +1,114 @@
+"""Tests for AnyOf/AllOf condition events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf
+
+
+def test_anyof_first_wins(sim):
+    def proc(sim):
+        fast = sim.timeout(1, value="fast")
+        slow = sim.timeout(5, value="slow")
+        settled = yield AnyOf(sim, [fast, slow])
+        return (sim.now, dict(settled))
+
+    now, settled = sim.run(sim.process(proc(sim)))
+    assert now == 1.0
+    assert list(settled.values()) == ["fast"]
+
+
+def test_anyof_simultaneous_collects_all(sim):
+    def proc(sim):
+        a = sim.timeout(2, value="a")
+        b = sim.timeout(2, value="b")
+        settled = yield AnyOf(sim, [a, b])
+        return sorted(settled.values())
+
+    # Both trigger at t=2; the AnyOf is processed after the first, but
+    # _collect sees every already-triggered child.
+    values = sim.run(sim.process(proc(sim)))
+    assert "a" in values
+
+
+def test_allof_waits_for_all(sim):
+    def proc(sim):
+        a = sim.timeout(1, value=1)
+        b = sim.timeout(7, value=2)
+        settled = yield AllOf(sim, [a, b])
+        return (sim.now, sum(settled.values()))
+
+    assert sim.run(sim.process(proc(sim))) == (7.0, 3)
+
+
+def test_allof_empty_succeeds_immediately(sim):
+    def proc(sim):
+        settled = yield AllOf(sim, [])
+        return settled
+
+    assert sim.run(sim.process(proc(sim))) == {}
+
+
+def test_anyof_empty_succeeds_immediately(sim):
+    def proc(sim):
+        settled = yield AnyOf(sim, [])
+        return settled
+
+    assert sim.run(sim.process(proc(sim))) == {}
+
+
+def test_condition_failure_propagates(sim):
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("inner")
+
+    def proc(sim):
+        p = sim.process(bad(sim))
+        try:
+            yield AllOf(sim, [p, sim.timeout(10)])
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run(sim.process(proc(sim))) == "inner"
+
+
+def test_anyof_late_failure_after_settle_is_absorbed(sim):
+    def bad(sim):
+        yield sim.timeout(5)
+        raise ValueError("late")
+
+    def proc(sim):
+        p = sim.process(bad(sim))
+        settled = yield AnyOf(sim, [sim.timeout(1, value="ok"), p])
+        return list(settled.values())
+
+    assert sim.run(sim.process(proc(sim))) == ["ok"]
+    sim.run()  # the late failure must not escalate
+
+
+def test_condition_mixed_simulators_raises():
+    s1, s2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AnyOf(s1, [s1.timeout(1), s2.timeout(1)])
+
+
+def test_allof_with_already_processed_children(sim):
+    t = sim.timeout(1, value="pre")
+    sim.run()
+    assert t.processed
+
+    def proc(sim):
+        settled = yield AllOf(sim, [t, sim.timeout(2, value="post")])
+        return sorted(settled.values())
+
+    assert sim.run(sim.process(proc(sim))) == ["post", "pre"]
+
+
+def test_nested_conditions(sim):
+    def proc(sim):
+        inner = AnyOf(sim, [sim.timeout(3, value="x")])
+        settled = yield AllOf(sim, [inner, sim.timeout(1)])
+        return sim.now
+
+    assert sim.run(sim.process(proc(sim))) == 3.0

@@ -1,0 +1,60 @@
+"""Tests for the Probe time-series monitor."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.monitor import Probe
+
+
+def test_record_and_last(sim):
+    p = Probe(sim, "q")
+    p.record(3)
+    assert p.last == 3.0
+
+
+def test_empty_probe_raises(sim):
+    p = Probe(sim)
+    with pytest.raises(SimulationError):
+        _ = p.last
+    with pytest.raises(SimulationError):
+        _ = p.peak
+    with pytest.raises(SimulationError):
+        p.time_average()
+
+
+def test_peak(sim):
+    p = Probe(sim)
+    for v in (1, 5, 2):
+        p.record(v)
+    assert p.peak == 5.0
+
+
+def test_time_average_step_function(sim):
+    p = Probe(sim)
+    p.record(10)        # t=0: value 10
+    sim.run(until=4.0)
+    p.record(0)         # t=4: value 0
+    sim.run(until=8.0)
+    # 10 for 4s, then 0 for 4s => average 5
+    assert p.time_average() == pytest.approx(5.0)
+
+
+def test_time_average_with_horizon(sim):
+    p = Probe(sim)
+    p.record(2)
+    sim.run(until=10.0)
+    assert p.time_average(until=10.0) == pytest.approx(2.0)
+
+
+def test_time_average_single_instant(sim):
+    p = Probe(sim)
+    p.record(7)
+    assert p.time_average(until=0.0) == 7.0
+
+
+def test_time_average_horizon_before_first_sample(sim):
+    p = Probe(sim)
+    sim.run(until=5.0)
+    p.record(1)
+    with pytest.raises(SimulationError):
+        p.time_average(until=1.0)

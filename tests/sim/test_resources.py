@@ -1,0 +1,204 @@
+"""Tests for Store, Channel, Resource, Signal."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resources import Channel, Resource, Signal, Store
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        st = Store(sim)
+        out = []
+
+        def producer(sim):
+            for i in range(4):
+                yield st.put(i)
+
+        def consumer(sim):
+            for _ in range(4):
+                out.append((yield st.get()))
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert out == [0, 1, 2, 3]
+
+    def test_capacity_blocks_put(self, sim):
+        st = Store(sim, capacity=1)
+        log = []
+
+        def producer(sim):
+            yield st.put("a")
+            log.append(("put-a", sim.now))
+            yield st.put("b")
+            log.append(("put-b", sim.now))
+
+        def consumer(sim):
+            yield sim.timeout(5)
+            yield st.get()
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert log == [("put-a", 0.0), ("put-b", 5.0)]
+
+    def test_get_blocks_until_item(self, sim):
+        st = Store(sim)
+
+        def consumer(sim):
+            value = yield st.get()
+            return (value, sim.now)
+
+        def producer(sim):
+            yield sim.timeout(3)
+            yield st.put("late")
+
+        p = sim.process(consumer(sim))
+        sim.process(producer(sim))
+        assert sim.run(p) == ("late", 3.0)
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_try_get(self, sim):
+        st = Store(sim)
+        assert st.try_get() == (False, None)
+        st.put("x")
+        assert st.try_get() == (True, "x")
+
+    def test_try_get_with_queued_getters_raises(self, sim):
+        st = Store(sim)
+        st.get()  # queues a blocking getter
+        with pytest.raises(SimulationError):
+            st.try_get()
+
+    def test_cancel_get(self, sim):
+        st = Store(sim)
+        ev = st.get()
+        assert st.cancel_get(ev)
+        assert not st.cancel_get(ev)
+        st.put(1)
+        # The cancelled getter must not consume the item.
+        ok, item = st.try_get()
+        assert (ok, item) == (True, 1)
+
+    def test_len(self, sim):
+        st = Store(sim)
+        st.put(1)
+        st.put(2)
+        assert len(st) == 2
+
+
+class TestChannel:
+    def test_send_never_blocks(self, sim):
+        ch = Channel(sim)
+        for i in range(1000):
+            ch.send(i)
+        assert len(ch) == 1000
+
+    def test_recv_in_order(self, sim):
+        ch = Channel(sim)
+        ch.send("a")
+        ch.send("b")
+        out = []
+
+        def consumer(sim):
+            out.append((yield ch.recv()))
+            out.append((yield ch.recv()))
+
+        sim.process(consumer(sim))
+        sim.run()
+        assert out == ["a", "b"]
+
+
+class TestResource:
+    def test_mutual_exclusion(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(sim, name, hold):
+            yield res.request()
+            log.append((name, "in", sim.now))
+            yield sim.timeout(hold)
+            log.append((name, "out", sim.now))
+            res.release()
+
+        sim.process(user(sim, "a", 2))
+        sim.process(user(sim, "b", 1))
+        sim.run()
+        assert log == [("a", "in", 0.0), ("a", "out", 2.0),
+                       ("b", "in", 2.0), ("b", "out", 3.0)]
+
+    def test_capacity_two(self, sim):
+        res = Resource(sim, capacity=2)
+        entered = []
+
+        def user(sim, name):
+            yield res.request()
+            entered.append((name, sim.now))
+            yield sim.timeout(1)
+            res.release()
+
+        for n in "abc":
+            sim.process(user(sim, n))
+        sim.run()
+        assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_release_idle_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim).release()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_queued_property(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        res.request()
+        assert res.queued == 1
+
+
+class TestSignal:
+    def test_broadcast_wakes_all(self, sim):
+        sig = Signal(sim)
+        woken = []
+
+        def waiter(sim, name):
+            value = yield sig.wait()
+            woken.append((name, value, sim.now))
+
+        for n in "abc":
+            sim.process(waiter(sim, n))
+
+        def setter(sim):
+            yield sim.timeout(4)
+            sig.set("go")
+
+        sim.process(setter(sim))
+        sim.run()
+        assert sorted(woken) == [("a", "go", 4.0), ("b", "go", 4.0), ("c", "go", 4.0)]
+
+    def test_wait_after_set_immediate(self, sim):
+        sig = Signal(sim)
+        sig.set(123)
+
+        def waiter(sim):
+            value = yield sig.wait()
+            return (value, sim.now)
+
+        assert sim.run(sim.process(waiter(sim))) == (123, 0.0)
+
+    def test_double_set_is_noop(self, sim):
+        sig = Signal(sim)
+        sig.set(1)
+        sig.set(2)
+        assert sig.value == 1
+
+    def test_is_set(self, sim):
+        sig = Signal(sim)
+        assert not sig.is_set
+        sig.set()
+        assert sig.is_set

@@ -1,0 +1,30 @@
+"""Tests for the serial cost model."""
+
+import pytest
+
+from repro.cluster.platform import SPARCSTATION_1, SPARCSTATION_10
+from repro.tasks.cost import CALL_CYCLES, serial_time_seconds
+
+
+def test_basic_formula():
+    t = serial_time_seconds(1000.0, 10, SPARCSTATION_1)
+    assert t == pytest.approx((1000.0 + 10 * CALL_CYCLES) / 12.5e6)
+
+
+def test_faster_machine_lower_time():
+    assert serial_time_seconds(1e6, 100, SPARCSTATION_10) < serial_time_seconds(
+        1e6, 100, SPARCSTATION_1
+    )
+
+
+def test_call_overhead_below_parallel_overhead():
+    """The whole point of Table 1: a procedure call is cheaper than a
+    spawned/scheduled/synchronised task."""
+    assert CALL_CYCLES < SPARCSTATION_1.task_overhead_cycles()
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        serial_time_seconds(-1, 0, SPARCSTATION_1)
+    with pytest.raises(ValueError):
+        serial_time_seconds(0, -1, SPARCSTATION_1)

@@ -1,0 +1,243 @@
+"""Tests for thread programs, registration, and the Frame primitives."""
+
+import pytest
+
+from repro.baselines.serial import execute_serially
+from repro.cluster.platform import SPARCSTATION_1
+from repro.errors import SchedulerError
+from repro.tasks.program import JobProgram, ThreadProgram
+
+
+class TestRegistration:
+    def test_registers_name_and_arity(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def t(frame, k, x):
+            pass
+
+        assert prog.resolve("t") is t
+        assert t.arity == 2
+
+    def test_duplicate_name_rejected(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def t(frame):
+            pass
+
+        def duplicate(frame):
+            pass
+
+        duplicate.__name__ = "t"
+        with pytest.raises(SchedulerError, match="already registered"):
+            prog.thread(duplicate)
+
+    def test_needs_frame_parameter(self):
+        prog = ThreadProgram("p")
+
+        def nothing():
+            pass
+
+        with pytest.raises(SchedulerError):
+            prog.thread(nothing)
+
+    def test_keyword_only_rejected(self):
+        prog = ThreadProgram("p")
+
+        def bad(frame, *, k):
+            pass
+
+        with pytest.raises(SchedulerError):
+            prog.thread(bad)
+
+    def test_variadic_requires_arity(self):
+        prog = ThreadProgram("p")
+
+        def join(frame, k, *xs):
+            pass
+
+        with pytest.raises(SchedulerError):
+            prog.thread(join)
+
+    def test_variadic_with_arity(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread(arity=5)
+        def join(frame, k, *xs):
+            pass
+
+        assert join.arity == 5
+
+    def test_arity_below_fixed_params_rejected(self):
+        prog = ThreadProgram("p")
+
+        def join(frame, a, b, *xs):
+            pass
+
+        with pytest.raises(SchedulerError):
+            prog.thread(join, arity=0)
+
+    def test_explicit_arity_must_match_signature(self):
+        prog = ThreadProgram("p")
+
+        def t(frame, k):
+            pass
+
+        with pytest.raises(SchedulerError):
+            prog.thread(t, arity=3)
+
+    def test_resolve_unknown_raises(self):
+        prog = ThreadProgram("p")
+        with pytest.raises(SchedulerError):
+            prog.resolve("ghost")
+
+
+class TestJobProgram:
+    def test_root_arity_checked(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def root(frame, k, a, b):
+            pass
+
+        JobProgram(prog, root, (1, 2))
+        with pytest.raises(SchedulerError):
+            JobProgram(prog, root, (1,))
+
+    def test_default_name(self):
+        prog = ThreadProgram("myprog")
+
+        @prog.thread
+        def root(frame, k):
+            pass
+
+        assert JobProgram(prog, root).name == "myprog"
+
+
+class TestFramePrimitives:
+    """Exercised through the serial reference executor."""
+
+    def build(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def leaf(frame, k, x):
+            frame.work(10)
+            frame.send(k, x * 2)
+
+        @prog.thread
+        def join2(frame, k, a, b):
+            frame.send(k, a + b)
+
+        @prog.thread
+        def root(frame, k):
+            succ = frame.successor(join2, k)
+            frame.spawn(leaf, succ.cont(1), 10)
+            frame.spawn(leaf, succ.cont(2), 100)
+
+        return prog, root
+
+    def test_spawn_successor_send_pipeline(self):
+        prog, root = self.build()
+        result = execute_serially(JobProgram(prog, root))
+        assert result.result == 220
+        assert result.tasks_executed == 4  # root + 2 leaves + join
+
+    def test_spawn_arity_checked(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def leaf(frame, k):
+            frame.send(k, 1)
+
+        @prog.thread
+        def root(frame, k):
+            frame.spawn(leaf, k, "extra")  # wrong arity
+
+        with pytest.raises(SchedulerError, match="expected 1 args"):
+            execute_serially(JobProgram(prog, root))
+
+    def test_successor_with_no_missing_slots_rejected(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def full(frame, k):
+            pass
+
+        @prog.thread
+        def root(frame, k):
+            frame.successor(full, k)  # all slots given
+
+        with pytest.raises(SchedulerError, match="no missing slots"):
+            execute_serially(JobProgram(prog, root))
+
+    def test_successor_too_many_given(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def one(frame, k):
+            pass
+
+        @prog.thread
+        def root(frame, k):
+            frame.successor(one, k, "extra", "more")
+
+        with pytest.raises(SchedulerError, match="exceed arity"):
+            execute_serially(JobProgram(prog, root))
+
+    def test_cont_on_filled_slot_rejected(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def join2(frame, k, a, b):
+            pass
+
+        @prog.thread
+        def root(frame, k):
+            succ = frame.successor(join2, k)
+            succ.cont(0)  # slot 0 already holds k
+
+        from repro.errors import ClosureError
+
+        with pytest.raises(ClosureError):
+            execute_serially(JobProgram(prog, root))
+
+    def test_negative_work_rejected(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def root(frame, k):
+            frame.work(-5)
+
+        with pytest.raises(SchedulerError, match="negative work"):
+            execute_serially(JobProgram(prog, root))
+
+    def test_send_requires_continuation(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def root(frame, k):
+            frame.send("not-a-continuation", 1)
+
+        with pytest.raises(SchedulerError):
+            execute_serially(JobProgram(prog, root))
+
+    def test_frame_charges_overheads(self):
+        prog = ThreadProgram("p")
+
+        @prog.thread
+        def root(frame, k):
+            frame.work(100)
+            frame.send(k, None)
+
+        execution = execute_serially(JobProgram(prog, root), SPARCSTATION_1)
+        profile = SPARCSTATION_1
+        expected = (
+            100
+            + profile.schedule_cycles
+            + profile.poll_cycles
+            + profile.dynamic_set_cycles
+            + profile.sync_cycles
+        )
+        assert execution.total_cycles == pytest.approx(expected)

@@ -1,0 +1,54 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "fib" in out and "nqueens" in out and "ray" in out
+    assert "regenerated in" in out
+
+
+def test_macro_demo_command(capsys):
+    assert main(["--seed", "5", "macro-demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Macro demo" in out
+    assert "nqueens(8) = 92" in out
+
+
+def test_timeline_command(capsys):
+    assert main(["timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline 0 .." in out
+    assert "reclaimed" in out
+
+
+def test_ablation_single_section(capsys):
+    assert main(["ablations", "retirement"]) == 0
+    out = capsys.readouterr().out
+    assert "retirement" in out
+    assert "Ablation" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-thing"])
+
+
+def test_unknown_ablation_rejected():
+    with pytest.raises(SystemExit):
+        main(["ablations", "astrology"])
+
+
+def test_seed_changes_runs(capsys):
+    main(["--seed", "1", "ablations", "victim"])
+    out1 = capsys.readouterr().out
+    main(["--seed", "2", "ablations", "victim"])
+    out2 = capsys.readouterr().out
+    # Strip the wall-time footer before comparing.
+    strip = lambda s: "\n".join(l for l in s.splitlines() if "regenerated" not in l)  # noqa: E731
+    assert strip(out1) != strip(out2)

@@ -1,0 +1,45 @@
+"""Every module imports cleanly and documents itself."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+)
+
+
+def test_module_discovery_found_the_tree():
+    assert len(MODULES) > 40
+    assert "repro.micro.worker" in MODULES
+    assert "repro.apps.ray.tracer" in MODULES
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_imports_cleanly(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_has_docstring(name):
+    module = importlib.import_module(name)
+    if name.endswith("__init__") or "tests" in name:
+        return
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_public_all_exports_resolve():
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,123 @@
+"""Tests for statistics helpers (incl. the paper's speedup formula)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.util.stats import (
+    Histogram,
+    OnlineStats,
+    geometric_mean,
+    mean,
+    speedup_paper,
+    summarize,
+)
+
+
+class TestOnlineStats:
+    def test_mean_matches_statistics(self):
+        xs = [1.5, 2.5, -3.0, 4.25, 0.0]
+        s = summarize(xs)
+        assert s.mean == pytest.approx(statistics.fmean(xs))
+
+    def test_variance_matches_statistics(self):
+        xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        s = summarize(xs)
+        assert s.variance == pytest.approx(statistics.variance(xs))
+        assert s.stdev == pytest.approx(statistics.stdev(xs))
+
+    def test_min_max_count(self):
+        s = summarize([2, -1, 7])
+        assert (s.min, s.max, s.count) == (-1, 7, 3)
+
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.count == 0
+
+    def test_single_sample_zero_variance(self):
+        s = summarize([5.0])
+        assert s.variance == 0.0
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        h = Histogram()
+        h.add(-3)
+        h.add(-3)
+        h.add(0, count=5)
+        assert h.total() == 7
+        assert h.counts[-3] == 2
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1, 2)
+        b.add(1, 3)
+        b.add(2, 1)
+        a.merge(b)
+        assert a.counts == {1: 5, 2: 1}
+
+    def test_items_sorted(self):
+        h = Histogram()
+        h.add(3)
+        h.add(-1)
+        h.add(0)
+        assert [k for k, _ in h.items()] == [-1, 0, 3]
+
+    def test_equality_ignores_zero_bins(self):
+        a, b = Histogram(), Histogram()
+        a.add(1)
+        a.add(2, 0)
+        b.add(1)
+        assert a == b
+
+    def test_inequality(self):
+        a, b = Histogram(), Histogram()
+        a.add(1)
+        b.add(2)
+        assert a != b
+
+    def test_eq_other_type(self):
+        assert Histogram() != 5
+
+
+class TestSpeedupPaper:
+    def test_equal_times(self):
+        # P participants all taking T1/P: perfect speedup.
+        assert speedup_paper(100.0, [25.0] * 4) == pytest.approx(4.0)
+
+    def test_formula_is_t1_over_average(self):
+        times = [10.0, 20.0]
+        assert speedup_paper(30.0, times) == pytest.approx(30.0 / 15.0)
+
+    def test_single_participant(self):
+        assert speedup_paper(50.0, [50.0]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            speedup_paper(1.0, [])
+
+    def test_zero_times_raise(self):
+        with pytest.raises(ValueError):
+            speedup_paper(1.0, [0.0, 0.0])
+
+
+class TestMisc:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])

@@ -1,0 +1,59 @@
+"""Tests for the structured trace log."""
+
+from repro.util.trace import TraceEvent, TraceLog
+
+
+def test_emit_and_query():
+    log = TraceLog()
+    log.emit(1.0, "steal.request", "ws01", victim="ws02")
+    log.emit(2.0, "steal.grant", "ws02", thief="ws01")
+    log.emit(3.0, "steal.request", "ws03")
+    assert log.count("steal.request") == 2
+    assert len(log.events(kind="steal.grant")) == 1
+    assert len(log.events(source="ws01")) == 1
+
+
+def test_disabled_log_is_noop():
+    log = TraceLog(enabled=False)
+    log.emit(1.0, "x", "y")
+    assert len(log) == 0
+
+
+def test_capacity_drops_oldest():
+    log = TraceLog(capacity=3)
+    for i in range(5):
+        log.emit(float(i), "k", "s", i=i)
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [ev.detail["i"] for ev in log] == [2, 3, 4]
+
+
+def test_where_predicate():
+    log = TraceLog()
+    for i in range(10):
+        log.emit(float(i), "tick", "src", i=i)
+    evens = log.events(where=lambda ev: ev.detail["i"] % 2 == 0)
+    assert len(evens) == 5
+
+
+def test_kinds_fingerprint():
+    log = TraceLog()
+    log.emit(0, "a", "s")
+    log.emit(1, "b", "s")
+    log.emit(2, "a", "s")
+    assert log.kinds() == [("a", 2), ("b", 1)]
+
+
+def test_clear():
+    log = TraceLog(capacity=1)
+    log.emit(0, "a", "s")
+    log.emit(1, "b", "s")
+    log.clear()
+    assert len(log) == 0
+    assert log.dropped == 0
+
+
+def test_str_rendering():
+    ev = TraceEvent(1.5, "net.send", "ws00", {"dst": "ws01"})
+    s = str(ev)
+    assert "net.send" in s and "ws00" in s and "dst=ws01" in s
