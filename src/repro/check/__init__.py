@@ -1,0 +1,55 @@
+"""Schedule-space fuzzing and runtime invariant checking.
+
+Public surface:
+
+* :func:`run_checked` — run one job with tracing, online deque auditing,
+  network-loss accounting, optional schedule perturbation and bug
+  injection, then verify the invariant catalog.
+* :func:`check_invariants` — the post-run trace pass on its own.
+* :func:`fuzz` — sweep many seeds of a registered app, shrinking failures.
+* :class:`Perturbation` — one seed-derived point in schedule space.
+
+See ``docs/checking.md`` for the invariant catalog and workflow.
+"""
+
+from repro.check.fuzzer import APPS, AppSpec, FuzzFailure, FuzzResult, fuzz
+from repro.check.harness import (
+    BUGS,
+    CHECK_CH,
+    CHECK_WORKER,
+    CheckedRun,
+    Perturbation,
+    install_network_accounting,
+    run_checked,
+    shrink_perturbation,
+)
+from repro.check.invariants import (
+    ALL_INVARIANTS,
+    DequeAuditor,
+    InvariantReport,
+    Violation,
+    check_invariants,
+    collect_leftovers,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "APPS",
+    "AppSpec",
+    "BUGS",
+    "CHECK_CH",
+    "CHECK_WORKER",
+    "CheckedRun",
+    "DequeAuditor",
+    "FuzzFailure",
+    "FuzzResult",
+    "InvariantReport",
+    "Perturbation",
+    "Violation",
+    "check_invariants",
+    "collect_leftovers",
+    "fuzz",
+    "install_network_accounting",
+    "run_checked",
+    "shrink_perturbation",
+]

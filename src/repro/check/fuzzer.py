@@ -1,0 +1,189 @@
+"""Schedule-space fuzzer: many seeds, shrink whatever fails.
+
+Each seed maps (via :meth:`Perturbation.generate`) to one legal but
+perturbed schedule: a different same-time event interleaving, extra
+message jitter, and possibly a crash or an owner reclaim.  :func:`fuzz`
+runs a window of seeds of one registered application under the full
+invariant checker and, for every failing seed, shrinks the perturbation
+to a minimal reproducing schedule.
+
+Reproduce a reported failure exactly::
+
+    from repro.apps.fib import fib_job, fib_serial
+    from repro.check import Perturbation, run_checked
+
+    run = run_checked(fib_job(14), n_workers=4, seed=BAD_SEED,
+                      perturbation=Perturbation.generate(BAD_SEED, 4),
+                      expected=fib_serial(14))
+    print(run.report.summary())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.check.harness import (
+    CHECK_WORKER,
+    CheckedRun,
+    Perturbation,
+    run_checked,
+    shrink_perturbation,
+)
+from repro.errors import ReproError
+from repro.micro.worker import WorkerConfig
+from repro.tasks.program import JobProgram
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One fuzzable application: a job factory plus its result oracle."""
+
+    name: str
+    make: Callable[[], JobProgram]
+    expected: Any
+    #: Optional worker-config override (e.g. enable retirement so the
+    #: shrink app actually exercises the departure protocol).
+    worker_config: Optional[WorkerConfig] = None
+
+
+def _builtin_apps() -> Dict[str, AppSpec]:
+    from repro.apps.fib import fib_job, fib_serial
+    from repro.apps.knary import knary_job, knary_nodes
+    from repro.apps.shrink import shrink_expected, shrink_job
+
+    return {
+        "fib": AppSpec("fib", lambda: fib_job(14), fib_serial(14)),
+        "knary": AppSpec("knary", lambda: knary_job(5, 4, 1), knary_nodes(5, 4)),
+        "shrink": AppSpec(
+            "shrink",
+            lambda: shrink_job(12, 60),
+            shrink_expected(12, 60),
+            worker_config=dataclasses.replace(
+                CHECK_WORKER, retire_after_failed_steals=4
+            ),
+        ),
+    }
+
+
+#: Applications the fuzzer knows how to run (small instances of the
+#: paper's workloads, each with a closed-form oracle).
+APPS: Dict[str, AppSpec] = _builtin_apps()
+
+
+@dataclass
+class FuzzFailure:
+    """One failing seed, with its shrunk reproduction."""
+
+    seed: int
+    perturbation: Perturbation
+    shrunk: Perturbation
+    report_summary: str
+    completed: bool
+    shrink_runs: int = 0
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one :func:`fuzz` sweep."""
+
+    app: str
+    n_workers: int
+    seeds: Tuple[int, ...]
+    failures: List[FuzzFailure] = field(default_factory=list)
+    bug: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        head = (
+            f"fuzz {self.app}: {len(self.seeds)} seeds x {self.n_workers} workers"
+            + (f" [injected bug: {self.bug}]" if self.bug else "")
+        )
+        if self.ok:
+            return f"{head}\n  all schedules clean"
+        lines = [f"{head}\n  {len(self.failures)} failing seed(s):"]
+        for f in self.failures:
+            lines.append(
+                f"  seed {f.seed}: {f.report_summary.splitlines()[0]}"
+            )
+            lines.append(f"    original schedule: {f.perturbation.describe()}")
+            lines.append(
+                f"    shrunk schedule:   {f.shrunk.describe()} "
+                f"({f.shrink_runs} re-runs)"
+            )
+            lines.append(
+                f"    reproduce: run_checked(<{self.app} job>, "
+                f"n_workers={self.n_workers}, seed={f.seed}, "
+                f"perturbation=Perturbation.generate({f.seed}, {self.n_workers}))"
+            )
+        return "\n".join(lines)
+
+
+def fuzz(
+    app: str = "fib",
+    n_seeds: int = 25,
+    start_seed: int = 0,
+    n_workers: int = 4,
+    bug: Optional[str] = None,
+    shrink: bool = True,
+    horizon_s: float = 60.0,
+    progress: Optional[Callable[[int, CheckedRun], None]] = None,
+) -> FuzzResult:
+    """Fuzz *n_seeds* schedules of one registered application.
+
+    Args:
+        app: key into :data:`APPS`.
+        n_seeds: how many consecutive seeds to explore.
+        start_seed: first seed of the window.
+        n_workers: cluster size per run.
+        bug: optional deliberate bug (see :data:`repro.check.BUGS`) —
+            the sweep then *should* fail; used to validate the checker.
+        shrink: shrink each failure to a minimal perturbation.
+        progress: optional callback ``(seed, run)`` after each run.
+    """
+    spec = APPS.get(app)
+    if spec is None:
+        raise ReproError(f"unknown app {app!r}; known: {sorted(APPS)}")
+    seeds = tuple(range(start_seed, start_seed + n_seeds))
+    result = FuzzResult(app=app, n_workers=n_workers, seeds=seeds, bug=bug)
+    for seed in seeds:
+        pert = Perturbation.generate(seed, n_workers)
+        run = run_checked(
+            spec.make(),
+            n_workers=n_workers,
+            seed=seed,
+            perturbation=pert,
+            expected=spec.expected,
+            worker_config=spec.worker_config,
+            horizon_s=horizon_s,
+            bug=bug,
+        )
+        if progress is not None:
+            progress(seed, run)
+        if run.ok:
+            continue
+        shrunk, shrink_runs = pert, 0
+        if shrink:
+            shrunk, shrink_runs = shrink_perturbation(
+                spec.make,
+                pert,
+                n_workers=n_workers,
+                seed=seed,
+                expected=spec.expected,
+                worker_config=spec.worker_config,
+                horizon_s=horizon_s,
+                bug=bug,
+            )
+        result.failures.append(FuzzFailure(
+            seed=seed,
+            perturbation=pert,
+            shrunk=shrunk,
+            report_summary=run.report.summary(),
+            completed=run.completed,
+            shrink_runs=shrink_runs,
+        ))
+    return result

@@ -1,0 +1,424 @@
+"""Checked execution harness: perturbed runs, bug injection, shrinking.
+
+:func:`run_checked` is the pytest-facing entry point: it runs one job on
+a simulated cluster exactly like :func:`repro.phish.run_job`, but with
+the full checking apparatus wired in — tracing always on, the network
+drop accountant, the online deque auditor, and a post-run pass over the
+invariant catalog of :mod:`repro.check.invariants`.
+
+A :class:`Perturbation` bundles everything that makes one schedule
+different from another while staying a *legal* execution: the same-time
+event tie-break shuffle seed, extra message-latency jitter, and
+crash/reclaim injection times.  :meth:`Perturbation.generate` derives
+all of it from one integer seed, so a failing schedule is reproduced by
+its seed alone; :func:`shrink_perturbation` then greedily removes
+components (drop a crash, drop a reclaim, zero the jitter, restore
+deterministic tie-breaks) while the failure persists, yielding a minimal
+reproducing schedule.
+
+``BUGS`` holds deliberately broken scheduler variants (applied as
+instance-level monkeypatches) used to validate that the checker actually
+catches the classes of bugs it claims to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.check.invariants import DequeAuditor, InvariantReport, check_invariants
+from repro.clearinghouse.clearinghouse import Clearinghouse, ClearinghouseConfig
+from repro.cluster.platform import SPARCSTATION_1, PlatformProfile
+from repro.errors import ReproError
+from repro.micro import protocol as P
+from repro.micro.worker import Worker, WorkerConfig
+from repro.net.network import Network
+from repro.net.topology import UniformTopology
+from repro.phish import build_cluster
+from repro.sim.core import Simulator
+from repro.tasks.program import JobProgram
+from repro.util.rng import RngRegistry, derive_seed
+from repro.util.trace import TraceLog
+
+#: Scheduler settings scaled down from the paper's (2-minute heartbeats,
+#: quarter-second startup) so that millisecond-scale check jobs actually
+#: exercise stealing, crash detection, and retirement within one run.
+CHECK_WORKER = WorkerConfig(
+    startup_cost_s=0.01,
+    steal_timeout_s=0.02,
+    steal_backoff_s=0.002,
+    update_interval_s=0.5,
+    track_completed=True,
+)
+
+CHECK_CH = ClearinghouseConfig(
+    update_interval_s=0.5,
+    death_timeout_s=1.5,
+    check_interval_s=0.2,
+)
+
+_UNSET = object()
+
+
+# ---------------------------------------------------------------------------
+# Perturbations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One point in schedule space, derived from a single seed.
+
+    The identity perturbation (all defaults) reproduces the simulator's
+    canonical insertion-order schedule with no faults injected.
+    """
+
+    #: Seed for the same-time event tie-break shuffle (None: canonical order).
+    tiebreak_seed: Optional[int] = None
+    #: Extra uniform per-message latency jitter, seconds.
+    latency_jitter_s: float = 0.0
+    #: Fail-stop crash injections: (time_s, workstation index).  Index 0
+    #: hosts the Clearinghouse and must never crash (single-failure model).
+    crashes: Tuple[Tuple[float, int], ...] = ()
+    #: Graceful owner-reclaim injections: (time_s, workstation index).
+    reclaims: Tuple[Tuple[float, int], ...] = ()
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_workers: int,
+        p_crash: float = 0.6,
+        p_reclaim: float = 0.5,
+        fault_window_s: Tuple[float, float] = (0.012, 0.06),
+        max_jitter_s: float = 2.0e-3,
+    ) -> "Perturbation":
+        """Derive a perturbation from *seed* (stable across processes)."""
+        rng = random.Random(derive_seed(seed, "check.perturb"))
+        lo, hi = fault_window_s
+        crashes: List[Tuple[float, int]] = []
+        if n_workers > 1 and rng.random() < p_crash:
+            crashes.append((lo + rng.random() * (hi - lo), rng.randrange(1, n_workers)))
+        reclaims: List[Tuple[float, int]] = []
+        if n_workers > 1 and rng.random() < p_reclaim:
+            # Any worker may be reclaimed, including the Clearinghouse
+            # host's (reclaim only evicts the worker; the CH survives).
+            reclaims.append((lo + rng.random() * (hi - lo), rng.randrange(n_workers)))
+        return cls(
+            tiebreak_seed=derive_seed(seed, "check.tiebreak"),
+            latency_jitter_s=rng.random() * max_jitter_s,
+            crashes=tuple(crashes),
+            reclaims=tuple(reclaims),
+        )
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.tiebreak_seed is not None:
+            parts.append(f"tiebreak={self.tiebreak_seed & 0xFFFF:#06x}")
+        if self.latency_jitter_s:
+            parts.append(f"jitter={self.latency_jitter_s * 1e3:.3f}ms")
+        parts += [f"crash(ws{i:02d}@{t:.3f}s)" for t, i in self.crashes]
+        parts += [f"reclaim(ws{i:02d}@{t:.3f}s)" for t, i in self.reclaims]
+        return " ".join(parts) if parts else "identity"
+
+
+# ---------------------------------------------------------------------------
+# Deliberate bugs (checker validation)
+# ---------------------------------------------------------------------------
+
+
+def _bug_skip_redo(worker: Worker) -> None:
+    """Victims forget their redo obligation: on a death notice the
+    outstanding table is discarded instead of re-enqueued."""
+
+    def skip(dead: str) -> None:
+        worker.outstanding.pop(dead, None)
+
+    worker._on_worker_died = skip  # type: ignore[method-assign]
+
+
+def _bug_drop_migration(worker: Worker) -> None:
+    """Migration silently loses half of each incoming ready batch."""
+    orig = worker._on_migrate
+
+    def lossy(msg, ready, suspended, sender) -> None:
+        orig(msg, ready[: len(ready) // 2], suspended, sender)
+
+    worker._on_migrate = lossy  # type: ignore[method-assign]
+
+
+def _bug_dup_exec(worker: Worker) -> None:
+    """Steal grants forget to remove the closure from the victim's
+    deque, so victim and thief both execute it.  (ReadyDeque is slotted,
+    so the patch swaps in a subclass rather than an instance attribute.)"""
+    base = type(worker.deque)
+
+    class _LeakyDeque(base):  # type: ignore[misc, valid-type]
+        __slots__ = ()
+
+        def pop_steal(self):
+            closure = base.pop_steal(self)
+            if closure is not None:
+                self.push(closure)
+            return closure
+
+    worker.deque.__class__ = _LeakyDeque
+
+
+#: name -> per-worker patch applying the deliberately broken behaviour.
+BUGS: Dict[str, Callable[[Worker], None]] = {
+    "skip-redo": _bug_skip_redo,
+    "drop-migration": _bug_drop_migration,
+    "dup-exec": _bug_dup_exec,
+}
+
+
+# ---------------------------------------------------------------------------
+# Checked execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CheckedRun:
+    """Everything one :func:`run_checked` invocation produced."""
+
+    job_name: str
+    seed: int
+    perturbation: Perturbation
+    bug: Optional[str]
+    completed: bool
+    result: Any
+    expected: Any
+    report: InvariantReport
+    makespan: float
+    trace: TraceLog = field(repr=False)
+    workers: List[Worker] = field(repr=False, default_factory=list)
+    clearinghouse: Optional[Clearinghouse] = field(repr=False, default=None)
+    network: Optional[Network] = field(repr=False, default=None)
+    sim: Optional[Simulator] = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def require_ok(self) -> "CheckedRun":
+        self.report.require_ok()
+        return self
+
+
+def install_network_accounting(network: Network, trace: TraceLog) -> None:
+    """Account closures lost inside dropped datagrams.
+
+    Steal grants and migration batches carry live closures; when such a
+    datagram is discarded (random loss, dead or unbound destination) the
+    closures vanish from the system.  This hook surfaces each loss as a
+    ``closure.lost`` trace event so the conservation invariant can tell
+    "lost in flight" apart from "scheduler leaked it".
+    """
+
+    def on_drop(msg, reason: str) -> None:
+        payload = msg.payload
+        if not isinstance(payload, tuple) or not payload:
+            return
+        cids = []
+        if payload[0] == P.STEAL_REPLY and payload[1] is not None:
+            cids = [payload[1].cid]
+        elif payload[0] == P.MIGRATE:
+            cids = [c.cid for c in payload[1]] + [c.cid for c in payload[2]]
+        if cids:
+            trace.emit(network.sim.now, "closure.lost", msg.dst,
+                       cids=cids, reason=f"net-{reason}")
+
+    network.on_drop = on_drop
+
+
+def _at(sim: Simulator, time_s: float, fn: Callable[[], None], name: str) -> None:
+    """Run *fn* at simulated time *time_s* (fire-and-forget process)."""
+
+    def proc():
+        yield sim.timeout(time_s)
+        fn()
+
+    sim.process(proc(), name=name)
+
+
+def run_checked(
+    job: JobProgram,
+    n_workers: int = 4,
+    seed: int = 0,
+    perturbation: Optional[Perturbation] = None,
+    expected: Any = _UNSET,
+    worker_config: Optional[WorkerConfig] = None,
+    ch_config: Optional[ClearinghouseConfig] = None,
+    profile: PlatformProfile = SPARCSTATION_1,
+    horizon_s: float = 60.0,
+    drain_s: float = 2.0,
+    trace_capacity: Optional[int] = None,
+    bug: Optional[str] = None,
+) -> CheckedRun:
+    """Run *job* under full invariant checking.
+
+    Args:
+        job: the application program to run.
+        n_workers: cluster size (workstation 0 hosts the Clearinghouse).
+        seed: root seed for the scheduler's own random streams.
+        perturbation: schedule-space point to explore (default: the
+            identity — canonical order, no faults).
+        expected: oracle result; when given, a completed run delivering
+            anything else is a liveness violation.
+        worker_config / ch_config: overrides for :data:`CHECK_WORKER`
+            and :data:`CHECK_CH`.
+        horizon_s: simulated-time liveness bound; a job still unfinished
+            at the horizon is reported (not an exception).
+        trace_capacity: optional trace bound — exercises the checker's
+            graceful degradation on truncated history.
+        bug: name from :data:`BUGS` to deliberately break every worker
+            with (checker validation).
+    """
+    pert = perturbation if perturbation is not None else Perturbation()
+    for _t, idx in pert.crashes:
+        if not 1 <= idx < n_workers:
+            raise ReproError(
+                f"crash index {idx} invalid: workstation 0 hosts the "
+                f"Clearinghouse and the cluster has {n_workers} machines"
+            )
+    for _t, idx in pert.reclaims:
+        if not 0 <= idx < n_workers:
+            raise ReproError(f"reclaim index {idx} out of range for {n_workers} machines")
+    if bug is not None and bug not in BUGS:
+        raise ReproError(f"unknown bug {bug!r}; known: {sorted(BUGS)}")
+
+    tiebreak = (
+        random.Random(pert.tiebreak_seed) if pert.tiebreak_seed is not None else None
+    )
+    sim = Simulator(tiebreak_rng=tiebreak)
+    reg = RngRegistry(seed)
+    trace = TraceLog(enabled=True, capacity=trace_capacity)
+    net_params = dataclasses.replace(
+        profile.net, jitter_s=profile.net.jitter_s + pert.latency_jitter_s
+    )
+    network, hosts = build_cluster(
+        sim, n_workers, profile, reg, UniformTopology(net_params), trace
+    )
+    install_network_accounting(network, trace)
+
+    ch = Clearinghouse(sim, network, hosts[0].name, job.name,
+                       ch_config or CHECK_CH, trace)
+
+    base_cfg = worker_config or CHECK_WORKER
+    jitter_rng = reg.stream("start.jitter")
+    workers: List[Worker] = []
+    for i, ws in enumerate(hosts):
+        start_jitter = jitter_rng.random() * 0.02 if i > 0 else 0.0
+        cfg = dataclasses.replace(
+            base_cfg, startup_cost_s=base_cfg.startup_cost_s + start_jitter
+        )
+        workers.append(Worker(
+            sim, ws, network, job, clearinghouse_host=hosts[0].name,
+            config=cfg, rng=reg.stream(f"worker.{i}"), trace=trace,
+        ))
+
+    auditor = DequeAuditor()
+    for w in workers:
+        auditor.attach(w)
+    sim.monitor = lambda _sim: auditor.verify(workers)
+
+    if bug is not None:
+        for w in workers:
+            BUGS[bug](w)
+
+    for t, idx in pert.crashes:
+        _at(sim, t, hosts[idx].crash, name=f"inject-crash@ws{idx:02d}")
+    for t, idx in pert.reclaims:
+        def reclaim(i: int = idx) -> None:
+            w = workers[i]
+            if not w.done and not w.departed and w._run_proc.is_alive:
+                w._run_proc.interrupt("owner-reclaimed")
+        _at(sim, t, reclaim, name=f"inject-reclaim@ws{idx:02d}")
+
+    # Run to completion or the liveness horizon, whichever comes first.
+    while not ch.done.is_set:
+        if sim.peek() > horizon_s:
+            break
+        sim.step()
+    completed = ch.done.is_set
+    if completed:
+        sim.run(until=sim.now + drain_s)  # let the done broadcast land
+
+    result_ok: Optional[bool] = None
+    if completed and expected is not _UNSET:
+        result_ok = ch.result == expected
+    report = check_invariants(
+        trace, workers, completed=completed, auditor=auditor, result_ok=result_ok
+    )
+    return CheckedRun(
+        job_name=job.name,
+        seed=seed,
+        perturbation=pert,
+        bug=bug,
+        completed=completed,
+        result=ch.result,
+        expected=None if expected is _UNSET else expected,
+        report=report,
+        makespan=(ch.finished_at or sim.now) - (ch.started_at or 0.0),
+        trace=trace,
+        workers=workers,
+        clearinghouse=ch,
+        network=network,
+        sim=sim,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _simplifications(pert: Perturbation):
+    """Candidate one-step simplifications, most drastic first."""
+    for i in range(len(pert.crashes)):
+        yield dataclasses.replace(
+            pert, crashes=pert.crashes[:i] + pert.crashes[i + 1:]
+        )
+    for i in range(len(pert.reclaims)):
+        yield dataclasses.replace(
+            pert, reclaims=pert.reclaims[:i] + pert.reclaims[i + 1:]
+        )
+    if pert.latency_jitter_s:
+        yield dataclasses.replace(pert, latency_jitter_s=0.0)
+    if pert.tiebreak_seed is not None:
+        yield dataclasses.replace(pert, tiebreak_seed=None)
+
+
+def shrink_perturbation(
+    make_job: Callable[[], JobProgram],
+    failing: Perturbation,
+    max_runs: int = 40,
+    **run_kwargs: Any,
+) -> Tuple[Perturbation, int]:
+    """Greedy delta-debugging over a failing perturbation.
+
+    Repeatedly tries to remove one component (a crash, a reclaim, the
+    latency jitter, the tie-break shuffle) and keeps any simplification
+    under which the run still violates an invariant, until no single
+    removal preserves the failure or *max_runs* re-executions are spent.
+
+    Returns the minimal failing perturbation found and the number of
+    re-executions used.  ``make_job`` must build a fresh job per call.
+    """
+    current = failing
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for candidate in _simplifications(current):
+            runs += 1
+            if not run_checked(make_job(), perturbation=candidate, **run_kwargs).ok:
+                current = candidate
+                improved = True
+                break
+            if runs >= max_runs:
+                break
+    return current, runs

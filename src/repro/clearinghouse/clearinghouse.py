@@ -83,6 +83,8 @@ class Clearinghouse:
         self.workers: Dict[str, float] = {}
         #: Every worker that ever registered (job_done goes to all).
         self.ever_registered: Set[str] = set()
+        #: Workers declared dead by the death detector (never recruited).
+        self.dead: Set[str] = set()
         self.root_owner: Optional[str] = None
         self.done = Signal(sim)
         self.result: Any = None
@@ -201,9 +203,14 @@ class Clearinghouse:
                 ]
                 for name in dead:
                     del self.workers[name]
+                    self.dead.add(name)
                     if self.trace is not None:
                         self.trace.emit(now, "ch.worker_died", self.host, worker=name)
-                    self._broadcast((P.WORKER_DIED, name))
+                    # To *everyone*, not just current registrants: a
+                    # gracefully-departed victim still holds the redo
+                    # obligation for closures this worker stole from it,
+                    # and must learn of the death to discharge it.
+                    self._broadcast((P.WORKER_DIED, name), to=self.ever_registered)
                     if name == self.root_owner and not self.done.is_set:
                         self._reassign_root()
                 if dead:
@@ -223,13 +230,28 @@ class Clearinghouse:
             self.root_owner = survivors[0]
             self._post(survivors[0], (P.RUN_ROOT,))
         else:
-            self.root_owner = None  # next registrant gets the root
+            # No registered survivors — but retired machines may still
+            # be listening (an idle NOW machine stays available to the
+            # job until JOB_DONE).  Clear the owner so the first worker
+            # to (re-)register inherits the root, and ping every
+            # reachable ex-member to rejoin; pings to crashed hosts are
+            # dropped at the NIC.  Without this, a schedule where the
+            # root owner fail-stops after every other worker retired
+            # strands the job forever.
+            self.root_owner = None
+            for name in sorted(self.ever_registered - self.dead):
+                self._post(name, (P.RUN_ROOT,))
 
     # ------------------------------------------------------------------
     # Broadcast helpers
     # ------------------------------------------------------------------
 
     def _broadcast_peers(self) -> None:
+        if self.trace is not None:
+            # The checker pairs these with per-host deliveries to assert
+            # that no peer update reaches a worker declared dead.
+            self.trace.emit(self.sim.now, "ch.peer_update", self.host,
+                            peers=sorted(self.workers))
         self._broadcast((P.PEER_UPDATE, sorted(self.workers)))
 
     def _broadcast(self, payload: tuple, to: Optional[Set[str]] = None) -> None:

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli ablations [order|victim|initiation|sharing|
                                    retirement|faults|heterogeneity|all]
     python -m repro.cli macro-demo
+    python -m repro.cli check --seeds 100 --app fib
 
 ``--seed`` controls every random stream; runs are fully reproducible.
 """
@@ -114,6 +115,32 @@ def _cmd_macro_demo(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_check(args: argparse.Namespace) -> str:
+    """Fuzz the schedule space and check every run against the runtime
+    invariants (see docs/checking.md)."""
+    from repro.check import fuzz
+
+    def progress(seed, run) -> None:
+        sys.stderr.write("." if run.ok else "F")
+        sys.stderr.flush()
+
+    result = fuzz(
+        app=args.app,
+        n_seeds=args.seeds,
+        start_seed=args.seed,
+        n_workers=args.workers,
+        bug=args.inject_bug,
+        progress=progress,
+    )
+    sys.stderr.write("\n")
+    if not result.ok:
+        # Non-zero exit so CI fails loudly; the summary names the seeds
+        # and prints shrunk reproducing schedules.
+        print(result.summary())
+        raise SystemExit(1)
+    return result.summary()
+
+
 def _cmd_harvest(args: argparse.Namespace) -> str:
     from repro.experiments.harvest import format_harvest, run_harvest
 
@@ -151,6 +178,7 @@ COMMANDS = {
     "macro-demo": _cmd_macro_demo,
     "timeline": _cmd_timeline,
     "harvest": _cmd_harvest,
+    "check": _cmd_check,
 }
 
 
@@ -172,6 +200,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["all", "order", "victim", "initiation", "sharing",
                  "retirement", "faults", "heterogeneity"],
     )
+    chk = sub.add_parser(
+        "check",
+        help="fuzz schedules (tie-breaks, jitter, crashes, reclaims) and "
+             "verify runtime invariants on every run",
+    )
+    chk.add_argument("--seeds", type=int, default=25,
+                     help="number of fuzz seeds to run (default 25)")
+    chk.add_argument("--app", default="fib", choices=["fib", "knary", "shrink"],
+                     help="application to fuzz (default fib)")
+    chk.add_argument("--workers", type=int, default=4,
+                     help="cluster size (default 4)")
+    chk.add_argument("--inject-bug", default=None,
+                     choices=["skip-redo", "drop-migration", "dup-exec"],
+                     help="deliberately break the scheduler to prove the "
+                          "checker catches it")
     args = parser.parse_args(argv)
     started = time.time()
     output = COMMANDS[args.command](args)

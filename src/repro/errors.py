@@ -50,3 +50,7 @@ class MachineCrash(ReproError):
 
 class RuntimeShutdown(ReproError):
     """The real-thread runtime was used after :meth:`shutdown`."""
+
+
+class InvariantViolation(ReproError):
+    """A checked run broke a scheduler invariant (see :mod:`repro.check`)."""

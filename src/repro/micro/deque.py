@@ -10,12 +10,16 @@ exports leaf tasks and therefore steals constantly).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from typing import Callable, Deque, Iterable, List, Optional
 
 from repro.errors import SchedulerError
 from repro.tasks.closure import Closure
 
 _ORDERS = ("lifo", "fifo")
+
+#: Observer callback signature: ``observer(op, closure)`` where *op* is
+#: one of "push", "pop_exec", "pop_steal", "drain", "extend".
+DequeObserver = Callable[[str, Closure], None]
 
 
 class ReadyDeque:
@@ -23,9 +27,14 @@ class ReadyDeque:
 
     ``exec_order="lifo"`` pops work where it is pushed (the head);
     ``steal_order="fifo"`` steals from the opposite end (the tail).
+
+    An optional :attr:`observer` sees every insertion and removal — the
+    invariant checker uses it to verify online that no closure enters or
+    leaves the ready list out of thin air.  It is None (a single
+    predicted branch per operation) in normal runs.
     """
 
-    __slots__ = ("exec_order", "steal_order", "_items")
+    __slots__ = ("exec_order", "steal_order", "_items", "observer")
 
     def __init__(self, exec_order: str = "lifo", steal_order: str = "fifo") -> None:
         if exec_order not in _ORDERS:
@@ -35,6 +44,7 @@ class ReadyDeque:
         self.exec_order = exec_order
         self.steal_order = steal_order
         self._items: Deque[Closure] = deque()
+        self.observer: Optional[DequeObserver] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -45,27 +55,40 @@ class ReadyDeque:
     def push(self, closure: Closure) -> None:
         """Insert a newly-ready task at the head (paper, Figure 1b)."""
         self._items.appendleft(closure)
+        if self.observer is not None:
+            self.observer("push", closure)
 
     def pop_exec(self) -> Optional[Closure]:
         """Take the next task to execute locally, or None if empty."""
         if not self._items:
             return None
         if self.exec_order == "lifo":
-            return self._items.popleft()  # head: most recently pushed
-        return self._items.pop()  # fifo execution (ablation)
+            closure = self._items.popleft()  # head: most recently pushed
+        else:
+            closure = self._items.pop()  # fifo execution (ablation)
+        if self.observer is not None:
+            self.observer("pop_exec", closure)
+        return closure
 
     def pop_steal(self) -> Optional[Closure]:
         """Take the task to hand a thief, or None if empty."""
         if not self._items:
             return None
         if self.steal_order == "fifo":
-            return self._items.pop()  # tail: oldest task (paper, Figure 1c)
-        return self._items.popleft()  # lifo stealing (ablation)
+            closure = self._items.pop()  # tail: oldest task (paper, Figure 1c)
+        else:
+            closure = self._items.popleft()  # lifo stealing (ablation)
+        if self.observer is not None:
+            self.observer("pop_steal", closure)
+        return closure
 
     def drain(self) -> List[Closure]:
         """Remove and return everything (head first) — used by migration."""
         items = list(self._items)
         self._items.clear()
+        if self.observer is not None:
+            for closure in items:
+                self.observer("drain", closure)
         return items
 
     def extend_tail(self, closures: Iterable[Closure]) -> None:
@@ -74,7 +97,11 @@ class ReadyDeque:
         Migrated tasks are old work (like steals, they come from the far
         end of someone's list), so they belong behind local work.
         """
+        closures = list(closures)
         self._items.extend(closures)
+        if self.observer is not None:
+            for closure in closures:
+                self.observer("extend", closure)
 
     def peek_all(self) -> List[Closure]:
         """Snapshot (head first) for tests and debugging."""

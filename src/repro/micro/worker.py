@@ -137,6 +137,26 @@ class Worker:
         self.completed: Set[ClosureId] = set()
         #: After departure: where each of my suspended closures went.
         self.forward_map: Dict[ClosureId, str] = {}
+        #: Redundant state for *migration* redo, symmetric to
+        #: ``outstanding``: every closure this (departed) worker handed
+        #: to a peer, keyed by the adopter.  If the adopter fail-stops,
+        #: the batch is re-migrated to a survivor; without this, work
+        #: evacuated by a graceful departure is unrecoverable when its
+        #: new home crashes (the paper's redo only covers stolen work).
+        self.migrated: Dict[str, List[Closure]] = {}
+        #: Fills this forwarder relayed to migrated closures, retained so
+        #: a re-migration can replay any that were in flight (and so
+        #: dropped) when the adopter crashed.  Duplicate replays are
+        #: rejected slot-wise at the receiver.
+        self._forwarded: Dict[ClosureId, List[tuple]] = {}
+        #: While a departure migration is in flight: argument sends to
+        #: the suspended closures being handed off are parked here until
+        #: the migration's outcome is known (None outside that window).
+        #: Filling the shared closure object mid-handoff would race with
+        #: the peer's adoption: the closure could turn ready *here*, be
+        #: re-enqueued into the already-drained deque, and strand an
+        #: unfillable copy at the peer.
+        self._fill_hold: Optional[List[tuple]] = None
         self.peers: List[str] = [self.name]
         self.victim_policy = make_victim_policy(self.config.victim_policy, self.rng)
 
@@ -197,7 +217,13 @@ class Worker:
 
     def new_cid(self) -> ClosureId:
         self._seq += 1
-        return (self.name, self._seq)
+        cid = (self.name, self._seq)
+        if self.trace is not None:
+            # Every closure birth on this worker (spawn, successor, root,
+            # crash-redo copy) passes through here: the conservation
+            # invariant's "created" set.
+            self.trace.emit(self.sim.now, "closure.new", self.name, cid=cid)
+        return cid
 
     def enqueue_ready(self, closure: Closure, local: bool = False) -> None:
         """Make a ready closure schedulable.
@@ -223,6 +249,9 @@ class Worker:
         """Park a successor closure until its missing arguments arrive."""
         self.suspended[closure.cid] = closure
         self._note_in_use()
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "closure.suspend", self.name,
+                            cid=closure.cid, missing=closure.join_counter)
 
     def deliver(self, continuation: Continuation, value: Any) -> None:
         """send_argument, performed by a task running on this worker."""
@@ -249,16 +278,29 @@ class Worker:
         as a duplicate/stray); False if the target lives elsewhere.
         """
         cid = continuation.target
+        if self._fill_hold is not None and cid in self.suspended:
+            self._fill_hold.append((continuation, value))
+            return True
         closure = self.suspended.get(cid)
         if closure is not None:
             if closure.slot_filled(continuation.slot):
                 self.stats.duplicate_sends += 1
+                if self.trace is not None:
+                    self.trace.emit(self.sim.now, "join.dup", self.name,
+                                    cid=cid, slot=continuation.slot)
                 return True
             if closure.fill(continuation.slot, value):
                 del self.suspended[cid]
                 if self.config.track_completed:
                     self.completed.add(cid)
+                if self.trace is not None:
+                    self.trace.emit(self.sim.now, "join.fill", self.name,
+                                    cid=cid, slot=continuation.slot, remaining=0)
                 self.enqueue_ready(closure)
+            elif self.trace is not None:
+                self.trace.emit(self.sim.now, "join.fill", self.name, cid=cid,
+                                slot=continuation.slot,
+                                remaining=closure.join_counter)
             return True
         if cid in self.forward_map:
             return False  # departed: the caller forwards
@@ -266,6 +308,9 @@ class Worker:
             # A send to a closure of mine that no longer exists: a
             # crash-redo duplicate (the original already ran).
             self.stats.duplicate_sends += 1
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "join.dup", self.name,
+                                cid=cid, slot=continuation.slot)
             return True
         return False
 
@@ -278,6 +323,12 @@ class Worker:
         if dest == self.name:
             self.stats.duplicate_sends += 1
             return
+        if continuation.target in self.forward_map:
+            # Retain the relayed fill: if the adoptee crashes before it
+            # lands, the migration redo replays it to the next home.
+            self._forwarded.setdefault(continuation.target, []).append(
+                (continuation, value)
+            )
         self._post(dest, self.config.port, (P.ARG, continuation, value, sender))
 
     # ------------------------------------------------------------------
@@ -304,7 +355,21 @@ class Worker:
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "worker.start", self.name)
 
-            while not self.done:
+            departed = yield from self._main_loop()
+            if not departed:
+                self._finish("done")
+        except Interrupt as intr:
+            yield from self._on_run_interrupt(intr)
+
+    def _main_loop(self) -> Generator:
+        """Steal/execute until the job ends or this worker departs.
+
+        Returns True if the worker departed (retirement already ran its
+        own finish protocol), False when the loop ended because the job
+        is done.
+        """
+        cfg = self.config
+        while not self.done:
                 if self.paused:
                     # Checkpoint in progress: hold still between tasks.
                     yield self.sim.timeout(cfg.steal_backoff_s)
@@ -336,23 +401,23 @@ class Worker:
                     and not self.suspended_or_deque_nonempty()
                 ):
                     yield from self._depart(reason="retired", migrate_ready=False)
-                    return
+                    return True
                 yield self.sim.timeout(cfg.steal_backoff_s)
+        return False
 
-            self._finish("done")
-        except Interrupt as intr:
-            cause = str(intr.cause)
-            if cause == "machine-crash":
-                self._finish("crashed")
-                return
-            if cause == "worker-stop":
-                # Teardown halt (Worker.stop()): no migration, no protocol.
-                self._finish("stopped")
-                return
-            # Graceful eviction (owner reclaim or priority preemption):
-            # migrate tasks and die.
-            reason = {"owner-reclaimed": "reclaimed"}.get(cause, cause)
-            yield from self._depart(reason=reason, migrate_ready=True)
+    def _on_run_interrupt(self, intr: Interrupt) -> Generator:
+        cause = str(intr.cause)
+        if cause == "machine-crash":
+            self._finish("crashed")
+            return
+        if cause == "worker-stop":
+            # Teardown halt (Worker.stop()): no migration, no protocol.
+            self._finish("stopped")
+            return
+        # Graceful eviction (owner reclaim or priority preemption):
+        # migrate tasks and die.
+        reason = {"owner-reclaimed": "reclaimed"}.get(cause, cause)
+        yield from self._depart(reason=reason, migrate_ready=True)
 
     def suspended_or_deque_nonempty(self) -> bool:
         """True if this worker still holds closures it cannot abandon
@@ -365,7 +430,21 @@ class Worker:
         self.stats.busy_s = self.workstation.cpu_busy_s
         self.exit_reason = reason
         if self.trace is not None:
-            self.trace.emit(self.sim.now, f"worker.exit.{reason}", self.name)
+            if reason == "crashed":
+                # Fail-stop: everything still resident here is lost (the
+                # conservation invariant accounts these against redo).
+                lost = [c.cid for c in self.deque.peek_all()]
+                lost += list(self.suspended)
+                if lost:
+                    self.trace.emit(self.sim.now, "closure.lost", self.name,
+                                    cids=lost, reason="crash")
+            self.trace.emit(
+                self.sim.now, f"worker.exit.{reason}", self.name,
+                deque=len(self.deque), susp=len(self.suspended),
+                failed=self._failed_steals,
+                threshold=self.config.retire_after_failed_steals,
+                port=self.config.port,
+            )
         if self.on_exit:
             self.on_exit(reason)
         self.finished.set(reason)
@@ -376,9 +455,30 @@ class Worker:
         root = Closure(self.new_cid(), self.job.root.name, args, depth=0)
         self.enqueue_ready(root)
 
+    def _on_run_root(self) -> None:
+        """The Clearinghouse lost the root owner and picked (or is
+        recruiting) this machine to restart the root task."""
+        if self.done or self.workstation.crashed:
+            return
+        if self.departed:
+            # Recruitment ping to an ex-member.  Only an idle retired
+            # machine may answer (a reclaimed one belongs to its owner
+            # again); it rejoins and re-registers, and the Clearinghouse
+            # grants run_root to the first registrant after clearing
+            # the owner.
+            self._maybe_rejoin_idle()
+            return
+        self._enqueue_root()
+
     def _execute(self, closure: Closure) -> Generator:
         self.executing = True
         self._note_in_use()
+        if self.trace is not None:
+            # Emitted before the thread function runs: its spawns/sends
+            # take effect synchronously, so by the time a crash interrupt
+            # can land (the cycle-charging yield) the task has executed.
+            self.trace.emit(self.sim.now, "closure.exec", self.name,
+                            cid=closure.cid, thread=closure.thread_name)
         frame = Frame(self, self.workstation.profile, closure)
         ref = self.job.program.resolve(closure.thread_name)
         ref.fn(frame, *closure.call_args())
@@ -409,8 +509,6 @@ class Worker:
             return False
         victim = self.victim_policy.choose(victims)
         self.stats.steal_requests_sent += 1
-        if self.trace is not None:
-            self.trace.emit(self.sim.now, "steal.request", self.name, victim=victim)
         # Replies come back to the worker's *main* socket (tagged with a
         # request id), so a reply that arrives after we stopped waiting —
         # slow link, or we were interrupted by the owner — is adopted by
@@ -418,6 +516,9 @@ class Worker:
         # stolen work on a *crash*, so a lost grant would hang the job.
         self._steal_seq += 1
         req_id = self._steal_seq
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "steal.request", self.name,
+                            victim=victim, req=req_id)
         waiter = Event(self.sim)
         self._steal_waiters[req_id] = waiter
         try:
@@ -460,7 +561,7 @@ class Worker:
                 elif tag == P.WORKER_DIED:
                     self._on_worker_died(payload[1])
                 elif tag == P.RUN_ROOT:
-                    self._enqueue_root()
+                    self._on_run_root()
                 elif tag == P.LOAD:
                     self.peer_loads[payload[1]] = payload[2]
                 elif tag == P.PAUSE:
@@ -497,7 +598,7 @@ class Worker:
             self._note_in_use()
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "steal.grant", self.name,
-                                thief=thief, cid=closure.cid)
+                                thief=thief, cid=closure.cid, req=req_id)
         host, port = msg.reply_addr()
         reply = (P.STEAL_REPLY, closure, self.name, req_id)
         yield self.socket.sendto(reply, host, port, size_bytes=P.estimate_size(reply))
@@ -507,24 +608,58 @@ class Worker:
         waiter = self._steal_waiters.pop(req_id, None)
         if closure is not None:
             if self.done:
-                pass  # job over; the victim's redundant copy is harmless
+                # Job over; the victim's redundant copy is harmless, but
+                # the checker must know the grant terminated here.
+                if self.trace is not None:
+                    self.trace.emit(self.sim.now, "closure.drop", self.name,
+                                    cid=closure.cid, reason="thief-done")
             elif self.departed:
-                # We no longer run tasks: pass the late grant to a peer.
-                yield from self._migrate_with_ack([closure], [])
+                if self._maybe_rejoin_idle():
+                    # Retired for lack of work — and work just arrived.
+                    self.stats.tasks_stolen += 1
+                    self.enqueue_ready(closure, local=True)
+                    if self.trace is not None:
+                        self.trace.emit(self.sim.now, "steal.success",
+                                        self.name, victim=victim,
+                                        cid=closure.cid, req=req_id)
+                else:
+                    # Evacuated: pass the late grant to a peer.
+                    target = yield from self._migrate_with_ack([closure], [])
+                    if target is None and self.trace is not None:
+                        # Nobody took it: the closure is gone (the victim
+                        # still believes we have it and will not redo it
+                        # unless we crash) — surface the loss to the
+                        # checker.
+                        self.trace.emit(self.sim.now, "closure.drop",
+                                        self.name, cid=closure.cid,
+                                        reason="no-peer")
             else:
                 self.stats.tasks_stolen += 1
                 self.enqueue_ready(closure, local=True)
                 if self.trace is not None:
                     self.trace.emit(self.sim.now, "steal.success", self.name,
-                                    victim=victim, cid=closure.cid)
+                                    victim=victim, cid=closure.cid, req=req_id)
         if waiter is not None and not waiter.triggered:
             waiter.succeed(closure is not None)
 
     def _on_migrate(self, msg, ready: List[Closure], suspended: List[Closure], sender: str) -> None:
-        if self.departed or self.done:
-            # We cannot take responsibility; send no ack — the migrating
-            # worker will retry with another peer.
+        if self.done or self.workstation.crashed:
             return
+        if self.departed:
+            if not self.retired or self._run_proc.is_alive:
+                # Reclaimed (the owner has the machine back), or retired
+                # but the old run loop is still mid-departure.  We cannot
+                # take responsibility; send no ack — the migrating worker
+                # will retry with another peer.
+                return
+            # Retired for lack of work — but work just arrived.  The
+            # machine is idle and its owner still permits the job, so it
+            # rejoins the computation (the adaptive join/leave of the
+            # paper's NOW model).  Without this, a schedule where every
+            # live worker retires while an undetected-dead peer holds
+            # the remaining closures would strand the job: the migration
+            # redo that regenerates them would find no adopter.
+            self._rejoin()
         for closure in suspended:
             self.suspended[closure.cid] = closure
         self.deque.extend_tail(ready)
@@ -534,7 +669,8 @@ class Worker:
         self._post(host, port, (P.MIGRATE_ACK, self.name))
         if self.trace is not None:
             self.trace.emit(self.sim.now, "migrate.in", self.name,
-                            sender=sender, n=len(ready) + len(suspended))
+                            sender=sender, n=len(ready) + len(suspended),
+                            cids=[c.cid for c in ready] + [c.cid for c in suspended])
 
     def _on_job_done(self, result: Any) -> None:
         self.done = True
@@ -546,21 +682,175 @@ class Worker:
         self.peers = list(names)
 
     def _on_worker_died(self, dead: str) -> None:
-        """Crash redo: re-enqueue copies of everything *dead* stole from us."""
+        """Crash redo: re-enqueue copies of everything *dead* stole from
+        us, and re-home everything we migrated to it at departure."""
         stolen = self.outstanding.pop(dead, None)
-        if not stolen:
+        if stolen:
+            originals = list(stolen.values())
+            copies = [c.redo_copy(self.new_cid()) for c in originals]
+            self.stats.tasks_redone += len(copies)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "redo", self.name, dead=dead, n=len(copies),
+                    pairs=[(o.cid, c.cid) for o, c in zip(originals, copies)],
+                )
+            if self.departed and not self._maybe_rejoin_idle():
+                # Evacuated: hand the regenerated work to a peer that
+                # explicitly acks adoption — our peer list may be stale
+                # (we stopped fetching updates at departure), so a blind
+                # post could vanish into a dead or departed machine.
+                proc = self.sim.process(
+                    self._redo_handoff(copies, []), name=f"redo-handoff@{self.name}"
+                )
+                self.workstation.register_process(proc)
+            else:
+                for copy in copies:
+                    self.enqueue_ready(copy)
+        self._redo_migrated(dead)
+
+    def _maybe_rejoin_idle(self) -> bool:
+        """Rejoin to adopt work locally, if retired (idle) — else False.
+
+        A retired worker that regenerates lost work is an idle machine
+        with runnable closures in hand: running them itself always beats
+        hunting for an adopter through a peer list frozen at retirement
+        (which may name nobody still alive).
+        """
+        if (
+            self.retired
+            and not self.done
+            and not self.workstation.crashed
+            and not self._run_proc.is_alive
+        ):
+            self._rejoin()
+            return True
+        return False
+
+    def _redo_migrated(self, dead: str) -> None:
+        """Migration redo: the peer that adopted our closures fail-stopped.
+
+        The retained batch must find a new home.  Closures that were (or
+        became) ready are re-issued as redo copies under fresh identities
+        — the adopter may already have executed them, and a re-execution's
+        duplicate sends are dropped at the receivers.  Closures still
+        awaiting arguments keep their identity (continuations elsewhere
+        point at it); the relayed fills retained for them are replayed
+        after the handoff in case any were in flight at the crash.
+        """
+        batch = self.migrated.pop(dead, None)
+        if not batch:
             return
-        copies = [c.redo_copy(self.new_cid()) for c in stolen.values()]
-        self.stats.tasks_redone += len(copies)
+        ready: List[Closure] = []
+        still_suspended: List[Closure] = []
+        pairs = []
+        for closure in batch:
+            if closure.is_ready:
+                copy = closure.redo_copy(self.new_cid())
+                ready.append(copy)
+                pairs.append((closure.cid, copy.cid))
+                # The old identity is finished with: stop forwarding for
+                # it so late duplicate fills terminate here as duplicates.
+                self.forward_map.pop(closure.cid, None)
+                self._forwarded.pop(closure.cid, None)
+            else:
+                still_suspended.append(closure)
+                pairs.append((closure.cid, closure.cid))
+        self.stats.tasks_redone += len(batch)
         if self.trace is not None:
-            self.trace.emit(self.sim.now, "redo", self.name, dead=dead, n=len(copies))
-        if self.departed:
-            target = self._pick_live_peer()
-            if target is not None:
-                self._post(target, self.config.port, (P.MIGRATE, copies, [], self.name))
+            self.trace.emit(self.sim.now, "redo", self.name, dead=dead,
+                            n=len(batch), pairs=pairs)
+        if self.departed and not self._maybe_rejoin_idle():
+            proc = self.sim.process(
+                self._redo_handoff(ready, still_suspended),
+                name=f"redo-migrated@{self.name}",
+            )
+            self.workstation.register_process(proc)
             return
-        for copy in copies:
+        # Rejoined (or a prior redo this event already rejoined us):
+        # adopt the batch locally.
+        for copy in ready:
             self.enqueue_ready(copy)
+        for closure in still_suspended:
+            self.forward_map.pop(closure.cid, None)
+            self.suspended[closure.cid] = closure
+            for continuation, value in self._forwarded.pop(closure.cid, []):
+                self._fill_local(continuation, value)
+
+    def _redo_handoff(self, ready: List[Closure], suspended: List[Closure]) -> Generator:
+        """Post-departure redo: find a live adopter for regenerated work.
+
+        ``suspended`` closures keep their identities: on success the
+        forward map is repointed at the adopter and every fill this
+        worker relayed to the dead adopter is replayed — a fill applied
+        before the crash is rejected slot-wise as a duplicate, while one
+        dropped in flight at the crash would otherwise be lost forever.
+        """
+        try:
+            target = yield from self._migrate_with_ack(ready, suspended)
+        except Interrupt:
+            target = None
+        if target is None:
+            if self.trace is not None:
+                cids = [c.cid for c in ready] + [c.cid for c in suspended]
+                self.trace.emit(self.sim.now, "closure.lost", self.name,
+                                cids=cids, reason="redo-no-peer")
+            return
+        for closure in suspended:
+            self.forward_map[closure.cid] = target
+        for closure in suspended:
+            for continuation, value in self._forwarded.get(closure.cid, ()):
+                self._post(target, self.config.port,
+                           (P.ARG, continuation, value, self.name))
+
+    # ------------------------------------------------------------------
+    # Rejoin after retirement
+    # ------------------------------------------------------------------
+
+    def _rejoin(self) -> None:
+        """Un-retire: restart the run loop and heartbeat to adopt work."""
+        self.departed = False
+        self.retired = False
+        self._failed_steals = 0
+        self.exit_reason = None
+        self.stats.end_time = 0.0
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "worker.rejoin", self.name)
+        self._run_proc = self.sim.process(
+            self._run_rejoined(), name=f"worker-rejoin@{self.name}"
+        )
+        self.workstation.register_process(self._run_proc)
+        if not self._update_proc.is_alive:
+            # (The old heartbeat loop may not have noticed the departure
+            # yet; if it is still running it simply carries on.)
+            self._update_proc = self.sim.process(
+                self._updates(), name=f"worker-upd@{self.name}"
+            )
+            self.workstation.register_process(self._update_proc)
+
+    def _run_rejoined(self) -> Generator:
+        """The run loop of a re-recruited worker: re-register, then work.
+
+        Re-registration restores Clearinghouse heartbeat tracking (and
+        peer visibility); if the root owner died with no survivors, the
+        re-registrant is handed the root again.
+        """
+        try:
+            reply = yield from rpc_call(
+                self.network, self.host, self.ch_host, self.config.ch_rpc_port,
+                P.RPC_REGISTER, self.name,
+            )
+            if reply.get("done"):
+                self._on_job_done(reply.get("result"))
+                self._finish("done")
+                return
+            self.peers = list(reply["peers"])
+            if reply["run_root"]:
+                self._enqueue_root()
+            departed = yield from self._main_loop()
+            if not departed:
+                self._finish("done")
+        except Interrupt as intr:
+            yield from self._on_run_interrupt(intr)
 
     # ------------------------------------------------------------------
     # Sender-initiated balancing (the "push" baseline)
@@ -641,21 +931,42 @@ class Worker:
         ready = self.deque.drain() if migrate_ready else []
         suspended = list(self.suspended.values())
         if ready or suspended:
-            target = yield from self._migrate_with_ack(ready, suspended)
+            self._fill_hold = []
+            try:
+                target = yield from self._migrate_with_ack(ready, suspended)
+            finally:
+                held, self._fill_hold = self._fill_hold, None
             if target is None:
                 if reason == "reclaimed":
                     # Owner wants the machine *now* and nobody took the
                     # work: treat it as a fail-stop.  The closures are
                     # lost; the Clearinghouse times our heartbeat out and
                     # the crash-redo protocol regenerates the work.
+                    if self.trace is not None:
+                        lost = [c.cid for c in ready] + [c.cid for c in suspended]
+                        if lost:
+                            self.trace.emit(self.sim.now, "closure.lost",
+                                            self.name, cids=lost,
+                                            reason="reclaim-failstop")
                     self.suspended.clear()
                     self._finish("crashed")
+                    # Complete the fail-stop: fall silent.  With the
+                    # socket closed, peers' datagrams are dropped at the
+                    # NIC exactly as on a machine crash — a "dead"
+                    # worker that kept receiving would confuse both
+                    # peers and the causality invariant.
+                    self._net_proc.interrupt("reclaim-failstop")
+                    self._update_proc.interrupt("reclaim-failstop")
+                    self.socket.close()
                     return
                 # Voluntary retirement: undo and keep living (the run
-                # loop returns us to stealing).
+                # loop returns us to stealing); replay the parked sends
+                # against the suspended table we kept.
                 self.deque.extend_tail(ready)
                 self.departed = False
                 self.retired = False
+                for continuation, value in held:
+                    self._fill_local(continuation, value)
                 return
             for closure in suspended:
                 self.forward_map[closure.cid] = target
@@ -663,7 +974,13 @@ class Worker:
             self.stats.tasks_migrated_out += len(ready) + len(suspended)
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "migrate.out", self.name,
-                                target=target, n=len(ready) + len(suspended))
+                                target=target, n=len(ready) + len(suspended),
+                                cids=[c.cid for c in ready] + [c.cid for c in suspended])
+            # Sends that arrived mid-handoff chase the closures to their
+            # new home (the forward_map now routes any later ones).
+            for continuation, value in held:
+                self._post(target, self.config.port,
+                           (P.ARG, continuation, value, self.name))
         try:
             yield from rpc_call(
                 self.network, self.host, self.ch_host, self.config.ch_rpc_port,
@@ -672,13 +989,34 @@ class Worker:
         except Exception:
             pass  # Clearinghouse will eventually time us out
         self._finish(reason)
-        if not self.forward_map:
-            # Nothing to forward: release the port now so this machine
-            # can later rejoin the same job with a fresh worker.
+        if self.retired:
+            # Stay reachable.  A retired worker is an idle machine whose
+            # owner still permits the job, so its daemon keeps listening
+            # until JOB_DONE.  Arriving migrated work — a late grant, or
+            # a migration redo after an adopter's crash — re-recruits the
+            # machine via _rejoin; without this, a schedule where every
+            # live worker retires while an undetected-dead peer holds the
+            # remaining work strands the job forever.
+            return
+        if not self.forward_map and not self.outstanding and not self.migrated:
+            # Nothing to forward and no redo obligations — but a steal
+            # reply may still be in
+            # flight to us, and a grant lost here would hang the job
+            # (victims only regenerate stolen work on a *crash*).
+            # Linger one steal-timeout so the net loop can adopt any
+            # straggler and pass it to a live peer, then release the
+            # port so this machine can rejoin the job with a fresh
+            # worker.
+            try:
+                yield self.sim.timeout(self.config.steal_timeout_s)
+            except Interrupt:
+                return  # crashed/stopped while lingering
             self._net_proc.interrupt("departed-no-forwarding")
             self._update_proc.interrupt("departed")
             self.socket.close()
-        # Otherwise the net loop stays alive as a forwarder until JOB_DONE.
+        # Otherwise the net loop stays alive until JOB_DONE — forwarding
+        # sends to migrated closures, and listening for WORKER_DIED so
+        # closures we granted to a since-crashed thief still get redone.
 
     def _migrate_with_ack(self, ready: List[Closure], suspended: List[Closure]) -> Generator:
         """Hand our closures to a peer, requiring an explicit ack.
@@ -707,6 +1045,13 @@ class Worker:
                 if ack_ev in settled:
                     payload = settled[ack_ev].payload
                     if isinstance(payload, tuple) and payload[0] == P.MIGRATE_ACK:
+                        if self.departed and (ready or suspended):
+                            # Redundant state for migration redo: keep
+                            # the batch until JOB_DONE so the adopter's
+                            # crash does not orphan it.
+                            self.migrated.setdefault(target, []).extend(
+                                ready + suspended
+                            )
                         return target
                 else:
                     sock.cancel_recv(ack_ev)

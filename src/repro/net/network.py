@@ -113,6 +113,11 @@ class Network:
         self._cpu_charge: Dict[str, Callable[[float], None]] = {}
         #: Hosts currently crashed (their sockets drop all traffic).
         self._down: set[str] = set()
+        #: Optional hook ``on_drop(message, reason)`` called whenever a
+        #: datagram is discarded (reason: "loss", "down", "unbound").
+        #: The invariant checker installs this to account for closures
+        #: lost in flight; None in normal runs.
+        self.on_drop: Optional[Callable[[Message, str], None]] = None
 
     # -- host / socket management ------------------------------------------
 
@@ -202,6 +207,8 @@ class Network:
             self.counters.dropped_loss += 1
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "net.loss", src, id=msg.msg_id)
+            if self.on_drop is not None:
+                self.on_drop(msg, "loss")
         else:
             flight = params.send_overhead_s + params.transfer_time(size_bytes)
             if params.jitter_s > 0.0:
@@ -249,14 +256,19 @@ class Network:
     def _deliver_local(self, msg: Message) -> None:
         if self.is_down(msg.dst):
             self.counters.dropped_unroutable += 1
+            if self.on_drop is not None:
+                self.on_drop(msg, "down")
             return
         sock = self._sockets.get((msg.dst, msg.dst_port))
         if sock is None:
             self.counters.dropped_unroutable += 1
+            if self.on_drop is not None:
+                self.on_drop(msg, "unbound")
             return
         self.counters.delivered += 1
         if self.trace is not None:
-            self.trace.emit(self.sim.now, "net.loopback", msg.dst, id=msg.msg_id)
+            self.trace.emit(self.sim.now, "net.loopback", msg.dst, id=msg.msg_id,
+                            port=msg.dst_port)
         sock._enqueue(msg)
 
     def _deliver(self, msg: Message, params: NetworkParams) -> None:
@@ -264,12 +276,16 @@ class Network:
             self.counters.dropped_unroutable += 1
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "net.drop.down", msg.dst, id=msg.msg_id)
+            if self.on_drop is not None:
+                self.on_drop(msg, "down")
             return
         sock = self._sockets.get((msg.dst, msg.dst_port))
         if sock is None:
             self.counters.dropped_unroutable += 1
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "net.drop.unbound", msg.dst, id=msg.msg_id)
+            if self.on_drop is not None:
+                self.on_drop(msg, "unbound")
             return
         charge = self._cpu_charge.get(msg.dst)
         if charge:
@@ -277,5 +293,6 @@ class Network:
         self.counters.delivered += 1
         self.counters.received_by_host[msg.dst] = self.counters.received_by_host.get(msg.dst, 0) + 1
         if self.trace is not None:
-            self.trace.emit(self.sim.now, "net.recv", msg.dst, src=msg.src, id=msg.msg_id)
+            self.trace.emit(self.sim.now, "net.recv", msg.dst, src=msg.src,
+                            id=msg.msg_id, port=msg.dst_port)
         sock._enqueue(msg)

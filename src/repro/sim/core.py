@@ -8,6 +8,15 @@ processes waiting on it.
 
 Determinism: events scheduled for the same time are processed in
 (priority, insertion-order) order, so runs are exactly reproducible.
+
+Schedule-space exploration: the insertion-order tie-break is only *one*
+legal interleaving of same-time events.  Setting :attr:`Simulator.tiebreak_rng`
+(a seeded ``random.Random``) replaces the insertion-order key of
+NORMAL-priority events with a random one, yielding a different — but
+still reproducible — interleaving per seed.  The schedule fuzzer in
+:mod:`repro.check` uses this to search for interleaving bugs; URGENT
+events keep strict insertion order because the kernel relies on it for
+its own bookkeeping.
 """
 
 from __future__ import annotations
@@ -259,7 +268,7 @@ class Process(Event):
 class Simulator:
     """The event loop: a clock plus a priority queue of triggered events."""
 
-    def __init__(self) -> None:
+    def __init__(self, tiebreak_rng: Optional[Any] = None) -> None:
         #: Current simulated time in seconds.
         self.now: float = 0.0
         self._heap: List = []
@@ -267,6 +276,14 @@ class Simulator:
         self._active: Optional[Process] = None
         #: Count of processed events (a cheap progress/perf metric).
         self.events_processed = 0
+        #: Optional seeded RNG perturbing same-time NORMAL-event order
+        #: (schedule fuzzing).  None keeps strict insertion order.
+        self.tiebreak_rng = tiebreak_rng
+        #: Optional hook ``monitor(sim)`` called every
+        #: :attr:`monitor_interval` processed events — used by the
+        #: invariant checker for online (mid-run) assertions.
+        self.monitor: Optional[Callable[["Simulator"], None]] = None
+        self.monitor_interval: int = 4096
 
     # -- construction helpers ---------------------------------------------
 
@@ -294,7 +311,13 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        # The sub-key is 0.0 in normal operation (strict insertion order);
+        # under schedule fuzzing it is a random draw, so same-time
+        # NORMAL events are processed in a seed-determined shuffle.
+        sub = 0.0
+        if self.tiebreak_rng is not None and priority == NORMAL:
+            sub = self.tiebreak_rng.random()
+        heapq.heappush(self._heap, (self.now + delay, priority, sub, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -304,7 +327,7 @@ class Simulator:
         """Process exactly one event (advancing the clock to it)."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        time, _prio, _seq, event = heapq.heappop(self._heap)
+        time, _prio, _sub, _seq, event = heapq.heappop(self._heap)
         if time < self.now:
             raise SimulationError("time went backwards (kernel bug)")
         self.now = time
@@ -318,6 +341,8 @@ class Simulator:
             # silently losing the error.
             exc = event._value
             raise exc
+        if self.monitor is not None and self.events_processed % self.monitor_interval == 0:
+            self.monitor(self)
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.

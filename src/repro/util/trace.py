@@ -9,8 +9,9 @@ default because the paper's largest run executes millions of tasks.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -46,25 +47,38 @@ class TraceLog:
             capacity: optional bound; older events are discarded FIFO once
                 the bound is reached, so long runs cannot exhaust memory.
         """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity!r}")
         self.enabled = enabled
         self.capacity = capacity
-        self._events: List[TraceEvent] = []
+        #: Bounded deque: eviction of the oldest event is O(1), so a
+        #: capacity-limited log stays cheap no matter how long the run.
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._dropped = 0
 
     def emit(self, time: float, kind: str, source: str, **detail: Any) -> None:
         """Record one event (no-op when disabled)."""
         if not self.enabled:
             return
+        if self.capacity is not None and len(self._events) == self.capacity:
+            self._dropped += 1  # deque(maxlen) evicts the oldest silently
         self._events.append(TraceEvent(time, kind, source, detail))
-        if self.capacity is not None and len(self._events) > self.capacity:
-            overflow = len(self._events) - self.capacity
-            del self._events[:overflow]
-            self._dropped += overflow
 
     @property
     def dropped(self) -> int:
-        """Number of events discarded due to the capacity bound."""
+        """Number of events discarded due to the capacity bound.
+
+        Consumers that need the *complete* history (e.g. the invariant
+        checker in :mod:`repro.check`) must treat ``dropped > 0`` as
+        "history truncated" and degrade to warnings rather than report
+        false violations.
+        """
         return self._dropped
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event was evicted (history incomplete)."""
+        return self._dropped > 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -100,6 +114,14 @@ class TraceLog:
         for ev in self._events:
             acc[ev.kind] = acc.get(ev.kind, 0) + 1
         return sorted(acc.items())
+
+    def dump(self) -> str:
+        """The whole log as one newline-joined string.
+
+        Stable given a deterministic run: the determinism regression
+        tests compare ``dump()`` outputs byte-for-byte.
+        """
+        return "\n".join(str(ev) for ev in self._events)
 
     def clear(self) -> None:
         self._events.clear()

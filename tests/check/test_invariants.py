@@ -1,0 +1,246 @@
+"""Unit tests for the invariant checker, on hand-built traces.
+
+Each test constructs the smallest synthetic TraceLog that violates (or
+satisfies) exactly one invariant, so a regression in any checker is
+pinned to a single failing test rather than a fuzz seed.
+"""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.util.trace import TraceLog
+from repro.check.invariants import (
+    ALL_INVARIANTS,
+    check_invariants,
+    Violation,
+)
+
+
+def _clean_run_trace() -> TraceLog:
+    """A tiny but fully consistent execution: one spawn, one steal."""
+    t = TraceLog()
+    t.emit(0.00, "closure.new", "ws00", cid=("ws00", 1))
+    t.emit(0.01, "closure.exec", "ws00", cid=("ws00", 1), thread="root")
+    t.emit(0.01, "closure.new", "ws00", cid=("ws00", 2))
+    t.emit(0.01, "closure.new", "ws00", cid=("ws00", 3))
+    t.emit(0.01, "closure.suspend", "ws00", cid=("ws00", 2), missing=1)
+    t.emit(0.02, "steal.request", "ws01", victim="ws00", req=1)
+    t.emit(0.03, "steal.grant", "ws00", thief="ws01", cid=("ws00", 3), req=1)
+    t.emit(0.04, "steal.success", "ws01", victim="ws00", cid=("ws00", 3), req=1)
+    t.emit(0.05, "closure.exec", "ws01", cid=("ws00", 3), thread="leaf")
+    t.emit(0.06, "join.fill", "ws00", cid=("ws00", 2), slot=1, remaining=0)
+    t.emit(0.07, "closure.exec", "ws00", cid=("ws00", 2), thread="succ")
+    t.emit(0.08, "ch.result", "ws00", sender="ws00")
+    return t
+
+
+def test_clean_trace_passes_every_invariant():
+    report = check_invariants(_clean_run_trace(), completed=True)
+    assert report.ok
+    assert report.checked == ALL_INVARIANTS
+    assert "OK" in report.summary()
+
+
+def test_require_ok_raises_with_summary():
+    t = TraceLog()
+    report = check_invariants(t, completed=False)
+    assert not report.ok
+    with pytest.raises(InvariantViolation, match="liveness"):
+        report.require_ok()
+
+
+def test_liveness_flags_incomplete_and_wrong_result():
+    incomplete = check_invariants(_clean_run_trace(), completed=False)
+    assert incomplete.by_invariant("liveness")
+    wrong = check_invariants(_clean_run_trace(), completed=True, result_ok=False)
+    assert any("wrong result" in v.message for v in wrong.by_invariant("liveness"))
+    right = check_invariants(_clean_run_trace(), completed=True, result_ok=True)
+    assert right.ok
+
+
+def test_conservation_catches_double_execution():
+    t = _clean_run_trace()
+    t.emit(0.09, "closure.exec", "ws00", cid=("ws00", 3), thread="leaf")
+    report = check_invariants(t, completed=True)
+    bad = report.by_invariant("conservation")
+    assert len(bad) == 1 and "executed 2 times" in bad[0].message
+
+
+def test_conservation_catches_leaked_closure():
+    t = _clean_run_trace()
+    t.emit(0.005, "closure.new", "ws00", cid=("ws00", 99))  # never runs
+    report = check_invariants(t, completed=True)
+    assert any("neither executed" in v.message
+               for v in report.by_invariant("conservation"))
+
+
+def test_conservation_accepts_explicit_loss():
+    t = _clean_run_trace()
+    t.emit(0.005, "closure.new", "ws00", cid=("ws00", 99))
+    t.emit(0.006, "closure.lost", "ws02", cids=[("ws00", 99)], reason="crash")
+    assert check_invariants(t, completed=True).ok
+
+
+def test_conservation_redo_obligation():
+    """A grant to a since-dead thief must be redone by the victim."""
+    t = _clean_run_trace()
+    t.emit(0.09, "worker.exit.crashed", "ws01", deque=0, susp=0,
+           failed=0, threshold=None)
+    t.emit(0.10, "ch.worker_died", "ws00", worker="ws01")
+    report = check_invariants(t, completed=True)
+    bad = report.by_invariant("conservation")
+    assert len(bad) == 1 and "never redid" in bad[0].message
+
+    # The same trace with the redo recorded is clean.
+    t.emit(0.11, "redo", "ws00", dead="ws01", n=1,
+           pairs=[(("ws00", 3), ("ws00", 4))])
+    t.emit(0.12, "closure.new", "ws00", cid=("ws00", 4))
+    t.emit(0.13, "closure.exec", "ws00", cid=("ws00", 4), thread="leaf")
+    assert check_invariants(t, completed=True).ok
+
+
+def test_redo_obligation_exempts_fail_stopped_victim():
+    """A victim whose own machine fail-stopped cannot redo (its redundant
+    state died with it — the double-failure case)."""
+    t = _clean_run_trace()
+    t.emit(0.085, "closure.lost", "ws00", cids=[("ws00", 3)], reason="crash")
+    t.emit(0.09, "worker.exit.crashed", "ws00", deque=0, susp=0,
+           failed=0, threshold=None)
+    t.emit(0.10, "ch.worker_died", "ws00", worker="ws01")
+    assert check_invariants(t, completed=True).ok
+
+
+def test_redo_obligation_uses_last_exit_of_rejoined_victim():
+    """retire -> rejoin -> crash: the victim's final state is crashed, so
+    the exemption applies even though its first exit was a retirement."""
+    t = _clean_run_trace()
+    t.emit(0.084, "worker.exit.retired", "ws00", deque=0, susp=0,
+           failed=4, threshold=4)
+    t.emit(0.085, "worker.rejoin", "ws00")
+    t.emit(0.086, "closure.lost", "ws00", cids=[("ws00", 3)], reason="crash")
+    t.emit(0.087, "worker.exit.crashed", "ws00", deque=0, susp=0,
+           failed=0, threshold=4)
+    t.emit(0.10, "ch.worker_died", "ws00", worker="ws01")
+    assert check_invariants(t, completed=True).ok
+
+
+def test_join_counter_overfill():
+    t = _clean_run_trace()
+    t.emit(0.065, "join.fill", "ws00", cid=("ws00", 2), slot=2, remaining=0)
+    report = check_invariants(t, completed=True)
+    assert any("counter went negative" in v.message
+               for v in report.by_invariant("join-counter"))
+
+
+def test_join_counter_fill_without_suspend():
+    t = _clean_run_trace()
+    t.emit(0.065, "join.fill", "ws00", cid=("ws00", 77), slot=0, remaining=0)
+    report = check_invariants(t, completed=True)
+    assert any("never suspended" in v.message
+               for v in report.by_invariant("join-counter"))
+
+
+def test_join_counter_executed_with_unfilled_slots():
+    t = TraceLog()
+    t.emit(0.0, "closure.new", "ws00", cid=("ws00", 1))
+    t.emit(0.0, "closure.suspend", "ws00", cid=("ws00", 1), missing=2)
+    t.emit(0.1, "join.fill", "ws00", cid=("ws00", 1), slot=0, remaining=1)
+    t.emit(0.2, "closure.exec", "ws00", cid=("ws00", 1), thread="x")
+    report = check_invariants(t, completed=True)
+    assert any("still unfilled" in v.message
+               for v in report.by_invariant("join-counter"))
+
+
+def test_causality_grant_without_request():
+    t = _clean_run_trace()
+    t.emit(0.09, "steal.grant", "ws00", thief="ws02", cid=("ws00", 9), req=7)
+    t.emit(0.095, "closure.lost", "ws00", cids=[("ws00", 9)], reason="test")
+    report = check_invariants(t, completed=True)
+    assert any("no preceding steal request" in v.message
+               for v in report.by_invariant("causality"))
+
+
+def test_causality_grant_from_wrong_victim():
+    t = _clean_run_trace()
+    t.emit(0.06, "steal.request", "ws02", victim="ws00", req=1)
+    t.emit(0.07, "steal.grant", "ws03", thief="ws02", cid=("ws00", 9), req=1)
+    t.emit(0.095, "closure.lost", "ws03", cids=[("ws00", 9)], reason="test")
+    report = check_invariants(t, completed=True)
+    assert any("targeted ws00 but was granted by ws03" in v.message
+               for v in report.by_invariant("causality"))
+
+
+def test_causality_delivery_to_dead_worker():
+    t = _clean_run_trace()
+    t.emit(0.09, "worker.exit.crashed", "ws01", deque=0, susp=0,
+           failed=0, threshold=None)
+    t.emit(0.095, "net.recv", "ws01", src="ws00")
+    t.emit(0.10, "redo", "ws00", dead="ws01", n=1,
+           pairs=[(("ws00", 3), ("ws00", 4))])
+    t.emit(0.10, "ch.worker_died", "ws00", worker="ws01")
+    report = check_invariants(t, completed=True)
+    assert any("after its worker crashed" in v.message
+               for v in report.by_invariant("causality"))
+
+
+def test_migration_lost_closure_detected():
+    t = _clean_run_trace()
+    t.emit(0.09, "migrate.out", "ws00", target="ws01", n=2,
+           cids=[("ws00", 5), ("ws00", 6)])
+    t.emit(0.10, "migrate.in", "ws01", sender="ws00", n=1, cids=[("ws00", 5)])
+    report = check_invariants(t, completed=True)
+    bad = report.by_invariant("migration")
+    assert len(bad) == 1
+    assert "('ws00', 6)" in bad[0].message
+
+
+def test_retirement_with_work_in_hand():
+    t = _clean_run_trace()
+    t.emit(0.09, "worker.exit.retired", "ws01", deque=2, susp=0,
+           failed=5, threshold=4)
+    report = check_invariants(t, completed=True)
+    assert any("retired holding" in v.message
+               for v in report.by_invariant("retirement"))
+
+
+def test_retirement_below_threshold():
+    t = _clean_run_trace()
+    t.emit(0.09, "worker.exit.retired", "ws01", deque=0, susp=0,
+           failed=2, threshold=4)
+    report = check_invariants(t, completed=True)
+    assert any("only 2" in v.message for v in report.by_invariant("retirement"))
+
+
+def test_retirement_checked_for_every_exit_of_a_rejoined_worker():
+    """Both retirements of a retire->rejoin->retire worker are audited."""
+    t = _clean_run_trace()
+    t.emit(0.09, "worker.exit.retired", "ws01", deque=0, susp=0,
+           failed=4, threshold=4)
+    t.emit(0.10, "worker.rejoin", "ws01")
+    t.emit(0.11, "worker.exit.retired", "ws01", deque=1, susp=0,
+           failed=4, threshold=4)
+    report = check_invariants(t, completed=True)
+    assert any("retired holding" in v.message
+               for v in report.by_invariant("retirement"))
+
+
+def test_truncated_trace_degrades_to_warning():
+    """With evicted history the checker must not cry wolf: it skips the
+    history-dependent invariants and says so."""
+    full = _clean_run_trace()
+    t = TraceLog(capacity=3)
+    for ev in full:
+        t.emit(ev.time, ev.kind, ev.source, **ev.detail)
+    assert t.truncated
+    report = check_invariants(t, completed=True)
+    assert report.ok  # no false conservation violations from missing births
+    assert report.warnings and "truncated" in report.warnings[0]
+    assert "conservation" not in report.checked
+    assert "retirement" in report.checked
+
+
+def test_violation_str_carries_evidence():
+    v = Violation("conservation", "closure gone", time=1.5,
+                  evidence={"cid": ("ws00", 1)})
+    s = str(v)
+    assert "conservation" in s and "t=1.5" in s and "ws00" in s

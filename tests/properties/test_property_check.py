@@ -1,0 +1,71 @@
+"""Property tests over the checked-run harness.
+
+The strongest statement in this suite: for *any* seed-derived schedule
+perturbation — shuffled tie-breaks, jitter, a crash, a reclaim — the
+scheduler completes the job with the right answer and no invariant
+violation.  Hypothesis hunts the seed space for counterexamples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import APPS, Perturbation, run_checked
+from repro.check.fuzzer import AppSpec
+
+
+def _checked(spec: AppSpec, seed: int, n_workers: int = 4):
+    return run_checked(
+        spec.make(),
+        n_workers=n_workers,
+        seed=seed,
+        perturbation=Perturbation.generate(seed, n_workers),
+        expected=spec.expected,
+        worker_config=spec.worker_config,
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_any_fib_schedule_is_clean(seed):
+    run = _checked(APPS["fib"], seed)
+    assert run.completed, run.report.summary()
+    assert run.result == APPS["fib"].expected
+    run.require_ok()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_any_shrink_retirement_schedule_is_clean(seed):
+    """Retirement + faults: the hardest protocol corner (departed
+    forwarders, migration redo, rejoin of retired workers)."""
+    run = _checked(APPS["shrink"], seed)
+    assert run.completed, run.report.summary()
+    run.require_ok()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_workers=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=15, deadline=None)
+def test_cluster_size_does_not_break_invariants(seed, n_workers):
+    run = _checked(APPS["knary"], seed, n_workers=n_workers)
+    assert run.completed, run.report.summary()
+    assert run.result == APPS["knary"].expected
+    run.require_ok()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_perturbation_generation_total_and_bounded(seed):
+    """generate() accepts any seed and always yields a legal schedule:
+    crashes never hit the Clearinghouse host, faults stay in-window."""
+    pert = Perturbation.generate(seed, 4)
+    for t, idx in pert.crashes:
+        assert 1 <= idx < 4
+        assert 0.012 <= t <= 0.06
+    for t, idx in pert.reclaims:
+        assert 0 <= idx < 4
+        assert 0.012 <= t <= 0.06
+    assert 0.0 <= pert.latency_jitter_s <= 2.0e-3
+    assert pert == Perturbation.generate(seed, 4)  # stable

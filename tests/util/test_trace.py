@@ -28,6 +28,44 @@ def test_capacity_drops_oldest():
     assert [ev.detail["i"] for ev in log] == [2, 3, 4]
 
 
+def test_truncated_flag_tracks_eviction():
+    log = TraceLog(capacity=2)
+    log.emit(0.0, "a", "s")
+    log.emit(1.0, "b", "s")
+    assert not log.truncated  # at capacity but nothing evicted yet
+    log.emit(2.0, "c", "s")
+    assert log.truncated
+    assert log.dropped == 1
+    log.clear()
+    assert not log.truncated  # clear() resets the truncation record
+
+
+def test_unbounded_log_never_truncates():
+    log = TraceLog()
+    for i in range(1000):
+        log.emit(float(i), "k", "s")
+    assert not log.truncated
+    assert log.dropped == 0
+
+
+def test_dump_is_stable_and_ordered():
+    """dump() is the determinism fingerprint: identical emissions must
+    produce identical bytes, in emission order, detail keys sorted."""
+
+    def build():
+        log = TraceLog()
+        log.emit(0.25, "steal.grant", "ws02", thief="ws01", cid=("ws02", 7))
+        log.emit(0.5, "net.recv", "ws01", src="ws02", id=3)
+        return log
+
+    a, b = build().dump(), build().dump()
+    assert a == b
+    lines = a.splitlines()
+    assert len(lines) == 2
+    assert "steal.grant" in lines[0] and "net.recv" in lines[1]
+    assert "cid=('ws02', 7) thief=ws01" in lines[0]  # sorted detail keys
+
+
 def test_where_predicate():
     log = TraceLog()
     for i in range(10):
