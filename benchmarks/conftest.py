@@ -10,6 +10,30 @@ with ``-s``.
 
 import pytest
 
+#: Root seed shared by every benchmark in this directory.  All exhibits
+#: are regenerated from the same random stream, so the shape assertions
+#: below (who wins, by what factor) describe one reproducible universe —
+#: the same one ``python -m repro.cli`` produces with its default seed.
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    """The shared root seed for every seeded run in the benchmark suite."""
+    return BENCH_SEED
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a regenerated exhibit to the real terminal (visible with -s)."""
+
+    def _show(text):
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
 
 @pytest.fixture
 def once(benchmark):

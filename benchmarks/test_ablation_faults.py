@@ -3,8 +3,8 @@
 from repro.experiments.ablations import format_fault_ablation, run_fault_ablation
 
 
-def test_fault_ablation(once, capsys):
-    rows = once(run_fault_ablation)
+def test_fault_ablation(once, show, bench_seed):
+    rows = once(run_fault_ablation, seed=bench_seed)
     by_crashes = {r.crashes: r for r in rows}
 
     # Exactness under every crash count — the headline property.
@@ -16,6 +16,4 @@ def test_fault_ablation(once, capsys):
     assert by_crashes[2].makespan_s >= by_crashes[1].makespan_s
     assert by_crashes[2].tasks_redone >= by_crashes[1].tasks_redone
 
-    with capsys.disabled():
-        print()
-        print(format_fault_ablation(rows))
+    show(format_fault_ablation(rows))

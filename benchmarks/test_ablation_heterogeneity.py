@@ -6,8 +6,8 @@ from repro.experiments.ablations import (
 )
 
 
-def test_heterogeneity_ablation(once, capsys):
-    rows = once(run_heterogeneity_ablation)
+def test_heterogeneity_ablation(once, show, bench_seed):
+    rows = once(run_heterogeneity_ablation, seed=bench_seed)
     by_variant = {r.variant: r for r in rows}
 
     assert all(r.correct for r in rows)
@@ -26,6 +26,4 @@ def test_heterogeneity_ablation(once, capsys):
     lifo_penalty = lifo_slow.avg_time_s / lifo_uniform.avg_time_s
     assert lifo_penalty > fifo_penalty
 
-    with capsys.disabled():
-        print()
-        print(format_heterogeneity_ablation(rows))
+    show(format_heterogeneity_ablation(rows))

@@ -7,8 +7,8 @@ from repro.experiments.ablations import (
 )
 
 
-def test_initiation_ablation(once, capsys):
-    rows = once(run_initiation_ablation)
+def test_initiation_ablation(once, show, bench_seed):
+    rows = once(run_initiation_ablation, seed=bench_seed)
     steal, central, push = rows
 
     assert all(r.correct for r in rows)
@@ -26,6 +26,4 @@ def test_initiation_ablation(once, capsys):
     assert push.migrated > 10 * max(1, steal.tasks_stolen)
     assert steal.migrated == 0
 
-    with capsys.disabled():
-        print()
-        print(format_initiation_ablation(rows))
+    show(format_initiation_ablation(rows))

@@ -3,8 +3,8 @@
 from repro.experiments.ablations import format_order_ablation, run_order_ablation
 
 
-def test_order_ablation(once, capsys):
-    rows = once(run_order_ablation)
+def test_order_ablation(once, show, bench_seed):
+    rows = once(run_order_ablation, seed=bench_seed)
     by_variant = {r.variant: r for r in rows}
     paper = by_variant["exec=lifo steal=fifo (paper)"]
     fifo_exec = by_variant["exec=fifo steal=fifo"]
@@ -24,6 +24,4 @@ def test_order_ablation(once, capsys):
     assert paper.avg_time_s == min(r.avg_time_s for r in rows)
     assert worst.avg_time_s > 2 * paper.avg_time_s
 
-    with capsys.disabled():
-        print()
-        print(format_order_ablation(rows))
+    show(format_order_ablation(rows))

@@ -6,8 +6,8 @@ from repro.experiments.ablations import (
 )
 
 
-def test_retirement_ablation(once, capsys):
-    rows = once(run_retirement_ablation)
+def test_retirement_ablation(once, show, bench_seed):
+    rows = once(run_retirement_ablation, seed=bench_seed)
     by_threshold = {r.retire_after: r for r in rows}
 
     assert all(r.correct for r in rows)
@@ -22,6 +22,4 @@ def test_retirement_ablation(once, capsys):
     # ...which raises the mean busy fraction of participating machines.
     assert eager.mean_busy_fraction > never.mean_busy_fraction
 
-    with capsys.disabled():
-        print()
-        print(format_retirement_ablation(rows))
+    show(format_retirement_ablation(rows))

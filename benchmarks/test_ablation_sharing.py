@@ -3,8 +3,8 @@
 from repro.experiments.ablations import format_sharing_ablation, run_sharing_ablation
 
 
-def test_sharing_ablation(once, capsys):
-    cmp = once(run_sharing_ablation)
+def test_sharing_ablation(once, show, bench_seed):
+    cmp = once(run_sharing_ablation, seed=bench_seed)
 
     # Tucker & Gupta's result, the macro scheduler's design basis:
     # space-sharing wins on mean completion time.
@@ -12,6 +12,4 @@ def test_sharing_ablation(once, capsys):
     # And even on makespan, time-sharing pays the switch overhead.
     assert cmp.time_makespan >= cmp.space_makespan * 0.95
 
-    with capsys.disabled():
-        print()
-        print(format_sharing_ablation(cmp))
+    show(format_sharing_ablation(cmp))

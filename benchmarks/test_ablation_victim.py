@@ -3,8 +3,8 @@
 from repro.experiments.ablations import format_victim_ablation, run_victim_ablation
 
 
-def test_victim_ablation(once, capsys):
-    rows = once(run_victim_ablation)
+def test_victim_ablation(once, show, bench_seed):
+    rows = once(run_victim_ablation, seed=bench_seed)
     random_row, rr_row = rows
 
     assert all(r.correct for r in rows)
@@ -16,6 +16,4 @@ def test_victim_ablation(once, capsys):
     for r in rows:
         assert r.tasks_stolen < 1000
 
-    with capsys.disabled():
-        print()
-        print(format_victim_ablation(rows))
+    show(format_victim_ablation(rows))

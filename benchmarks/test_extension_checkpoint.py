@@ -7,12 +7,13 @@ SEQ = "HPHPPHHPHPPH"
 SCALE = 60.0
 
 
-def test_checkpoint_restart(once, capsys):
+def test_checkpoint_restart(once, show, bench_seed):
     checkpoint, restored = once(
         checkpoint_and_kill_run,
         pfold_job(SEQ, work_scale=SCALE),
         4,
         4.0,  # checkpoint 4 simulated seconds in (~half way)
+        seed=bench_seed,
     )
 
     expected = pfold_serial(SEQ, work_scale=SCALE).result
@@ -27,11 +28,10 @@ def test_checkpoint_restart(once, capsys):
     total = execute_serially(pfold_job(SEQ, work_scale=SCALE)).tasks_executed
     assert restored.stats.tasks_executed < total
 
-    with capsys.disabled():
-        print(
-            f"\ncheckpoint at t={checkpoint.taken_at:.2f}s captured "
-            f"{checkpoint.live_closures} live closures on "
-            f"{len(checkpoint.workers)} machines; restored run executed "
-            f"{restored.stats.tasks_executed:,}/{total:,} tasks and produced "
-            f"the exact histogram."
-        )
+    show(
+        f"checkpoint at t={checkpoint.taken_at:.2f}s captured "
+        f"{checkpoint.live_closures} live closures on "
+        f"{len(checkpoint.workers)} machines; restored run executed "
+        f"{restored.stats.tasks_executed:,}/{total:,} tasks and produced "
+        f"the exact histogram."
+    )

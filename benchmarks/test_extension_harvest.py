@@ -3,8 +3,8 @@
 from repro.experiments.harvest import format_harvest, run_harvest
 
 
-def test_harvest(once, capsys):
-    report = once(run_harvest)
+def test_harvest(once, show, bench_seed):
+    report = once(run_harvest, seed=bench_seed)
 
     # Everything submitted finished, exactly.
     assert report.jobs_completed == report.n_jobs
@@ -18,6 +18,4 @@ def test_harvest(once, capsys):
     assert report.workers_reclaimed >= 1
     assert report.workers_started > report.n_jobs  # machines joined & rejoined
 
-    with capsys.disabled():
-        print()
-        print(format_harvest(report))
+    show(format_harvest(report))

@@ -3,8 +3,8 @@
 from repro.experiments.figures import format_figure4, run_speedup_curve
 
 
-def test_figure4(once, capsys):
-    points = once(run_speedup_curve)
+def test_figure4(once, show, bench_seed):
+    points = once(run_speedup_curve, seed=bench_seed)
 
     by_p = {pt.participants: pt for pt in points}
     assert set(by_p) == {1, 2, 4, 8, 16, 32}
@@ -19,6 +19,4 @@ def test_figure4(once, capsys):
         ratio = by_p[p].average_time_s / by_p[2 * p].average_time_s
         assert 1.5 < ratio < 2.5  # halving P-steps roughly halve time
 
-    with capsys.disabled():
-        print()
-        print(format_figure4(points))
+    show(format_figure4(points))

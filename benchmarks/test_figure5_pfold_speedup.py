@@ -3,8 +3,8 @@
 from repro.experiments.figures import format_figure5, run_speedup_curve
 
 
-def test_figure5(once, capsys):
-    points = once(run_speedup_curve)
+def test_figure5(once, show, bench_seed):
+    points = once(run_speedup_curve, seed=bench_seed)
 
     by_p = {pt.participants: pt for pt in points}
 
@@ -24,6 +24,4 @@ def test_figure5(once, capsys):
         if pt.participants > 1:
             assert pt.tasks_stolen < 2e-2 * 64832
 
-    with capsys.disabled():
-        print()
-        print(format_figure5(points))
+    show(format_figure5(points))

@@ -49,25 +49,25 @@ def test_kernel_process_switch_rate(benchmark):
     assert benchmark(ping_pong) > 0
 
 
-def test_simulated_fib_task_rate(benchmark):
+def test_simulated_fib_task_rate(benchmark, bench_seed):
     """End-to-end simulated task execution rate (1 worker, fib(16))."""
     from repro.apps.fib import fib_job, fib_serial
     from repro.phish import run_job
 
     def run():
-        return run_job(fib_job(16), n_workers=1, seed=0)
+        return run_job(fib_job(16), n_workers=1, seed=bench_seed)
 
     result = benchmark(run)
     assert result.result == fib_serial(16)
 
 
-def test_steal_round_trip(benchmark):
+def test_steal_round_trip(benchmark, bench_seed):
     """Wall cost of a full simulated steal protocol exchange."""
     from repro.apps.pfold import pfold_job
     from repro.phish import run_job
 
     def run():
-        return run_job(pfold_job("HPHPPHHP"), n_workers=2, seed=0)
+        return run_job(pfold_job("HPHPPHHP"), n_workers=2, seed=bench_seed)
 
     result = benchmark(run)
     assert result.result is not None

@@ -3,8 +3,8 @@
 from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
 
 
-def test_table1(once, capsys):
-    rows = once(run_table1)
+def test_table1(once, show, bench_seed):
+    rows = once(run_table1, seed=bench_seed)
 
     assert len(rows) == 6
     # Shape: fib is the worst case, ray is essentially free.
@@ -20,6 +20,4 @@ def test_table1(once, capsys):
     for row in rows:
         assert row.relative_error < 0.25
 
-    with capsys.disabled():
-        print()
-        print(format_table1(rows))
+    show(format_table1(rows))

@@ -3,8 +3,8 @@
 from repro.experiments.table2 import format_table2, run_table2
 
 
-def test_table2(once, capsys):
-    columns = once(run_table2)
+def test_table2(once, show, bench_seed):
+    columns = once(run_table2, seed=bench_seed)
 
     col4, col8 = columns
     assert col4.participants == 4 and col8.participants == 8
@@ -29,6 +29,4 @@ def test_table2(once, capsys):
     ratio = col4.rows["Execution time"] / col8.rows["Execution time"]
     assert 1.6 < ratio < 2.4  # paper: 182/94 = 1.94
 
-    with capsys.disabled():
-        print()
-        print(format_table2(columns))
+    show(format_table2(columns))

@@ -1,0 +1,229 @@
+"""Benchmark driver behind ``python -m repro.cli bench``.
+
+Measures the simulation substrate itself — the thing that bounds how
+large a reproduction run can get — and records the numbers in
+``BENCH_kernel.json`` so later changes have a trajectory to beat:
+
+* ``kernel``: raw timeout throughput of the DES kernel (the same 10k-event
+  workload as ``benchmarks/test_kernel_throughput.py``).
+* ``process_switch``: generator-process ping-pong through a Store.
+* ``fib`` / ``knary``: end-to-end macro-benchmarks — a full simulated
+  cluster (workers, Clearinghouse, network) executing the paper's
+  synthetic applications.
+
+All wall-clock numbers are best-of-``repeats``: the minimum over several
+runs is the standard low-noise estimator for CPU-bound microbenchmarks
+(mean and max measure the machine's background load, not the code).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Results file name; lives at the repository root by convention.
+DEFAULT_OUT = "BENCH_kernel.json"
+
+#: Schema version of the JSON payload.
+SCHEMA = 1
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
+    """(best wall seconds, last return value) over *repeats* calls.
+
+    The collector is paused around each timed call: cyclic GC pauses
+    scale with the size of the *host* process's heap (a pytest session
+    holds far more live objects than the CLI), which would otherwise
+    make the same workload measure very differently in different
+    harnesses.
+    """
+    best = float("inf")
+    value = None
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(max(1, repeats)):
+            gc.disable()
+            t0 = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - t0
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect(1)
+            if elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best, value
+
+
+def bench_kernel(n_events: int = 10_000, repeats: int = 10) -> Dict[str, Any]:
+    """Raw timeout scheduling + processing rate of the DES kernel.
+
+    Mirrors ``test_kernel_event_throughput`` exactly so the recorded
+    number and the pytest-benchmark number describe the same workload.
+    """
+    from repro.sim.core import Simulator
+
+    def run() -> int:
+        sim = Simulator()
+        for i in range(n_events):
+            sim.timeout(float(i % 97))
+        sim.run()
+        return sim.events_processed
+
+    best_s, processed = _best_of(run, repeats)
+    assert processed == n_events
+    return {
+        "n_events": n_events,
+        "repeats": repeats,
+        "best_s": best_s,
+        "events_per_s": n_events / best_s,
+    }
+
+
+def bench_process_switch(n_roundtrips: int = 1_000, repeats: int = 5) -> Dict[str, Any]:
+    """Generator-process ping-pong through a Store (context-switch cost)."""
+    from repro.sim.core import Simulator
+    from repro.sim.resources import Store
+
+    def run() -> int:
+        sim = Simulator()
+        a_to_b, b_to_a = Store(sim), Store(sim)
+
+        def ping(sim):
+            for i in range(n_roundtrips):
+                yield a_to_b.put(i)
+                yield b_to_a.get()
+
+        def pong(sim):
+            for _ in range(n_roundtrips):
+                value = yield a_to_b.get()
+                yield b_to_a.put(value)
+
+        sim.process(ping(sim))
+        sim.process(pong(sim))
+        sim.run()
+        return sim.events_processed
+
+    best_s, events = _best_of(run, repeats)
+    return {
+        "n_roundtrips": n_roundtrips,
+        "repeats": repeats,
+        "best_s": best_s,
+        "events": events,
+        "roundtrips_per_s": n_roundtrips / best_s,
+    }
+
+
+def bench_fib(n: int = 16, workers: int = 4, repeats: int = 3) -> Dict[str, Any]:
+    """Macro-benchmark: simulated cluster executing fib(*n*)."""
+    from repro.apps.fib import fib_job, fib_serial
+    from repro.phish import run_job
+
+    def run():
+        return run_job(fib_job(n), n_workers=workers, seed=0)
+
+    best_s, result = _best_of(run, repeats)
+    assert result.result == fib_serial(n)
+    tasks = result.stats.tasks_executed
+    return {
+        "n": n,
+        "workers": workers,
+        "repeats": repeats,
+        "best_s": best_s,
+        "tasks": tasks,
+        "tasks_per_s": tasks / best_s,
+        "makespan_sim_s": result.makespan,
+    }
+
+
+def bench_knary(n: int = 5, k: int = 5, r: int = 2, workers: int = 4,
+                repeats: int = 3) -> Dict[str, Any]:
+    """Macro-benchmark: the paper's synthetic knary(n, k, r) tree."""
+    from repro.apps.knary import knary_job
+    from repro.phish import run_job
+
+    def run():
+        return run_job(knary_job(n, k, r), n_workers=workers, seed=0)
+
+    best_s, result = _best_of(run, repeats)
+    tasks = result.stats.tasks_executed
+    return {
+        "n": n,
+        "k": k,
+        "r": r,
+        "workers": workers,
+        "repeats": repeats,
+        "best_s": best_s,
+        "tasks": tasks,
+        "tasks_per_s": tasks / best_s,
+        "makespan_sim_s": result.makespan,
+    }
+
+
+def run_bench(repeats: int = 10, quick: bool = False) -> Dict[str, Any]:
+    """Run the whole suite and return the results dict (not yet written)."""
+    macro_repeats = 1 if quick else 3
+    kernel_repeats = max(3, repeats // 3) if quick else repeats
+    return {
+        "schema": SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "kernel": bench_kernel(repeats=kernel_repeats),
+        "process_switch": bench_process_switch(repeats=max(2, kernel_repeats // 2)),
+        "fib": bench_fib(repeats=macro_repeats),
+        "knary": bench_knary(repeats=macro_repeats),
+    }
+
+
+def format_bench(results: Dict[str, Any]) -> str:
+    """Human-readable summary; tolerates partial/empty results dicts.
+
+    Missing sections render as ``(not measured)`` rather than raising —
+    the CLI may be asked to print a hand-edited or truncated file.
+    """
+    from repro.experiments.report import render_table
+
+    rows = []
+    kernel = results.get("kernel") or {}
+    if kernel:
+        rows.append(("kernel events/s", f"{kernel.get('events_per_s', 0):,.0f}",
+                     f"best of {kernel.get('repeats', '?')}"))
+    switch = results.get("process_switch") or {}
+    if switch:
+        rows.append(("process roundtrips/s", f"{switch.get('roundtrips_per_s', 0):,.0f}",
+                     f"best of {switch.get('repeats', '?')}"))
+    for name in ("fib", "knary"):
+        macro = results.get(name) or {}
+        if macro:
+            rows.append((f"{name} tasks/s", f"{macro.get('tasks_per_s', 0):,.0f}",
+                         f"{macro.get('tasks', '?')} tasks, "
+                         f"{macro.get('workers', '?')} workers"))
+    if not rows:
+        rows.append(("(not measured)", "-", "-"))
+    title = "Substrate benchmarks"
+    recorded = results.get("recorded_at")
+    if recorded:
+        title += f" — {recorded}"
+    return render_table(title, ["benchmark", "rate", "notes"], rows)
+
+
+def write_bench(results: Dict[str, Any], out_path: str = DEFAULT_OUT) -> None:
+    """Write *results* as pretty-printed JSON."""
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str = DEFAULT_OUT) -> Optional[Dict[str, Any]]:
+    """Load a recorded results file, or None if absent/unreadable."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None

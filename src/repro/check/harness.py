@@ -105,7 +105,18 @@ class Perturbation:
         if n_workers > 1 and rng.random() < p_reclaim:
             # Any worker may be reclaimed, including the Clearinghouse
             # host's (reclaim only evicts the worker; the CH survives).
-            reclaims.append((lo + rng.random() * (hi - lo), rng.randrange(n_workers)))
+            t = lo + rng.random() * (hi - lo)
+            idx = rng.randrange(n_workers)
+            # Keep at least one worker alive: the checked cluster has no
+            # enlistment path, so a scenario that removes every machine
+            # (possible at n_workers=2: crash one, reclaim the other)
+            # could never complete regardless of scheduler correctness.
+            # The draws above still happen, so every satisfiable seed
+            # produces the exact same perturbation as before.
+            removed = {i for _t, i in crashes}
+            removed.add(idx)
+            if len(removed) < n_workers:
+                reclaims.append((t, idx))
         return cls(
             tiebreak_seed=derive_seed(seed, "check.tiebreak"),
             latency_jitter_s=rng.random() * max_jitter_s,

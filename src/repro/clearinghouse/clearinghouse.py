@@ -81,6 +81,17 @@ class Clearinghouse:
 
         #: Live workers -> last heartbeat time.
         self.workers: Dict[str, float] = {}
+        #: Cached ``sorted(self.workers)``; rebuilt on membership change.
+        #: Shared (never mutated in place) across peer updates and RPC
+        #: replies — heartbeats are frequent, membership changes are not.
+        self._peers_sorted: Optional[List[str]] = None
+        #: Departed workers that still relay fills or hold redo
+        #: obligations -> last heartbeat time.  A forwarder is off the
+        #: peer list but must stay under death surveillance: fills routed
+        #: through a silently-crashed forwarder are dropped forever, and
+        #: only a ``worker_died`` broadcast makes the victims redo the
+        #: lost subtree.
+        self.forwarders: Dict[str, float] = {}
         #: Every worker that ever registered (job_done goes to all).
         self.ever_registered: Set[str] = set()
         #: Workers declared dead by the death detector (never recruited).
@@ -127,15 +138,22 @@ class Clearinghouse:
         if self.started_at is None:
             self.started_at = self.sim.now
         self.workers[name] = self.sim.now
+        self._peers_sorted = None
+        self.forwarders.pop(name, None)  # a rejoining retiree is live again
         self.ever_registered.add(name)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "ch.register", self.host, worker=name)
         self._broadcast_peers()
-        return {"peers": sorted(self.workers), "run_root": run_root, "done": False}
+        return {"peers": self._sorted_workers(), "run_root": run_root, "done": False}
 
     def _rpc_unregister(self, args: Dict[str, Any], _msg) -> bool:
         name = args["name"]
         self.workers.pop(name, None)
+        self._peers_sorted = None
+        if args.get("forwarding"):
+            # Departed but still forwarding/holding redo state: keep it
+            # on heartbeat watch (it reports until JOB_DONE).
+            self.forwarders[name] = self.sim.now
         if self.trace is not None:
             self.trace.emit(self.sim.now, "ch.unregister", self.host, worker=name)
         self._broadcast_peers()
@@ -143,8 +161,10 @@ class Clearinghouse:
 
     def _rpc_update(self, name: str, _msg) -> Dict[str, Any]:
         if name in self.workers:
-            self.workers[name] = self.sim.now  # heartbeat
-        return {"peers": sorted(self.workers), "done": self.done.is_set}
+            self.workers[name] = self.sim.now  # heartbeat (no membership change)
+        elif name in self.forwarders:
+            self.forwarders[name] = self.sim.now  # forwarder heartbeat
+        return {"peers": self._sorted_workers(), "done": self.done.is_set}
 
     def _rpc_io_write(self, args: Dict[str, Any], _msg) -> bool:
         """Buffered worker I/O: 'a user need only watch the Clearinghouse
@@ -203,6 +223,19 @@ class Clearinghouse:
                 ]
                 for name in dead:
                     del self.workers[name]
+                    self._peers_sorted = None
+                # Departed-but-forwarding workers get the same watch: a
+                # forwarder that crashes silently would drop every fill
+                # routed through it, and nobody redoes those without a
+                # death broadcast.
+                dead_forwarders = [
+                    name
+                    for name, last in self.forwarders.items()
+                    if now - last > cfg.death_timeout_s
+                ]
+                for name in dead_forwarders:
+                    del self.forwarders[name]
+                for name in dead + dead_forwarders:
                     self.dead.add(name)
                     if self.trace is not None:
                         self.trace.emit(now, "ch.worker_died", self.host, worker=name)
@@ -246,22 +279,37 @@ class Clearinghouse:
     # Broadcast helpers
     # ------------------------------------------------------------------
 
+    def _sorted_workers(self) -> List[str]:
+        """The (cached) sorted live-worker list.  Callers must not mutate
+        the returned list: it is shared across replies and broadcasts."""
+        peers = self._peers_sorted
+        if peers is None:
+            peers = self._peers_sorted = sorted(self.workers)
+        return peers
+
     def _broadcast_peers(self) -> None:
+        """One membership snapshot, fanned out as a batch: the sorted
+        peer list and the payload tuple are built once and shared across
+        every recipient's datagram."""
+        peers = self._sorted_workers()
         if self.trace is not None:
             # The checker pairs these with per-host deliveries to assert
             # that no peer update reaches a worker declared dead.
             self.trace.emit(self.sim.now, "ch.peer_update", self.host,
-                            peers=sorted(self.workers))
-        self._broadcast((P.PEER_UPDATE, sorted(self.workers)))
+                            peers=peers)
+        self._broadcast((P.PEER_UPDATE, peers), to_sorted=peers)
 
-    def _broadcast(self, payload: tuple, to: Optional[Set[str]] = None) -> None:
-        targets = sorted(to) if to is not None else sorted(self.workers)
-        for name in targets:
+    def _broadcast(self, payload: tuple, to: Optional[Set[str]] = None,
+                   to_sorted: Optional[List[str]] = None) -> None:
+        if to_sorted is None:
+            to_sorted = sorted(to) if to is not None else self._sorted_workers()
+        for name in to_sorted:
             self._post(name, payload)
 
     def _post(self, worker: str, payload: tuple) -> None:
         # Worker name == host name in this model (one worker per host).
-        self.network.transmit(
+        # Fire-and-forget: the Clearinghouse never waits on its sends.
+        self.network.post(
             self.host, self.data_port, worker, self.worker_port, payload,
             P.estimate_size(payload),
         )

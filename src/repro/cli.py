@@ -10,6 +10,7 @@ Usage::
                                    retirement|faults|heterogeneity|all]
     python -m repro.cli macro-demo
     python -m repro.cli check --seeds 100 --app fib
+    python -m repro.cli bench --out BENCH_kernel.json
 
 ``--seed`` controls every random stream; runs are fully reproducible.
 """
@@ -141,6 +142,16 @@ def _cmd_check(args: argparse.Namespace) -> str:
     return result.summary()
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    """Benchmark the simulation substrate and record BENCH_kernel.json
+    (see docs/performance.md)."""
+    from repro.bench import format_bench, run_bench, write_bench
+
+    results = run_bench(repeats=args.repeats, quick=args.quick)
+    write_bench(results, args.out)
+    return format_bench(results) + f"\n\nwrote {args.out}"
+
+
 def _cmd_harvest(args: argparse.Namespace) -> str:
     from repro.experiments.harvest import format_harvest, run_harvest
 
@@ -179,6 +190,7 @@ COMMANDS = {
     "timeline": _cmd_timeline,
     "harvest": _cmd_harvest,
     "check": _cmd_check,
+    "bench": _cmd_bench,
 }
 
 
@@ -200,6 +212,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["all", "order", "victim", "initiation", "sharing",
                  "retirement", "faults", "heterogeneity"],
     )
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulation substrate (kernel event throughput, "
+             "process switching, fib/knary macro runs) and write the "
+             "baseline file",
+    )
+    bench.add_argument("--out", default="BENCH_kernel.json",
+                       help="output JSON path (default BENCH_kernel.json)")
+    bench.add_argument("--repeats", type=int, default=10,
+                       help="kernel-benchmark repetitions; wall numbers are "
+                            "best-of-N (default 10)")
+    bench.add_argument("--quick", action="store_true",
+                       help="fewer repetitions (smoke-test mode)")
     chk = sub.add_parser(
         "check",
         help="fuzz schedules (tie-breaks, jitter, crashes, reclaims) and "

@@ -34,7 +34,8 @@ class ReadyDeque:
     predicted branch per operation) in normal runs.
     """
 
-    __slots__ = ("exec_order", "steal_order", "_items", "observer")
+    __slots__ = ("exec_order", "steal_order", "_exec_head", "_steal_tail",
+                 "_items", "observer")
 
     def __init__(self, exec_order: str = "lifo", steal_order: str = "fifo") -> None:
         if exec_order not in _ORDERS:
@@ -43,6 +44,10 @@ class ReadyDeque:
             raise SchedulerError(f"steal_order must be one of {_ORDERS}, got {steal_order!r}")
         self.exec_order = exec_order
         self.steal_order = steal_order
+        # Orders are fixed at construction; cache them as booleans so the
+        # per-pop dispatch is a predicted branch, not a string compare.
+        self._exec_head = exec_order == "lifo"
+        self._steal_tail = steal_order == "fifo"
         self._items: Deque[Closure] = deque()
         self.observer: Optional[DequeObserver] = None
 
@@ -60,24 +65,26 @@ class ReadyDeque:
 
     def pop_exec(self) -> Optional[Closure]:
         """Take the next task to execute locally, or None if empty."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
-        if self.exec_order == "lifo":
-            closure = self._items.popleft()  # head: most recently pushed
+        if self._exec_head:
+            closure = items.popleft()  # head: most recently pushed
         else:
-            closure = self._items.pop()  # fifo execution (ablation)
+            closure = items.pop()  # fifo execution (ablation)
         if self.observer is not None:
             self.observer("pop_exec", closure)
         return closure
 
     def pop_steal(self) -> Optional[Closure]:
         """Take the task to hand a thief, or None if empty."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
-        if self.steal_order == "fifo":
-            closure = self._items.pop()  # tail: oldest task (paper, Figure 1c)
+        if self._steal_tail:
+            closure = items.pop()  # tail: oldest task (paper, Figure 1c)
         else:
-            closure = self._items.popleft()  # lifo stealing (ablation)
+            closure = items.popleft()  # lifo stealing (ablation)
         if self.observer is not None:
             self.observer("pop_steal", closure)
         return closure

@@ -144,6 +144,13 @@ class Worker:
         #: evacuated by a graceful departure is unrecoverable when its
         #: new home crashes (the paper's redo only covers stolen work).
         self.migrated: Dict[str, List[Closure]] = {}
+        #: True once this worker departed while still holding relay or
+        #: redo duties (forward_map / outstanding / migrated).  A
+        #: forwarder keeps heartbeating the Clearinghouse until JOB_DONE
+        #: so its host's crash is detected like any worker's — fills
+        #: routed through a silently-dead forwarder would otherwise be
+        #: dropped forever and deadlock the job.
+        self._forwarding = False
         #: Fills this forwarder relayed to migrated closures, retained so
         #: a re-migration can replay any that were in flight (and so
         #: dropped) when the adopter crashed.  Duplicate replays are
@@ -435,6 +442,21 @@ class Worker:
                 # conservation invariant accounts these against redo).
                 lost = [c.cid for c in self.deque.peek_all()]
                 lost += list(self.suspended)
+                # Closures can also die in the socket receive buffer: a
+                # steal reply or migration batch that was *delivered* but
+                # not yet picked up by the net loop (busy in a send) when
+                # the crash landed.  The protocol recovers via the
+                # sender's redo obligation; the accounting must still
+                # record where these copies terminated.
+                for msg in self.socket.buffered_messages():
+                    payload = msg.payload
+                    if not isinstance(payload, tuple) or not payload:
+                        continue
+                    if payload[0] == P.STEAL_REPLY and payload[1] is not None:
+                        lost.append(payload[1].cid)
+                    elif payload[0] == P.MIGRATE:
+                        lost += [c.cid for c in payload[1]]
+                        lost += [c.cid for c in payload[2]]
                 if lost:
                     self.trace.emit(self.sim.now, "closure.lost", self.name,
                                     cids=lost, reason="crash")
@@ -810,6 +832,7 @@ class Worker:
         """Un-retire: restart the run loop and heartbeat to adopt work."""
         self.departed = False
         self.retired = False
+        self._forwarding = False
         self._failed_steals = 0
         self.exit_reason = None
         self.stats.end_time = 0.0
@@ -904,9 +927,11 @@ class Worker:
 
     def _updates(self) -> Generator:
         try:
-            while not self.done and not self.departed:
+            while not self.done:
                 yield self.sim.timeout(self.config.update_interval_s)
-                if self.done or self.departed:
+                if self.done:
+                    return
+                if self.departed and not self._forwarding:
                     return
                 try:
                     reply = yield from rpc_call(
@@ -981,14 +1006,28 @@ class Worker:
             for continuation, value in held:
                 self._post(target, self.config.port,
                            (P.ARG, continuation, value, self.name))
+        # Relay/redo duties outlive the departure: the Clearinghouse must
+        # keep watching our heartbeat, because fills routed through a
+        # silently-crashed forwarder are dropped forever (no victim would
+        # ever redo them) and the job deadlocks.
+        self._forwarding = bool(self.forward_map or self.outstanding or self.migrated)
         try:
             yield from rpc_call(
                 self.network, self.host, self.ch_host, self.config.ch_rpc_port,
-                P.RPC_UNREGISTER, {"name": self.name, "graceful": True},
+                P.RPC_UNREGISTER,
+                {"name": self.name, "graceful": True,
+                 "forwarding": self._forwarding},
             )
         except Exception:
             pass  # Clearinghouse will eventually time us out
         self._finish(reason)
+        if self._forwarding and not self._update_proc.is_alive:
+            # The heartbeat loop may have noticed ``departed`` and exited
+            # during the migration handshake; forwarders need it back.
+            self._update_proc = self.sim.process(
+                self._updates(), name=f"worker-upd@{self.name}"
+            )
+            self.workstation.register_process(self._update_proc)
         if self.retired:
             # Stay reachable.  A retired worker is an idle machine whose
             # owner still permits the job, so its daemon keeps listening
@@ -1011,6 +1050,27 @@ class Worker:
                 yield self.sim.timeout(self.config.steal_timeout_s)
             except Interrupt:
                 return  # crashed/stopped while lingering
+            if self.forward_map or self.outstanding or self.migrated:
+                # A straggler adopted during the linger left us with
+                # relay duties after all: stay up as a forwarder, and
+                # amend the unregister so the Clearinghouse watches our
+                # heartbeat (the first one said forwarding=False).
+                self._forwarding = True
+                try:
+                    yield from rpc_call(
+                        self.network, self.host, self.ch_host,
+                        self.config.ch_rpc_port, P.RPC_UNREGISTER,
+                        {"name": self.name, "graceful": True,
+                         "forwarding": True},
+                    )
+                except Exception:
+                    pass
+                if not self._update_proc.is_alive:
+                    self._update_proc = self.sim.process(
+                        self._updates(), name=f"worker-upd@{self.name}"
+                    )
+                    self.workstation.register_process(self._update_proc)
+                return
             self._net_proc.interrupt("departed-no-forwarding")
             self._update_proc.interrupt("departed")
             self.socket.close()
@@ -1071,7 +1131,7 @@ class Worker:
 
     def _post(self, host: str, port: int, payload: tuple) -> None:
         """Fire-and-forget datagram (split-phase: nobody waits on it)."""
-        self.network.transmit(
+        self.network.post(
             self.host, self.socket.port, host, port, payload,
             P.estimate_size(payload),
         )

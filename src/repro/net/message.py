@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 #: Default payload size when the sender does not specify one.  The paper's
@@ -11,9 +10,17 @@ from typing import Any
 DEFAULT_SIZE_BYTES = 64
 
 
-@dataclass(frozen=True)
 class Message:
     """One UDP-like datagram.
+
+    A plain slotted class rather than a dataclass: the network allocates
+    one of these per transmitted datagram, which makes construction a hot
+    path.  Treat instances as immutable — the network hands the *same*
+    object to tracing hooks and the receiving socket.
+
+    Equality compares the addressing fields and payload; ``msg_id`` and
+    ``sent_at`` are bookkeeping stamped by the network and excluded, so a
+    retransmission compares equal to the original.
 
     Attributes:
         src: sending host name.
@@ -27,15 +34,48 @@ class Message:
         sent_at: simulated time the datagram entered the network.
     """
 
-    src: str
-    src_port: int
-    dst: str
-    dst_port: int
-    payload: Any
-    size_bytes: int = DEFAULT_SIZE_BYTES
-    msg_id: int = field(default=-1, compare=False)
-    sent_at: float = field(default=0.0, compare=False)
+    __slots__ = ("src", "src_port", "dst", "dst_port", "payload",
+                 "size_bytes", "msg_id", "sent_at")
+
+    def __init__(
+        self,
+        src: str,
+        src_port: int,
+        dst: str,
+        dst_port: int,
+        payload: Any,
+        size_bytes: int = DEFAULT_SIZE_BYTES,
+        msg_id: int = -1,
+        sent_at: float = 0.0,
+    ) -> None:
+        self.src = src
+        self.src_port = src_port
+        self.dst = dst
+        self.dst_port = dst_port
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.msg_id = msg_id
+        self.sent_at = sent_at
 
     def reply_addr(self) -> tuple[str, int]:
         """(host, port) to which a reply should be sent."""
         return (self.src, self.src_port)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Message)
+            and other.src == self.src
+            and other.src_port == self.src_port
+            and other.dst == self.dst
+            and other.dst_port == self.dst_port
+            and other.payload == self.payload
+            and other.size_bytes == self.size_bytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src!r}, src_port={self.src_port!r}, "
+            f"dst={self.dst!r}, dst_port={self.dst_port!r}, "
+            f"payload={self.payload!r}, size_bytes={self.size_bytes!r}, "
+            f"msg_id={self.msg_id!r}, sent_at={self.sent_at!r})"
+        )

@@ -13,6 +13,14 @@ instantiate it per machine type.
 
 Message counters are the raw data behind the "Messages sent" row of the
 paper's Table 2.
+
+Hot-path notes: a transmitted datagram used to cost two kernel events
+(delivery plus the sender-overhead completion) and a fresh closure per
+delivery callback.  Delivery now rides a preallocated-shape
+:class:`_DeliveryEvent` (slotted, shared callback tuple, no lambda), and
+:meth:`Network.post` is a fire-and-forget variant of :meth:`Network.transmit`
+for the many call sites that never wait on the sender-overhead event —
+it skips that event entirely, halving kernel traffic for one-way sends.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.errors import AddressError, NetworkError
 from repro.net.message import Message
-from repro.sim.core import Event, Simulator
+from repro.sim.core import NORMAL, Event, Simulator
 from repro.util.trace import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -82,6 +90,18 @@ class NetCounters:
         return self.sent_by_host.get(host, 0)
 
 
+class _DeliveryEvent(Event):
+    """Internal event carrying one in-flight datagram.
+
+    Never exposed outside the network: its ``callbacks`` is a shared
+    per-network tuple (the kernel only iterates callbacks and replaces
+    the attribute with None), so constructing one allocates no list and
+    no closure.
+    """
+
+    __slots__ = ("msg", "params")
+
+
 class Network:
     """Connects sockets on named hosts; delivers datagrams with delay/loss.
 
@@ -118,6 +138,9 @@ class Network:
         #: The invariant checker installs this to account for closures
         #: lost in flight; None in normal runs.
         self.on_drop: Optional[Callable[[Message, str], None]] = None
+        #: Shared callback tuples for delivery events (see _DeliveryEvent).
+        self._deliver_cbs = (self._on_delivery,)
+        self._deliver_local_cbs = (self._on_delivery_local,)
 
     # -- host / socket management ------------------------------------------
 
@@ -171,7 +194,8 @@ class Network:
         Returns an event that succeeds once the *sender-side* software
         overhead has elapsed (split-phase: the sender does not wait for
         delivery).  Delivery to the destination socket is scheduled
-        independently.
+        independently.  Callers that never wait on the returned event
+        should use :meth:`post` instead.
         """
         if self.is_down(src):
             # A crashed host cannot transmit; callers inside the host have
@@ -180,24 +204,49 @@ class Network:
             ev.succeed(None)
             return ev
         if src == dst:
-            return self._transmit_loopback(src, src_port, dst_port, payload, size_bytes)
+            self._send_loopback(src, src_port, dst_port, payload, size_bytes)
+            done = Event(self.sim)
+            done.succeed(None, delay=self.LOOPBACK_S)
+            return done
+        params = self._send_wire(src, src_port, dst, dst_port, payload, size_bytes)
+        done = Event(self.sim)
+        done.succeed(None, delay=params.send_overhead_s)
+        return done
+
+    def post(
+        self,
+        src: str,
+        src_port: int,
+        dst: str,
+        dst_port: int,
+        payload,
+        size_bytes: int,
+    ) -> None:
+        """Fire-and-forget :meth:`transmit`: same cost model and delivery
+        schedule, but no sender-overhead completion event is created (the
+        caller, by contract, would have discarded it)."""
+        if self.is_down(src):
+            return
+        if src == dst:
+            self._send_loopback(src, src_port, dst_port, payload, size_bytes)
+        else:
+            self._send_wire(src, src_port, dst, dst_port, payload, size_bytes)
+
+    def _send_wire(
+        self, src: str, src_port: int, dst: str, dst_port: int, payload, size_bytes: int
+    ) -> NetworkParams:
+        """Common wire-send path: counters, trace, loss, delivery event."""
+        sim = self.sim
         params = self.topology.params_for(src, dst)
         self._next_msg_id += 1
-        msg = Message(
-            src=src,
-            src_port=src_port,
-            dst=dst,
-            dst_port=dst_port,
-            payload=payload,
-            size_bytes=size_bytes,
-            msg_id=self._next_msg_id,
-            sent_at=self.sim.now,
-        )
-        self.counters.sent += 1
-        self.counters.bytes_sent += size_bytes
-        self.counters.sent_by_host[src] = self.counters.sent_by_host.get(src, 0) + 1
+        msg = Message(src, src_port, dst, dst_port, payload, size_bytes,
+                      self._next_msg_id, sim.now)
+        counters = self.counters
+        counters.sent += 1
+        counters.bytes_sent += size_bytes
+        counters.sent_by_host[src] = counters.sent_by_host.get(src, 0) + 1
         if self.trace is not None:
-            self.trace.emit(self.sim.now, "net.send", src, dst=dst, port=dst_port, id=msg.msg_id)
+            self.trace.emit(sim.now, "net.send", src, dst=dst, port=dst_port, id=msg.msg_id)
 
         charge = self._cpu_charge.get(src)
         if charge:
@@ -206,52 +255,54 @@ class Network:
         if params.loss_prob > 0.0 and self.rng.random() < params.loss_prob:
             self.counters.dropped_loss += 1
             if self.trace is not None:
-                self.trace.emit(self.sim.now, "net.loss", src, id=msg.msg_id)
+                self.trace.emit(sim.now, "net.loss", src, id=msg.msg_id)
             if self.on_drop is not None:
                 self.on_drop(msg, "loss")
-        else:
-            flight = params.send_overhead_s + params.transfer_time(size_bytes)
-            if params.jitter_s > 0.0:
-                flight += self.rng.random() * params.jitter_s
-            deliver = Event(self.sim)
-            deliver.callbacks.append(  # type: ignore[union-attr]
-                lambda _ev, m=msg, p=params: self._deliver(m, p)
-            )
-            deliver.succeed(None, delay=flight)
+            return params
 
-        done = Event(self.sim)
-        done.succeed(None, delay=params.send_overhead_s)
-        return done
+        flight = params.send_overhead_s + params.transfer_time(size_bytes)
+        if params.jitter_s > 0.0:
+            flight += self.rng.random() * params.jitter_s
+        deliver = _DeliveryEvent.__new__(_DeliveryEvent)
+        deliver.sim = sim
+        deliver.callbacks = self._deliver_cbs
+        deliver._value = None
+        deliver._ok = True
+        deliver.defused = False
+        deliver.msg = msg
+        deliver.params = params
+        sim._enqueue(deliver, flight, NORMAL)
+        return params
 
     #: Cost of a same-host (loopback) datagram: no wire, just a kernel copy.
     LOOPBACK_S = 5.0e-5
 
-    def _transmit_loopback(
+    def _send_loopback(
         self, host: str, src_port: int, dst_port: int, payload, size_bytes: int
-    ) -> Event:
+    ) -> None:
+        sim = self.sim
         self._next_msg_id += 1
-        msg = Message(
-            src=host,
-            src_port=src_port,
-            dst=host,
-            dst_port=dst_port,
-            payload=payload,
-            size_bytes=size_bytes,
-            msg_id=self._next_msg_id,
-            sent_at=self.sim.now,
-        )
+        msg = Message(host, src_port, host, dst_port, payload, size_bytes,
+                      self._next_msg_id, sim.now)
         self.counters.local += 1
         charge = self._cpu_charge.get(host)
         if charge:
             charge(self.LOOPBACK_S)
-        deliver = Event(self.sim)
-        deliver.callbacks.append(  # type: ignore[union-attr]
-            lambda _ev, m=msg: self._deliver_local(m)
-        )
-        deliver.succeed(None, delay=self.LOOPBACK_S)
-        done = Event(self.sim)
-        done.succeed(None, delay=self.LOOPBACK_S)
-        return done
+        deliver = _DeliveryEvent.__new__(_DeliveryEvent)
+        deliver.sim = sim
+        deliver.callbacks = self._deliver_local_cbs
+        deliver._value = None
+        deliver._ok = True
+        deliver.defused = False
+        deliver.msg = msg
+        deliver.params = None
+        sim._enqueue(deliver, self.LOOPBACK_S, NORMAL)
+
+    def _on_delivery(self, ev: "_DeliveryEvent") -> None:
+        self._deliver(ev.msg, ev.params)
+
+    def _on_delivery_local(self, ev: "_DeliveryEvent") -> None:
+        self._deliver_local(ev.msg)
 
     def _deliver_local(self, msg: Message) -> None:
         if self.is_down(msg.dst):

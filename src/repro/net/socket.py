@@ -77,6 +77,15 @@ class Socket:
         ok, item = self._queue.try_get()
         return (ok, item)
 
+    def buffered_messages(self) -> list:
+        """Snapshot of delivered-but-not-yet-received datagrams.
+
+        Crash accounting uses this: when a worker fail-stops, closures
+        sitting in its receive buffer are lost exactly like closures in
+        its deque, and the invariant checker must see them accounted.
+        """
+        return list(self._queue.items)
+
     def close(self) -> None:
         """Unbind; queued and future datagrams to this port are dropped."""
         if not self._closed:

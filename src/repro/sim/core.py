@@ -10,19 +10,42 @@ Determinism: events scheduled for the same time are processed in
 (priority, insertion-order) order, so runs are exactly reproducible.
 
 Schedule-space exploration: the insertion-order tie-break is only *one*
-legal interleaving of same-time events.  Setting :attr:`Simulator.tiebreak_rng`
-(a seeded ``random.Random``) replaces the insertion-order key of
-NORMAL-priority events with a random one, yielding a different — but
-still reproducible — interleaving per seed.  The schedule fuzzer in
+legal interleaving of same-time events.  Constructing the simulator with
+``tiebreak_rng`` (a seeded ``random.Random``) replaces the insertion-order
+key of NORMAL-priority events with a random one, yielding a different —
+but still reproducible — interleaving per seed.  The schedule fuzzer in
 :mod:`repro.check` uses this to search for interleaving bugs; URGENT
 events keep strict insertion order because the kernel relies on it for
 its own bookkeeping.
+
+Performance notes (this module is the hottest code in the repository —
+every message, timeout, and task execution passes through it):
+
+* Queue entries are plain tuples ``(time, priority, seq, event)``; the
+  constant ``0.0`` fuzzing sub-key of earlier versions is only
+  materialised when a ``tiebreak_rng`` is installed (entries then are
+  ``(time, priority, sub, seq, event)``).  Both shapes can coexist:
+  a comparison only reaches index 2 when time *and* priority are equal,
+  and priority determines the shape, so mismatched-shape tuples are
+  always decided by index 0 or 1.
+* The queue runs in one of three modes.  While events are only being
+  scheduled (``_MODE_LAZY``) it is an unsorted append-only list.  The
+  first pop sorts it once, descending, and switches to ``_MODE_DRAIN``
+  where each pop is an O(1) ``list.pop()`` from the end.  A push while
+  draining heapifies the remainder and falls back to a classic binary
+  heap (``_MODE_HEAP``).  All three modes pop in exactly the same total
+  order as a plain heap — entries are totally ordered by their unique
+  sequence numbers — so determinism is unaffected; the mode machinery
+  only removes per-event sift costs for the common schedule-then-drain
+  pattern.
+* :class:`Timeout` events start with a shared immutable empty-callbacks
+  marker instead of a fresh list; :meth:`Event.subscribe` materialises a
+  real list on first use.  ``processed`` remains ``callbacks is None``.
 """
 
 from __future__ import annotations
 
-import heapq
-import inspect
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
@@ -33,6 +56,18 @@ URGENT = 0
 NORMAL = 1
 
 _PENDING = object()
+
+#: Shared "no callbacks yet" marker for events created on the hot path.
+#: Immutable and falsy: the kernel skips the callback loop, and
+#: ``subscribe`` swaps in a real list the first time one is needed.
+_NO_CALLBACKS: tuple = ()
+
+#: Event-queue modes (see module docstring).
+_MODE_LAZY = 0   # append-only; nothing popped yet
+_MODE_DRAIN = 1  # sorted descending; pop from the end
+_MODE_HEAP = 2   # classic heapq
+
+_INF = float("inf")
 
 
 class Interrupt(Exception):
@@ -95,7 +130,7 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully and schedule its processing."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -104,7 +139,7 @@ class Event:
 
     def fail(self, exception: BaseException, delay: float = 0.0, priority: int = NORMAL) -> "Event":
         """Trigger the event with a failure; waiters get the exception thrown."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -120,17 +155,21 @@ class Event:
         fresh zero-delay event so that it still runs from the event loop
         (never synchronously from the subscriber's stack).
         """
-        if self.callbacks is not None:
-            self.callbacks.append(callback)
-        else:
+        callbacks = self.callbacks
+        if callbacks is None:
             self.sim.call_soon(lambda: callback(self))
+        elif callbacks is _NO_CALLBACKS:
+            self.callbacks = [callback]
+        else:
+            callbacks.append(callback)
 
     def unsubscribe(self, callback: Callable[["Event"], None]) -> bool:
         """Remove a previously-subscribed callback; True if it was present."""
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None or callbacks is _NO_CALLBACKS:
             return False
         try:
-            self.callbacks.remove(callback)
+            callbacks.remove(callback)
             return True
         except ValueError:
             return False
@@ -148,9 +187,11 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self._ok = True
+        self.sim = sim
+        self.callbacks = _NO_CALLBACKS
         self._value = value
+        self._ok = True
+        self.defused = False
         sim._enqueue(self, delay, NORMAL)
 
 
@@ -163,7 +204,7 @@ class Process(Event):
     join it.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "_started", "name")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None) -> None:
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
@@ -171,6 +212,8 @@ class Process(Event):
         super().__init__(sim)
         self._gen: Optional[Generator] = gen
         self._target: Optional[Event] = None
+        #: False until the generator has been resumed at least once.
+        self._started = False
         self.name = name or getattr(gen, "__name__", "process")
         # Kick the generator off from the event loop, not synchronously.
         # The boot event is tracked as the current wait target so that an
@@ -219,10 +262,11 @@ class Process(Event):
         self.sim._active = self
         try:
             if event._ok:
+                self._started = True
                 target = gen.send(event._value)
             else:
                 event.defused = True
-                if inspect.getgeneratorstate(gen) == inspect.GEN_CREATED:
+                if not self._started:
                     # The generator never started: throwing would raise at
                     # its definition line instead of delivering in-band.
                     # Treat the interrupt as a quiet cancellation.
@@ -272,12 +316,16 @@ class Simulator:
         #: Current simulated time in seconds.
         self.now: float = 0.0
         self._heap: List = []
+        self._mode = _MODE_LAZY
         self._seq = 0
         self._active: Optional[Process] = None
         #: Count of processed events (a cheap progress/perf metric).
+        #: During ``run()`` the counter is updated in batches; it is exact
+        #: whenever user code runs (callbacks, monitor) and after run().
         self.events_processed = 0
         #: Optional seeded RNG perturbing same-time NORMAL-event order
         #: (schedule fuzzing).  None keeps strict insertion order.
+        #: Install it at construction time, before scheduling anything.
         self.tiebreak_rng = tiebreak_rng
         #: Optional hook ``monitor(sim)`` called every
         #: :attr:`monitor_interval` processed events — used by the
@@ -292,8 +340,38 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers after *delay* simulated seconds."""
-        return Timeout(self, delay, value)
+        """Create an event that triggers after *delay* simulated seconds.
+
+        This is the kernel's single hottest entry point (every poll,
+        backoff, and cycle charge is a timeout), so the event
+        construction and enqueue are inlined here rather than routed
+        through ``Timeout.__init__``/:meth:`_enqueue`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        ev = Timeout.__new__(Timeout)
+        ev.sim = self
+        ev.callbacks = _NO_CALLBACKS
+        ev._value = value
+        ev._ok = True
+        ev.defused = False
+        seq = self._seq = self._seq + 1
+        rng = self.tiebreak_rng
+        if rng is None:
+            entry = (self.now + delay, NORMAL, seq, ev)
+        else:
+            entry = (self.now + delay, NORMAL, rng.random(), seq, ev)
+        mode = self._mode
+        heap = self._heap
+        if mode == _MODE_HEAP:
+            _heappush(heap, entry)
+        elif mode == _MODE_LAZY:
+            heap.append(entry)
+        else:
+            heap.append(entry)
+            _heapify(heap)
+            self._mode = _MODE_HEAP
+        return ev
 
     def process(self, gen: Generator, name: Optional[str] = None) -> Process:
         """Start a new process from a generator; returns the Process event."""
@@ -310,37 +388,67 @@ class Simulator:
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        self._seq += 1
-        # The sub-key is 0.0 in normal operation (strict insertion order);
-        # under schedule fuzzing it is a random draw, so same-time
-        # NORMAL events are processed in a seed-determined shuffle.
-        sub = 0.0
-        if self.tiebreak_rng is not None and priority == NORMAL:
-            sub = self.tiebreak_rng.random()
-        heapq.heappush(self._heap, (self.now + delay, priority, sub, self._seq, event))
+        seq = self._seq = self._seq + 1
+        rng = self.tiebreak_rng
+        if rng is not None and priority == NORMAL:
+            # Schedule fuzzing: same-time NORMAL events are processed in
+            # a seed-determined shuffle instead of insertion order.
+            entry = (self.now + delay, priority, rng.random(), seq, event)
+        else:
+            entry = (self.now + delay, priority, seq, event)
+        mode = self._mode
+        if mode == _MODE_HEAP:
+            _heappush(self._heap, entry)
+        elif mode == _MODE_LAZY:
+            self._heap.append(entry)
+        else:
+            # Push while draining: re-establish the heap invariant over
+            # the (descending-sorted) remainder and fall back to heapq.
+            self._heap.append(entry)
+            _heapify(self._heap)
+            self._mode = _MODE_HEAP
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        if not heap:
+            return _INF
+        mode = self._mode
+        if mode == _MODE_HEAP:
+            return heap[0][0]
+        if mode == _MODE_LAZY:
+            heap.sort(reverse=True)
+            self._mode = _MODE_DRAIN
+        return heap[-1][0]
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("step() on an empty schedule")
-        time, _prio, _sub, _seq, event = heapq.heappop(self._heap)
+        mode = self._mode
+        if mode == _MODE_HEAP:
+            entry = _heappop(heap)
+        else:
+            if mode == _MODE_LAZY:
+                heap.sort(reverse=True)
+                self._mode = _MODE_DRAIN
+            entry = heap.pop()
+        time = entry[0]
         if time < self.now:
             raise SimulationError("time went backwards (kernel bug)")
         self.now = time
+        event = entry[-1]
         callbacks = event.callbacks
         event.callbacks = None
         self.events_processed += 1
-        for callback in callbacks:  # type: ignore[union-attr]
-            callback(event)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
         if event._ok is False and not event.defused:
             # A failure nobody waited on: crash the run loudly rather than
             # silently losing the error.
-            exc = event._value
-            raise exc
+            raise event._value
         if self.monitor is not None and self.events_processed % self.monitor_interval == 0:
             self.monitor(self)
 
@@ -354,32 +462,75 @@ class Simulator:
                 been processed and returns its value (re-raising its
                 failure, if any).
         """
-        if isinstance(until, Event):
-            target = until
-            if not target.processed:
-                done = [False]
-                target.subscribe(lambda _ev: done.__setitem__(0, True))
-                while not done[0]:
-                    if not self._heap:
-                        raise SimulationError(
-                            "simulation ran out of events before the awaited "
-                            "event triggered (deadlock?)"
-                        )
-                    self.step()
-            if target._ok is False:
-                target.defused = True
-                raise target._value
-            return target._value
         if until is not None:
+            if isinstance(until, Event):
+                target = until
+                if not target.processed:
+                    done = [False]
+                    target.subscribe(lambda _ev: done.__setitem__(0, True))
+                    while not done[0]:
+                        if not self._heap:
+                            raise SimulationError(
+                                "simulation ran out of events before the awaited "
+                                "event triggered (deadlock?)"
+                            )
+                        self.step()
+                if target._ok is False:
+                    target.defused = True
+                    raise target._value
+                return target._value
             horizon = float(until)
             if horizon < self.now:
                 raise SimulationError(f"run(until={horizon}) is in the past (now={self.now})")
-            while self._heap and self._heap[0][0] <= horizon:
+            while self._heap and self.peek() <= horizon:
                 self.step()
             self.now = horizon
             return None
-        while self._heap:
-            self.step()
+        if self.monitor is not None:
+            # The monitor hook needs an exact per-event counter; take the
+            # plain stepping path.
+            while self._heap:
+                self.step()
+            return None
+        # Drain-to-empty fast path.  Identical event order and semantics
+        # to step() in a loop, with the per-event costs batched: the
+        # clock and the processed-events counter are written back only
+        # when user code can observe them (callbacks, exceptions, exit),
+        # and the pop mode is kept in a local that is refreshed whenever
+        # callbacks ran (only user code can flip it).
+        heap = self._heap
+        mode = self._mode
+        now = self.now
+        n = 0
+        try:
+            while heap:
+                if mode == _MODE_HEAP:
+                    entry = _heappop(heap)
+                elif mode == _MODE_DRAIN:
+                    entry = heap.pop()
+                else:
+                    heap.sort(reverse=True)
+                    mode = self._mode = _MODE_DRAIN
+                    entry = heap.pop()
+                now = entry[0]
+                event = entry[-1]
+                n += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    self.now = now
+                    self.events_processed += n
+                    n = 0
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event.defused:
+                        raise event._value
+                    mode = self._mode
+                elif event._ok is False and not event.defused:
+                    raise event._value
+        finally:
+            self.now = now
+            self.events_processed += n
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

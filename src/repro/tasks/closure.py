@@ -80,7 +80,12 @@ class Closure:
                 if not (0 <= slot < len(self.args)):
                     raise ClosureError(f"missing slot {slot} out of range for {thread_name}")
                 self.args[slot] = _EMPTY
-        self._missing = sum(1 for a in self.args if a is _EMPTY)
+            self._missing = sum(1 for a in self.args if a is _EMPTY)
+        else:
+            # Fast path: with no missing_slots the closure is born ready.
+            # (Holes can only be punched via missing_slots — _EMPTY is
+            # module-private, so callers cannot place it in args.)
+            self._missing = 0
 
     @property
     def join_counter(self) -> int:
@@ -130,7 +135,12 @@ class Closure:
         """
         if not self.is_ready:
             raise ClosureError("redo_copy of a non-ready closure")
-        clone = Closure(new_cid, self.thread_name, list(self.args), depth=self.depth)
+        clone = Closure.__new__(Closure)
+        clone.cid = new_cid
+        clone.thread_name = self.thread_name
+        clone.args = list(self.args)
+        clone.depth = self.depth
+        clone._missing = 0
         return clone
 
     def __repr__(self) -> str:

@@ -5,16 +5,21 @@ Schedulers and the network emit into it when tracing is enabled; tests and
 the experiment harness query it to assert ordering properties (e.g. "no
 steal reply precedes its request") and to debug runs.  Tracing is off by
 default because the paper's largest run executes millions of tasks.
+
+Emitting is deliberately cheap: a record is four attribute stores on a
+slotted object (no dataclass machinery), and rendering is lazy — the
+``[time] source kind k=v`` line is only formatted when someone calls
+``str()``/:meth:`TraceLog.dump`.  A log can additionally be restricted to
+*categories* (kind prefixes) so a consumer that only needs, say, the
+``steal.`` and ``closure.`` records does not pay to store the rest.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
 class TraceEvent:
     """One trace record.
 
@@ -25,10 +30,27 @@ class TraceEvent:
         detail: free-form payload for humans and tests.
     """
 
-    time: float
-    kind: str
-    source: str
-    detail: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "kind", "source", "detail")
+
+    def __init__(self, time: float, kind: str, source: str,
+                 detail: Optional[Dict[str, Any]] = None) -> None:
+        self.time = time
+        self.kind = kind
+        self.source = source
+        self.detail: Dict[str, Any] = {} if detail is None else detail
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceEvent)
+            and other.time == self.time
+            and other.kind == self.kind
+            and other.source == self.source
+            and other.detail == self.detail
+        )
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent(time={self.time!r}, kind={self.kind!r}, "
+                f"source={self.source!r}, detail={self.detail!r})")
 
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
@@ -38,7 +60,12 @@ class TraceEvent:
 class TraceLog:
     """Append-only trace collector with simple query helpers."""
 
-    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
         """Create a log.
 
         Args:
@@ -46,19 +73,32 @@ class TraceLog:
                 hot paths).
             capacity: optional bound; older events are discarded FIFO once
                 the bound is reached, so long runs cannot exhaust memory.
+            categories: optional kind-prefix filter; when given, only
+                events whose ``kind`` starts with one of these prefixes
+                are recorded (e.g. ``("steal.", "closure.")``).  Filtered
+                events are *not* counted as dropped: a filtered log is a
+                deliberate projection, not a truncated history.
         """
         if capacity is not None and capacity < 1:
             raise ValueError(f"trace capacity must be >= 1, got {capacity!r}")
         self.enabled = enabled
         self.capacity = capacity
+        #: Kind-prefix filter as a tuple (``str.startswith`` accepts it
+        #: directly), or None for "record everything".
+        self.categories: Optional[Tuple[str, ...]] = (
+            tuple(categories) if categories is not None else None
+        )
         #: Bounded deque: eviction of the oldest event is O(1), so a
         #: capacity-limited log stays cheap no matter how long the run.
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._dropped = 0
 
     def emit(self, time: float, kind: str, source: str, **detail: Any) -> None:
-        """Record one event (no-op when disabled)."""
+        """Record one event (no-op when disabled or filtered out)."""
         if not self.enabled:
+            return
+        categories = self.categories
+        if categories is not None and not kind.startswith(categories):
             return
         if self.capacity is not None and len(self._events) == self.capacity:
             self._dropped += 1  # deque(maxlen) evicts the oldest silently

@@ -1,0 +1,89 @@
+"""Regressions found by the schedule-space fuzzer, pinned by seed.
+
+Crash-buffer loss — fuzz seed 19331 of the shrink app (found by hypothesis) produced a
+conservation violation: a STEAL_REPLY carrying a closure was delivered
+into the victim's socket buffer while its net loop was busy inside a
+blocking send, and the crash landed before the loop got back to the
+buffer.  The closure died in the buffer without a ``closure.lost``
+emission, so the conservation invariant saw it vanish.
+
+The fix: a crashing worker sweeps its socket's buffered messages and
+reports closures found in STEAL_REPLY and MIGRATE payloads as lost.
+This test pins the exact failing schedule.
+"""
+
+from repro.check import APPS, Perturbation, run_checked
+
+SEED = 19331
+
+
+def test_shrink_seed_19331_buffered_steal_reply_is_accounted():
+    spec = APPS["shrink"]
+    run = run_checked(
+        spec.make(),
+        n_workers=4,
+        seed=SEED,
+        perturbation=Perturbation.generate(SEED, 4),
+        expected=spec.expected,
+        worker_config=spec.worker_config,
+    )
+    assert run.completed, run.report.summary()
+    run.require_ok()
+
+
+def test_knary_seed_835_forwarder_death_is_detected():
+    """Regression: a crashed forwarder deadlocked the job.
+
+    Seed 835 at n_workers=4 (found by hypothesis) reclaims ws02, which
+    departs gracefully — migrating its closures to a peer and staying
+    behind as a fill forwarder — and then crashes ws02's host.  The
+    Clearinghouse only watched registered workers' heartbeats, so the
+    forwarder's death went undetected: a fill already in flight to it
+    was dropped at the dead NIC, nobody redid the lost subtree, and the
+    job hung until the liveness horizon.
+
+    Departed-but-forwarding workers now keep heartbeating and the
+    Clearinghouse keeps them under death surveillance, so the crash
+    triggers the normal WORKER_DIED redo.
+    """
+    pert = Perturbation.generate(835, 4)
+    assert pert.crashes and pert.reclaims
+    assert pert.reclaims[0][0] < pert.crashes[0][0]  # depart, then die
+    assert pert.crashes[0][1] == pert.reclaims[0][1]  # same machine
+    spec = APPS["knary"]
+    run = run_checked(
+        spec.make(),
+        n_workers=4,
+        seed=835,
+        perturbation=pert,
+        expected=spec.expected,
+        worker_config=spec.worker_config,
+    )
+    assert run.completed, run.report.summary()
+    assert run.result == spec.expected
+    run.require_ok()
+
+
+def test_knary_seed_13307_cluster_is_never_emptied():
+    """Regression: perturbation generation removed every worker.
+
+    At n_workers=2, seed 13307 (found by hypothesis) drew both a crash
+    for ws01 and a reclaim for ws00.  The checked cluster has no
+    enlistment path, so the job could never complete and the liveness
+    check fired on an unsatisfiable scenario.  Generation now drops a
+    reclaim that would empty the cluster; the crash still happens.
+    """
+    pert = Perturbation.generate(13307, 2)
+    assert pert.crashes and not pert.reclaims
+    spec = APPS["knary"]
+    run = run_checked(
+        spec.make(),
+        n_workers=2,
+        seed=13307,
+        perturbation=pert,
+        expected=spec.expected,
+        worker_config=spec.worker_config,
+    )
+    assert run.completed, run.report.summary()
+    assert run.result == spec.expected
+    run.require_ok()

@@ -20,13 +20,21 @@ def test_equality_ignores_bookkeeping_fields():
     assert a == b
 
 
-def test_frozen():
-    import dataclasses
-
+def test_slots_reject_unknown_attributes():
+    # Message is a slotted hot-path record: no __dict__, so typos and
+    # ad-hoc attribute stowage fail loudly instead of silently growing
+    # every datagram.
     m = Message("a", 1, "b", 2, payload=None)
     try:
-        m.src = "c"  # type: ignore[misc]
+        m.extra = 1  # type: ignore[attr-defined]
         raised = False
-    except dataclasses.FrozenInstanceError:
+    except AttributeError:
         raised = True
     assert raised
+
+
+def test_inequality_on_addressing_and_payload():
+    base = Message("a", 1, "b", 2, payload="x")
+    assert base != Message("a", 1, "b", 2, payload="y")
+    assert base != Message("a", 1, "c", 2, payload="x")
+    assert base != "not a message"

@@ -1,0 +1,116 @@
+"""Tests for the threaded runtime's lock-protected work deque."""
+
+import threading
+
+from repro.rt.deque import WorkDeque
+
+
+def test_empty_pop_and_steal_return_none():
+    dq = WorkDeque()
+    assert len(dq) == 0
+    assert dq.pop() is None
+    assert dq.steal() is None
+
+
+def test_owner_pops_lifo():
+    dq = WorkDeque()
+    for i in range(3):
+        dq.push(i)
+    assert [dq.pop(), dq.pop(), dq.pop()] == [2, 1, 0]
+    assert dq.pop() is None
+
+
+def test_thief_steals_fifo():
+    dq = WorkDeque()
+    for i in range(3):
+        dq.push(i)
+    assert [dq.steal(), dq.steal(), dq.steal()] == [0, 1, 2]
+    assert dq.steal() is None
+
+
+def test_owner_and_thief_work_opposite_ends():
+    # The paper's discipline: the owner lives at the head (depth-first,
+    # freshest task), thieves take the tail (oldest, biggest subtree).
+    dq = WorkDeque()
+    for i in range(4):
+        dq.push(i)
+    assert dq.steal() == 0  # oldest
+    assert dq.pop() == 3  # freshest
+    assert dq.steal() == 1
+    assert dq.pop() == 2
+    assert len(dq) == 0
+
+
+def test_len_tracks_content():
+    dq = WorkDeque()
+    assert len(dq) == 0
+    dq.push("a")
+    dq.push("b")
+    assert len(dq) == 2
+    dq.pop()
+    assert len(dq) == 1
+
+
+def test_steal_end_semantics_single_item():
+    # With one item the two ends coincide; either access drains it and
+    # the other then observes empty — never a duplicate.
+    dq = WorkDeque()
+    dq.push("only")
+    assert dq.steal() == "only"
+    assert dq.pop() is None
+
+    dq.push("only")
+    assert dq.pop() == "only"
+    assert dq.steal() is None
+
+
+def test_concurrent_owner_and_thieves_partition_items():
+    """Every pushed item is taken exactly once across owner + thieves."""
+    dq = WorkDeque()
+    n_items = 2000
+    taken = []
+    taken_lock = threading.Lock()
+    done_pushing = threading.Event()
+
+    def owner():
+        got = []
+        for i in range(n_items):
+            dq.push(i)
+            if i % 3 == 0:  # interleave pops with pushes
+                item = dq.pop()
+                if item is not None:
+                    got.append(item)
+        done_pushing.set()
+        while True:
+            item = dq.pop()
+            if item is None:
+                break
+            got.append(item)
+        with taken_lock:
+            taken.extend(got)
+
+    def thief():
+        got = []
+        misses = 0
+        while misses < 50:
+            item = dq.steal()
+            if item is None:
+                if done_pushing.is_set():
+                    misses += 1
+                continue
+            misses = 0
+            got.append(item)
+        with taken_lock:
+            taken.extend(got)
+
+    threads = [threading.Thread(target=owner)] + [
+        threading.Thread(target=thief) for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30.0)
+
+    # Exactly-once: no item lost, none duplicated.
+    assert sorted(taken) == list(range(n_items))
+    assert len(dq) == 0

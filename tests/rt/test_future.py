@@ -1,0 +1,118 @@
+"""Tests for the threaded runtime's write-once Future."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.rt.future import Future
+
+
+def test_starts_unresolved():
+    f = Future()
+    assert not f.done()
+
+
+def test_result_after_set():
+    f = Future()
+    f.set_result(42)
+    assert f.done()
+    assert f.result() == 42
+    # result() is idempotent — a read, not a take.
+    assert f.result() == 42
+
+
+def test_result_none_is_a_valid_value():
+    f = Future()
+    f.set_result(None)
+    assert f.done()
+    assert f.result(timeout=0) is None
+
+
+def test_double_set_result_raises():
+    f = Future()
+    f.set_result(1)
+    with pytest.raises(ReproError):
+        f.set_result(2)
+    # The first write sticks.
+    assert f.result() == 1
+
+
+def test_set_exception_after_result_raises():
+    f = Future()
+    f.set_result(1)
+    with pytest.raises(ReproError):
+        f.set_exception(RuntimeError("late"))
+
+
+def test_exception_propagates_to_reader():
+    f = Future()
+    f.set_exception(ValueError("boom"))
+    assert f.done()
+    with pytest.raises(ValueError, match="boom"):
+        f.result()
+    # Re-raised on every read, not consumed by the first.
+    with pytest.raises(ValueError):
+        f.result()
+
+
+def test_set_result_after_exception_raises():
+    f = Future()
+    f.set_exception(ValueError("boom"))
+    with pytest.raises(ReproError):
+        f.set_result(1)
+
+
+def test_result_timeout_raises_timeouterror():
+    f = Future()
+    with pytest.raises(TimeoutError):
+        f.result(timeout=0.01)
+    # Timing out does not resolve the future.
+    assert not f.done()
+    f.set_result("late but fine")
+    assert f.result(timeout=0) == "late but fine"
+
+
+def test_cross_thread_handoff():
+    f = Future()
+    release = threading.Event()
+
+    def producer():
+        release.wait(5.0)
+        f.set_result("from-worker")
+
+    t = threading.Thread(target=producer)
+    t.start()
+    assert not f.done()  # producer is still parked on the event
+    release.set()
+    # result() blocks until the producer thread delivers.
+    assert f.result(timeout=5.0) == "from-worker"
+    t.join(5.0)
+    assert f.done()
+
+
+def test_only_one_cross_thread_writer_wins():
+    f = Future()
+    barrier = threading.Barrier(4)
+    outcomes = []
+    lock = threading.Lock()
+
+    def racer(i):
+        barrier.wait(5.0)
+        try:
+            f.set_result(i)
+            with lock:
+                outcomes.append(("won", i))
+        except ReproError:
+            with lock:
+                outcomes.append(("lost", i))
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(5.0)
+
+    winners = [i for tag, i in outcomes if tag == "won"]
+    assert len(winners) == 1
+    assert f.result(timeout=0) == winners[0]

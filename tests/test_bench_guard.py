@@ -1,0 +1,50 @@
+"""Perf-regression guard against the recorded benchmark baseline.
+
+``BENCH_kernel.json`` (repo root, written by ``python -m repro.cli
+bench``) locks in the kernel's event throughput on the machine that
+recorded it.  This test re-measures the same workload and fails on a
+>30% regression — wide enough to absorb run-to-run noise of a
+best-of-N estimator, tight enough to catch a real slowdown in the
+event-queue hot path.
+
+The comparison is only meaningful on the machine that recorded the
+baseline, so the test is marked ``bench_guard``: it runs in the default
+local suite but CI deselects it (``-m "... and not bench_guard"``), and
+it skips itself wherever the baseline file is absent.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench_guard
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "BENCH_kernel.json"
+
+#: Re-measured throughput must stay above this fraction of the record.
+ALLOWED_FRACTION = 0.7
+
+
+def test_kernel_throughput_has_not_regressed():
+    if not BASELINE.exists():
+        pytest.skip("no BENCH_kernel.json baseline recorded on this machine")
+    try:
+        recorded = json.loads(BASELINE.read_text())
+    except ValueError:
+        pytest.skip("BENCH_kernel.json is unreadable")
+    kernel = recorded.get("kernel") or {}
+    recorded_rate = kernel.get("events_per_s")
+    if not recorded_rate:
+        pytest.skip("baseline has no kernel.events_per_s entry")
+
+    from repro.bench import bench_kernel
+
+    current = bench_kernel(repeats=5)
+    assert current["events_per_s"] >= ALLOWED_FRACTION * recorded_rate, (
+        f"kernel throughput regressed: {current['events_per_s']:,.0f} ev/s "
+        f"now vs {recorded_rate:,.0f} ev/s recorded "
+        f"(floor {ALLOWED_FRACTION:.0%}); if the slowdown is intentional, "
+        f"re-record with `python -m repro.cli bench`"
+    )

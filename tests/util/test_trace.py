@@ -95,3 +95,53 @@ def test_str_rendering():
     ev = TraceEvent(1.5, "net.send", "ws00", {"dst": "ws01"})
     s = str(ev)
     assert "net.send" in s and "ws00" in s and "dst=ws01" in s
+
+
+def test_categories_filter_by_kind_prefix():
+    log = TraceLog(categories=("steal.", "closure."))
+    log.emit(0.0, "steal.request", "w1")
+    log.emit(1.0, "net.send", "w1")      # filtered out
+    log.emit(2.0, "closure.lost", "w1")
+    log.emit(3.0, "worker.start", "w1")  # filtered out
+    assert [ev.kind for ev in log] == ["steal.request", "closure.lost"]
+    # Filtered events are *not* dropped events: nothing was evicted.
+    assert log.dropped == 0
+    assert not log.truncated
+
+
+def test_categories_none_keeps_everything():
+    log = TraceLog(categories=None)
+    log.emit(0.0, "a", "s")
+    log.emit(1.0, "b", "s")
+    assert len(log) == 2
+
+
+def test_categories_compose_with_capacity():
+    # Capacity counts only events that pass the filter.
+    log = TraceLog(capacity=2, categories=("keep.",))
+    for i in range(5):
+        log.emit(float(i), "keep.tick", "s", i=i)
+        log.emit(float(i), "noise.tick", "s", i=i)
+    assert [ev.detail["i"] for ev in log] == [3, 4]
+    assert log.dropped == 3  # evicted keep.* events only
+
+
+def test_categories_with_disabled_log():
+    log = TraceLog(enabled=False, categories=("steal.",))
+    log.emit(0.0, "steal.request", "w1")
+    assert len(log) == 0
+
+
+def test_trace_event_slots_and_equality():
+    a = TraceEvent(1.0, "k", "s", {"x": 1})
+    b = TraceEvent(1.0, "k", "s", {"x": 1})
+    c = TraceEvent(1.0, "k", "s", {"x": 2})
+    assert a == b
+    assert a != c
+    assert a != "not an event"
+    try:
+        a.extra = 1
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

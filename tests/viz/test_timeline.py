@@ -60,3 +60,72 @@ def test_running_worker_labelled():
     log.emit(9.0, "steal.success", "w1")
     out = render_timeline(log)
     assert "running" in out
+
+
+def test_until_param_compresses_lanes():
+    # Same activity plotted on a longer axis occupies a shorter prefix.
+    log = TraceLog()
+    log.emit(0.0, "worker.start", "w1")
+    log.emit(5.0, "worker.exit.done", "w1")
+    full = render_timeline(log, width=40)
+    stretched = render_timeline(log, width=40, until=10.0)
+    assert "0 .. 5.00s" in full
+    assert "0 .. 10.00s" in stretched
+
+    def lane(out):
+        line = next(ln for ln in out.splitlines() if ln.startswith("w1"))
+        return line.split("|")[1]
+
+    assert lane(full).count("=") > lane(stretched).count("=")
+    # The stretched lane ends in blank space past the worker's exit.
+    assert lane(stretched).rstrip(" ").endswith("=")
+
+
+def test_width_param_sets_lane_width():
+    log = TraceLog()
+    log.emit(0.0, "worker.start", "w1")
+    log.emit(1.0, "worker.exit.done", "w1")
+    out = render_timeline(log, width=24)
+    line = next(ln for ln in out.splitlines() if ln.startswith("w1"))
+    assert len(line.split("|")[1]) == 24
+
+
+def test_zero_duration_trace_renders():
+    # A trace whose only activity sits at t=0 must not divide by zero.
+    log = TraceLog()
+    log.emit(0.0, "worker.start", "w1")
+    out = render_timeline(log)
+    assert "w1" in out and "running" in out
+
+
+def test_migration_and_redo_marks():
+    log = TraceLog()
+    log.emit(0.0, "worker.start", "w1")
+    log.emit(2.0, "migrate.in", "w1")
+    log.emit(4.0, "redo", "w1")
+    log.emit(8.0, "worker.exit.done", "w1")
+    out = render_timeline(log)
+    lane = next(ln for ln in out.splitlines() if ln.startswith("w1"))
+    assert "m" in lane and "R" in lane
+
+
+def test_exit_without_start_is_ignored():
+    # A worker that exits without ever starting gets no lane (partial
+    # traces happen when capacity-bounded logs evict the prefix).
+    log = TraceLog()
+    log.emit(0.0, "worker.start", "w1")
+    log.emit(3.0, "worker.exit.done", "w1")
+    log.emit(5.0, "worker.exit.done", "ghost")
+    out = render_timeline(log)
+    assert "ghost" not in out
+    assert any(line.startswith("w1") for line in out.splitlines())
+
+
+def test_marks_outside_known_lanes_are_ignored():
+    log = TraceLog()
+    log.emit(0.0, "worker.start", "w1")
+    log.emit(1.0, "steal.success", "stranger")
+    log.emit(2.0, "worker.exit.done", "w1")
+    out = render_timeline(log)
+    lanes = [line for line in out.splitlines() if line.startswith("w1")]
+    assert lanes and all("S" not in line for line in lanes)
