@@ -505,9 +505,14 @@ def check_invariants(
             Violation("deque-audit", msg) for msg in dict.fromkeys(auditor.errors)
         )
     if trace.truncated:
+        # Show what *was* kept, so a truncation report is actionable:
+        # the kind mix tells the user which categories to filter on (or
+        # how much to raise the capacity) to get a complete history.
+        kept = ", ".join(f"{kind}={n}" for kind, n in trace.kinds())
         report.warnings.append(
             f"trace truncated ({trace.dropped} events evicted by the "
-            f"capacity bound): history-dependent invariants skipped"
+            f"capacity bound, {len(trace)} kept): history-dependent "
+            f"invariants skipped; kept kinds: {kept}"
         )
         report.checked = ("liveness", "retirement", "deque-audit")
         idx = _TraceIndex(trace)

@@ -31,6 +31,7 @@ from repro.micro import protocol as P
 from repro.net.network import Network
 from repro.net.rpc import RpcServer
 from repro.net.socket import Socket
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Interrupt, Simulator
 from repro.sim.resources import Signal
 from repro.util.trace import TraceLog
@@ -65,6 +66,7 @@ class Clearinghouse:
         rpc_port: int = P.CLEARINGHOUSE_PORT,
         data_port: int = P.CLEARINGHOUSE_DATA_PORT,
         assign_root: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -108,6 +110,19 @@ class Clearinghouse:
         self._io_buffer: List[Tuple[float, str, str]] = []
         self.io_flushes = 0
 
+        #: Observability: heartbeat-gap histogram (silence between a
+        #: worker's consecutive updates — the crash detector's signal)
+        #: and a live-participants series (a Perfetto counter track).
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_heartbeat_gap = metrics.histogram("ch.heartbeat.gap_s")
+            self._m_participants = metrics.series("macro.participants")
+            self._m_deaths = metrics.counter("ch.deaths.count")
+        else:
+            self._m_heartbeat_gap = None
+            self._m_participants = None
+            self._m_deaths = None
+
         self.rpc = RpcServer(network, host, rpc_port, name=f"ch:{job_name}")
         self.rpc.register(P.RPC_REGISTER, self._rpc_register)
         self.rpc.register(P.RPC_UNREGISTER, self._rpc_unregister)
@@ -143,6 +158,8 @@ class Clearinghouse:
         self.ever_registered.add(name)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "ch.register", self.host, worker=name)
+        if self._m_participants is not None:
+            self._m_participants.record(self.sim.now, len(self.workers))
         self._broadcast_peers()
         return {"peers": self._sorted_workers(), "run_root": run_root, "done": False}
 
@@ -156,13 +173,19 @@ class Clearinghouse:
             self.forwarders[name] = self.sim.now
         if self.trace is not None:
             self.trace.emit(self.sim.now, "ch.unregister", self.host, worker=name)
+        if self._m_participants is not None:
+            self._m_participants.record(self.sim.now, len(self.workers))
         self._broadcast_peers()
         return True
 
     def _rpc_update(self, name: str, _msg) -> Dict[str, Any]:
         if name in self.workers:
+            if self._m_heartbeat_gap is not None:
+                self._m_heartbeat_gap.observe(self.sim.now - self.workers[name])
             self.workers[name] = self.sim.now  # heartbeat (no membership change)
         elif name in self.forwarders:
+            if self._m_heartbeat_gap is not None:
+                self._m_heartbeat_gap.observe(self.sim.now - self.forwarders[name])
             self.forwarders[name] = self.sim.now  # forwarder heartbeat
         return {"peers": self._sorted_workers(), "done": self.done.is_set}
 
@@ -239,6 +262,8 @@ class Clearinghouse:
                     self.dead.add(name)
                     if self.trace is not None:
                         self.trace.emit(now, "ch.worker_died", self.host, worker=name)
+                    if self._m_deaths is not None:
+                        self._m_deaths.inc()
                     # To *everyone*, not just current registrants: a
                     # gracefully-departed victim still holds the redo
                     # obligation for closures this worker stole from it,
@@ -247,6 +272,8 @@ class Clearinghouse:
                     if name == self.root_owner and not self.done.is_set:
                         self._reassign_root()
                 if dead:
+                    if self._m_participants is not None:
+                        self._m_participants.record(now, len(self.workers))
                     self._broadcast_peers()
         except Interrupt:
             return

@@ -11,8 +11,13 @@ Usage::
     python -m repro.cli macro-demo
     python -m repro.cli check --seeds 100 --app fib
     python -m repro.cli bench --out BENCH_kernel.json
+    python -m repro.cli obs --seed 1 --app fib
+    python -m repro.cli timeline --perfetto out.json
 
 ``--seed`` controls every random stream; runs are fully reproducible.
+``table2``/``figure4``/``figure5``/``bench`` accept ``--manifest PATH``
+to drop a provenance manifest (see docs/observability.md) next to the
+printed output.
 """
 
 from __future__ import annotations
@@ -21,6 +26,124 @@ import argparse
 import sys
 import time
 from typing import List, Optional
+
+
+def _obs_job(app: str, scale: Optional[int] = None):
+    """Build the job an ``obs`` run measures (small by default: the
+    point is the metrics, not the workload)."""
+    if app == "fib":
+        from repro.apps.fib import fib_job
+        return fib_job(scale if scale is not None else 22)
+    if app == "knary":
+        from repro.apps.knary import knary_job
+        return knary_job(scale if scale is not None else 7, 4, 1)
+    if app == "pfold":
+        from repro.apps.pfold import pfold_job
+        return pfold_job("HPHPPHHPHPPH", work_scale=float(scale or 40))
+    raise SystemExit(f"unknown obs app {app!r}")
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    """Human-readable seconds (or '-' when there is no data)."""
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _cmd_obs(args: argparse.Namespace) -> str:
+    """Run a seeded job with full observability wired in and report."""
+    from repro.experiments.report import render_table
+    from repro.obs import MetricsRegistry, build_manifest, write_manifest
+    from repro.phish import run_job
+
+    registry = MetricsRegistry()
+    started = time.time()
+    res = run_job(
+        _obs_job(args.app, args.scale),
+        n_workers=args.workers,
+        seed=args.seed,
+        trace=True,
+        metrics=registry,
+    )
+    wall = time.time() - started
+
+    hist_rows = []
+    for name in registry.names():
+        inst = registry.get(name)
+        if inst.kind != "histogram" or inst.count == 0:
+            continue
+        # The `_s` naming convention marks seconds-valued metrics;
+        # everything else (deque depth) is a plain quantity.
+        fmt = _fmt_s if name.endswith("_s") else (lambda v: f"{v:.1f}")
+        hist_rows.append((
+            name, inst.count,
+            fmt(inst.percentile(0.50)),
+            fmt(inst.percentile(0.90)),
+            fmt(inst.percentile(0.99)),
+            fmt(inst.mean),
+        ))
+    sections = [render_table(
+        f"Latency/size distributions — {args.app} seed={args.seed} "
+        f"P={args.workers}",
+        ["metric", "n", "p50", "p90", "p99", "mean"],
+        hist_rows,
+    )]
+
+    scalar_rows = []
+    for name in registry.names():
+        inst = registry.get(name)
+        if inst.kind == "counter":
+            scalar_rows.append((name, inst.value))
+        elif inst.kind == "gauge":
+            scalar_rows.append((name, f"{inst.value:g} (peak {inst.peak:g})"))
+    scalar_rows.append(("job.result", res.result))
+    scalar_rows.append(("job.makespan_s", f"{res.makespan:.4f}"))
+    scalar_rows.append(("job.tasks_executed", res.stats.tasks_executed))
+    scalar_rows.append(("job.tasks_stolen", res.stats.tasks_stolen))
+    sections.append(render_table(
+        "Counters", ["metric", "value"], scalar_rows,
+    ))
+
+    manifest = build_manifest(
+        command="obs",
+        seed=args.seed,
+        app=args.app,
+        cluster={"workers": args.workers, "profile": "SparcStation-1"},
+        wall_s=wall,
+        registry=registry,
+        extra={"makespan_s": res.makespan},
+    )
+    write_manifest(manifest, args.manifest)
+    sections.append(f"wrote manifest {args.manifest}")
+    return "\n\n".join(sections)
+
+
+def _maybe_manifest(
+    args: argparse.Namespace,
+    command: str,
+    app: str,
+    cluster: dict,
+    wall_s: float,
+) -> str:
+    """Write a provenance manifest when the command got ``--manifest``."""
+    path = getattr(args, "manifest", None)
+    if not path:
+        return ""
+    from repro.obs import build_manifest, write_manifest
+
+    manifest = build_manifest(
+        command=command,
+        seed=getattr(args, "seed", 0),
+        app=app,
+        cluster=cluster,
+        wall_s=wall_s,
+    )
+    write_manifest(manifest, path)
+    return f"\n\nwrote manifest {path}"
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -32,19 +155,37 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 def _cmd_table2(args: argparse.Namespace) -> str:
     from repro.experiments.table2 import format_table2, run_table2
 
-    return format_table2(run_table2(seed=args.seed))
+    started = time.time()
+    out = format_table2(run_table2(seed=args.seed))
+    return out + _maybe_manifest(
+        args, "table2", "pfold", {"workers": [4, 8]}, time.time() - started
+    )
 
 
 def _cmd_figure4(args: argparse.Namespace) -> str:
-    from repro.experiments.figures import format_figure4, run_speedup_curve
+    from repro.experiments.figures import (
+        PAPER_PARTICIPANTS, format_figure4, run_speedup_curve,
+    )
 
-    return format_figure4(run_speedup_curve(seed=args.seed))
+    started = time.time()
+    out = format_figure4(run_speedup_curve(seed=args.seed))
+    return out + _maybe_manifest(
+        args, "figure4", "pfold", {"workers": list(PAPER_PARTICIPANTS)},
+        time.time() - started,
+    )
 
 
 def _cmd_figure5(args: argparse.Namespace) -> str:
-    from repro.experiments.figures import format_figure5, run_speedup_curve
+    from repro.experiments.figures import (
+        PAPER_PARTICIPANTS, format_figure5, run_speedup_curve,
+    )
 
-    return format_figure5(run_speedup_curve(seed=args.seed))
+    started = time.time()
+    out = format_figure5(run_speedup_curve(seed=args.seed))
+    return out + _maybe_manifest(
+        args, "figure5", "pfold", {"workers": list(PAPER_PARTICIPANTS)},
+        time.time() - started,
+    )
 
 
 def _cmd_ablations(args: argparse.Namespace) -> str:
@@ -147,9 +288,15 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     (see docs/performance.md)."""
     from repro.bench import format_bench, run_bench, write_bench
 
+    started = time.time()
     results = run_bench(repeats=args.repeats, quick=args.quick)
     write_bench(results, args.out)
-    return format_bench(results) + f"\n\nwrote {args.out}"
+    return (
+        format_bench(results)
+        + f"\n\nwrote {args.out}"
+        + _maybe_manifest(args, "bench", "-", {"workers": 0},
+                          time.time() - started)
+    )
 
 
 def _cmd_harvest(args: argparse.Namespace) -> str:
@@ -170,14 +317,23 @@ def _cmd_timeline(args: argparse.Namespace) -> str:
             return ScriptedTrace([("idle", 3.0 + args.seed % 3), ("busy", 1e9)])
         return AlwaysIdleTrace()
 
+    perfetto_path = getattr(args, "perfetto", None)
     system = PhishSystem(
         PhishSystemConfig(n_workstations=6, seed=args.seed, owner_trace=traces,
-                          trace=True)
+                          trace=True, metrics=perfetto_path is not None)
     )
     system.submit(pfold_job("HPHPPHHPHPPH", work_scale=60.0), from_host="ws00")
     system.run_until_done(timeout_s=36000)
     assert system.trace is not None
-    return render_timeline(system.trace)
+    out = render_timeline(system.trace)
+    if perfetto_path:
+        from repro.obs import write_perfetto
+
+        write_perfetto(system.trace, perfetto_path, system.metrics,
+                       job_name="timeline")
+        out += (f"\n\nwrote Perfetto trace {perfetto_path} "
+                f"(open at ui.perfetto.dev)")
+    return out
 
 
 COMMANDS = {
@@ -191,6 +347,7 @@ COMMANDS = {
     "harvest": _cmd_harvest,
     "check": _cmd_check,
     "bench": _cmd_bench,
+    "obs": _cmd_obs,
 }
 
 
@@ -201,9 +358,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("table1", "table2", "figure4", "figure5", "macro-demo",
-                 "timeline", "harvest"):
+    for name in ("table1", "macro-demo", "harvest"):
         sub.add_parser(name)
+    for name in ("table2", "figure4", "figure5"):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("--manifest", default=None, metavar="PATH",
+                         help="also write a run-provenance manifest JSON")
+    timeline = sub.add_parser("timeline")
+    timeline.add_argument("--perfetto", default=None, metavar="PATH",
+                          help="also export the run as Chrome/Perfetto "
+                               "trace_event JSON (open at ui.perfetto.dev)")
+    obs = sub.add_parser(
+        "obs",
+        help="run one seeded job with full metrics wired in, print the "
+             "latency/counter report, and write a run manifest",
+    )
+    obs.add_argument("--app", default="fib", choices=["fib", "knary", "pfold"],
+                     help="application to run (default fib)")
+    obs.add_argument("--workers", type=int, default=4,
+                     help="cluster size (default 4)")
+    obs.add_argument("--scale", type=int, default=None,
+                     help="problem size override (fib n / knary n / "
+                          "pfold work scale)")
+    obs.add_argument("--manifest", default="obs_manifest.json", metavar="PATH",
+                     help="manifest output path (default obs_manifest.json)")
     ab = sub.add_parser("ablations")
     ab.add_argument(
         "which",
@@ -225,6 +403,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "best-of-N (default 10)")
     bench.add_argument("--quick", action="store_true",
                        help="fewer repetitions (smoke-test mode)")
+    bench.add_argument("--manifest", default=None, metavar="PATH",
+                       help="also write a run-provenance manifest JSON")
     chk = sub.add_parser(
         "check",
         help="fuzz schedules (tie-breaks, jitter, crashes, reclaims) and "
@@ -240,6 +420,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                      choices=["skip-redo", "drop-migration", "dup-exec"],
                      help="deliberately break the scheduler to prove the "
                           "checker catches it")
+    # --seed works both before and after the subcommand; SUPPRESS keeps a
+    # pre-subcommand value from being clobbered by a subparser default.
+    for cmd in sub.choices.values():
+        cmd.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                         help="root random seed (default 0)")
     args = parser.parse_args(argv)
     started = time.time()
     output = COMMANDS[args.command](args)

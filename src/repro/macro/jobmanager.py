@@ -30,6 +30,7 @@ from repro.micro import protocol as P
 from repro.micro.worker import Worker, WorkerConfig
 from repro.net.network import Network
 from repro.net.rpc import rpc_call
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Interrupt, Simulator
 from repro.sim.events import AnyOf
 from repro.util.trace import TraceLog
@@ -71,6 +72,7 @@ class PhishJobManager:
         config: Optional[JobManagerConfig] = None,
         rng: Optional[random.Random] = None,
         trace: Optional[TraceLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.workstation = workstation
@@ -79,6 +81,7 @@ class PhishJobManager:
         self.config = config or JobManagerConfig()
         self.rng = rng or random.Random(0)
         self.trace = trace
+        self.metrics = metrics
         self.current_worker: Optional[Worker] = None
         self.current_job_id: Optional[int] = None
         #: Counters for the macro experiments.
@@ -140,6 +143,7 @@ class PhishJobManager:
                 config=worker_cfg,
                 rng=random.Random(self.rng.getrandbits(64)),
                 trace=self.trace,
+                metrics=self.metrics,
             )
         except AddressError:
             # A previous worker for this job still forwards on the port;

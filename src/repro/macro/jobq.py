@@ -17,6 +17,7 @@ from repro.macro.policies import AssignmentPolicy, RoundRobinAssignment
 from repro.micro import protocol as P
 from repro.net.network import Network
 from repro.net.rpc import RpcServer
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.tasks.program import JobProgram
 from repro.util.trace import TraceLog
@@ -32,6 +33,7 @@ class PhishJobQ:
         host: str,
         policy: Optional[AssignmentPolicy] = None,
         trace: Optional[TraceLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -43,6 +45,15 @@ class PhishJobQ:
         #: Counters for the macro-level experiments.
         self.requests = 0
         self.grants = 0
+        #: Observability: queue wait from submission to first grant.
+        if metrics is not None:
+            self._m_queue_wait = metrics.histogram("macro.jobq.wait_s")
+            self._m_grants = metrics.counter("macro.jobq.grants.count")
+        else:
+            self._m_queue_wait = None
+            self._m_grants = None
+        #: Job ids whose queue wait has been observed (first grant only).
+        self._waited: set = set()
 
         self.rpc = RpcServer(network, host, P.JOBQ_PORT, name="jobq")
         self.rpc.register("submit", self._rpc_submit)
@@ -91,6 +102,11 @@ class PhishJobQ:
             return None
         record.participants.add(workstation)
         self.grants += 1
+        if self._m_grants is not None:
+            self._m_grants.inc()
+            if record.job_id not in self._waited:
+                self._waited.add(record.job_id)
+                self._m_queue_wait.observe(self.sim.now - record.submitted_at)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "jobq.grant", self.host,
                             job=record.name, to=workstation)

@@ -29,6 +29,7 @@ from repro.micro.worker import Worker
 from repro.net.network import Network
 from repro.net.rpc import rpc_call
 from repro.net.topology import Topology, UniformTopology
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.events import AllOf
 from repro.tasks.program import JobProgram
@@ -57,6 +58,10 @@ class PhishSystemConfig:
     policy: Optional[AssignmentPolicy] = None
     topology: Optional[Topology] = None
     trace: bool = False
+    #: Wire a MetricsRegistry through every layer (network, JobQ,
+    #: JobManagers, Clearinghouses, workers).  Off by default: the
+    #: macro experiments only need the NetCounters/JobStats numbers.
+    metrics: bool = False
 
 
 class PhishSystem:
@@ -70,12 +75,17 @@ class PhishSystem:
         self.sim = Simulator()
         self.rng = RngRegistry(cfg.seed)
         self.trace = TraceLog(enabled=True, capacity=200_000) if cfg.trace else None
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if cfg.metrics else None
+        )
         self.network = Network(
             self.sim,
             cfg.topology or UniformTopology(cfg.profile.net),
             rng=self.rng.stream("net"),
             trace=self.trace,
         )
+        if self.metrics is not None:
+            self.network.attach_metrics(self.metrics)
         self.workstations: List[Workstation] = []
         self.owners: List[Owner] = []
         self.jobmanagers: Dict[str, PhishJobManager] = {}
@@ -86,7 +96,8 @@ class PhishSystem:
             self.owners.append(Owner(ws, trace))
         #: The JobQ lives on the first workstation (paper: "one computer").
         self.jobq = PhishJobQ(
-            self.sim, self.network, self.workstations[0].name, cfg.policy, self.trace
+            self.sim, self.network, self.workstations[0].name, cfg.policy, self.trace,
+            metrics=self.metrics,
         )
         for i, ws in enumerate(self.workstations):
             self.jobmanagers[ws.name] = PhishJobManager(
@@ -97,6 +108,7 @@ class PhishSystem:
                 config=cfg.jobmanager,
                 rng=self.rng.stream(f"jm.{i}"),
                 trace=self.trace,
+                metrics=self.metrics,
             )
         self.handles: List[JobHandle] = []
 
@@ -135,6 +147,7 @@ class PhishSystem:
             worker_port=worker_port,
             rpc_port=ch_rpc,
             data_port=ch_data,
+            metrics=self.metrics,
         )
         first_worker: Optional[Worker] = None
         if start_first_worker:
@@ -153,6 +166,7 @@ class PhishSystem:
                 config=wcfg,
                 rng=self.rng.stream(f"job{record.job_id}.first"),
                 trace=self.trace,
+                metrics=self.metrics,
             )
         else:
             record.participants.discard(host)

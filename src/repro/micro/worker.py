@@ -45,6 +45,11 @@ from repro.micro.steal import make_victim_policy
 from repro.net.network import Network
 from repro.net.rpc import rpc_call
 from repro.net.socket import Socket
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    GRAIN_BUCKETS_S,
+    MetricsRegistry,
+)
 from repro.sim.core import Event, Interrupt, Simulator
 from repro.sim.events import AnyOf
 from repro.sim.resources import Signal
@@ -112,6 +117,7 @@ class Worker:
         trace: Optional[TraceLog] = None,
         name: Optional[str] = None,
         initial_state: Optional[tuple] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.workstation = workstation
@@ -166,6 +172,37 @@ class Worker:
         self._fill_hold: Optional[List[tuple]] = None
         self.peers: List[str] = [self.name]
         self.victim_policy = make_victim_policy(self.config.victim_policy, self.rng)
+
+        #: Observability (repro.obs): when a registry is wired in, the
+        #: worker populates steal/fill latency histograms, a task-grain
+        #: histogram, a redo counter, and a per-worker deque-depth
+        #: series.  Instruments are resolved once here; every hot-path
+        #: update is guarded by a single ``is not None`` check (the
+        #: TraceLog.emit discipline), so disabled runs pay nothing.
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_steal_latency = metrics.histogram("micro.steal.latency_s")
+            self._m_fill_latency = metrics.histogram("micro.fill.latency_s")
+            self._m_task_grain = metrics.histogram(
+                "micro.task.grain_s", GRAIN_BUCKETS_S)
+            self._m_deque_depth = metrics.histogram(
+                "micro.deque.depth", DEPTH_BUCKETS)
+            self._m_deque_series = metrics.series(f"micro.deque.depth.{self.name}")
+            self._m_redo = metrics.counter("micro.redo.count")
+            self._m_steals = metrics.counter("micro.steal.success.count")
+        else:
+            self._m_steal_latency = None
+            self._m_fill_latency = None
+            self._m_task_grain = None
+            self._m_deque_depth = None
+            self._m_deque_series = None
+            self._m_redo = None
+            self._m_steals = None
+        #: Steal-request send times, for request→grant latency (kept even
+        #: without a registry: WorkerStats carries the per-worker sums).
+        self._steal_sent: Dict[int, float] = {}
+        #: Suspension times of parked closures, for fill latency.
+        self._suspended_at: Dict[ClosureId, float] = {}
 
         self.done = False
         self.result: Any = None
@@ -251,11 +288,15 @@ class Worker:
             return
         self.deque.push(closure)
         self._note_in_use()
+        if self._m_deque_series is not None:
+            self._sample_deque()
 
     def register_suspended(self, closure: Closure) -> None:
         """Park a successor closure until its missing arguments arrive."""
         self.suspended[closure.cid] = closure
         self._note_in_use()
+        if self._m_fill_latency is not None:
+            self._suspended_at[closure.cid] = self.sim.now
         if self.trace is not None:
             self.trace.emit(self.sim.now, "closure.suspend", self.name,
                             cid=closure.cid, missing=closure.join_counter)
@@ -298,6 +339,10 @@ class Worker:
                 return True
             if closure.fill(continuation.slot, value):
                 del self.suspended[cid]
+                if self._m_fill_latency is not None:
+                    suspended_at = self._suspended_at.pop(cid, None)
+                    if suspended_at is not None:
+                        self._m_fill_latency.observe(self.sim.now - suspended_at)
                 if self.config.track_completed:
                     self.completed.add(cid)
                 if self.trace is not None:
@@ -505,6 +550,9 @@ class Worker:
         ref = self.job.program.resolve(closure.thread_name)
         ref.fn(frame, *closure.call_args())
         self.stats.tasks_executed += 1
+        if self._m_task_grain is not None:
+            self._m_task_grain.observe(self.workstation.seconds_for(frame.cycles))
+            self._sample_deque()
         if self.config.track_completed and closure.join_counter == 0:
             self.completed.add(closure.cid)
         self.executing = False
@@ -543,12 +591,14 @@ class Worker:
                             victim=victim, req=req_id)
         waiter = Event(self.sim)
         self._steal_waiters[req_id] = waiter
+        self._steal_sent[req_id] = self.sim.now
         try:
             self._post(victim, cfg.port, (P.STEAL_REQ, self.name, req_id))
             deadline = self.sim.timeout(cfg.steal_timeout_s)
             settled = yield AnyOf(self.sim, [waiter, deadline])
         finally:
             self._steal_waiters.pop(req_id, None)
+            self._steal_sent.pop(req_id, None)
         if waiter in settled and settled[waiter]:
             return True  # the net loop already enqueued the task
         self.stats.failed_steal_attempts += 1
@@ -618,6 +668,8 @@ class Worker:
             # Redundant state for crash redo: remember what went where.
             self.outstanding.setdefault(thief, {})[closure.cid] = closure
             self._note_in_use()
+            if self._m_deque_series is not None:
+                self._sample_deque()
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "steal.grant", self.name,
                                 thief=thief, cid=closure.cid, req=req_id)
@@ -629,6 +681,18 @@ class Worker:
         """A steal reply (possibly late) arrived at the main socket."""
         waiter = self._steal_waiters.pop(req_id, None)
         if closure is not None:
+            # Request→grant latency of a successful steal (the quantity
+            # the latency-aware work-stealing analyses argue drives
+            # makespan).  Late grants adopted after the thief stopped
+            # waiting have no recorded send time and are skipped.
+            sent_at = self._steal_sent.get(req_id)
+            if sent_at is not None:
+                latency = self.sim.now - sent_at
+                self.stats.steal_latency_sum_s += latency
+                self.stats.steal_latency_count += 1
+                if self._m_steal_latency is not None:
+                    self._m_steal_latency.observe(latency)
+        if closure is not None:
             if self.done:
                 # Job over; the victim's redundant copy is harmless, but
                 # the checker must know the grant terminated here.
@@ -639,6 +703,8 @@ class Worker:
                 if self._maybe_rejoin_idle():
                     # Retired for lack of work — and work just arrived.
                     self.stats.tasks_stolen += 1
+                    if self._m_steals is not None:
+                        self._m_steals.inc()
                     self.enqueue_ready(closure, local=True)
                     if self.trace is not None:
                         self.trace.emit(self.sim.now, "steal.success",
@@ -657,6 +723,8 @@ class Worker:
                                         reason="no-peer")
             else:
                 self.stats.tasks_stolen += 1
+                if self._m_steals is not None:
+                    self._m_steals.inc()
                 self.enqueue_ready(closure, local=True)
                 if self.trace is not None:
                     self.trace.emit(self.sim.now, "steal.success", self.name,
@@ -711,6 +779,8 @@ class Worker:
             originals = list(stolen.values())
             copies = [c.redo_copy(self.new_cid()) for c in originals]
             self.stats.tasks_redone += len(copies)
+            if self._m_redo is not None:
+                self._m_redo.inc(len(copies))
             if self.trace is not None:
                 self.trace.emit(
                     self.sim.now, "redo", self.name, dead=dead, n=len(copies),
@@ -778,6 +848,8 @@ class Worker:
                 still_suspended.append(closure)
                 pairs.append((closure.cid, closure.cid))
         self.stats.tasks_redone += len(batch)
+        if self._m_redo is not None:
+            self._m_redo.inc(len(batch))
         if self.trace is not None:
             self.trace.emit(self.sim.now, "redo", self.name, dead=dead,
                             n=len(batch), pairs=pairs)
@@ -1140,6 +1212,12 @@ class Worker:
         n = len(self.deque) + len(self.suspended) + (1 if self.executing else 0)
         if n > self.stats.max_tasks_in_use:
             self.stats.max_tasks_in_use = n
+
+    def _sample_deque(self) -> None:
+        """Feed the ready-list depth into the registry (metrics wired)."""
+        depth = len(self.deque)
+        self._m_deque_series.record(self.sim.now, depth)
+        self._m_deque_depth.observe(depth)
 
     def stop(self) -> None:
         """Forcibly stop all of this worker's processes (test teardown)."""

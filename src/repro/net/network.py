@@ -141,6 +141,19 @@ class Network:
         #: Shared callback tuples for delivery events (see _DeliveryEvent).
         self._deliver_cbs = (self._on_delivery,)
         self._deliver_local_cbs = (self._on_delivery_local,)
+        #: Observability instruments (attach_metrics); None keeps the hot
+        #: path at a single identity check per send/delivery.
+        self._m_msg_latency = None
+        self._m_inflight = None
+        self._m_sent = None
+
+    def attach_metrics(self, registry) -> None:
+        """Wire a :class:`~repro.obs.metrics.MetricsRegistry` in: message
+        latency histogram (send to delivery, overheads included), an
+        in-flight gauge, and a sent counter."""
+        self._m_msg_latency = registry.histogram("net.msg.latency_s")
+        self._m_inflight = registry.gauge("net.msg.inflight")
+        self._m_sent = registry.counter("net.msg.sent.count")
 
     # -- host / socket management ------------------------------------------
 
@@ -247,6 +260,8 @@ class Network:
         counters.sent_by_host[src] = counters.sent_by_host.get(src, 0) + 1
         if self.trace is not None:
             self.trace.emit(sim.now, "net.send", src, dst=dst, port=dst_port, id=msg.msg_id)
+        if self._m_sent is not None:
+            self._m_sent.inc()
 
         charge = self._cpu_charge.get(src)
         if charge:
@@ -263,6 +278,8 @@ class Network:
         flight = params.send_overhead_s + params.transfer_time(size_bytes)
         if params.jitter_s > 0.0:
             flight += self.rng.random() * params.jitter_s
+        if self._m_inflight is not None:
+            self._m_inflight.inc()
         deliver = _DeliveryEvent.__new__(_DeliveryEvent)
         deliver.sim = sim
         deliver.callbacks = self._deliver_cbs
@@ -323,6 +340,8 @@ class Network:
         sock._enqueue(msg)
 
     def _deliver(self, msg: Message, params: NetworkParams) -> None:
+        if self._m_inflight is not None:
+            self._m_inflight.dec()
         if self.is_down(msg.dst):
             self.counters.dropped_unroutable += 1
             if self.trace is not None:
@@ -341,6 +360,8 @@ class Network:
         charge = self._cpu_charge.get(msg.dst)
         if charge:
             charge(params.recv_overhead_s)
+        if self._m_msg_latency is not None:
+            self._m_msg_latency.observe(self.sim.now - msg.sent_at + params.recv_overhead_s)
         self.counters.delivered += 1
         self.counters.received_by_host[msg.dst] = self.counters.received_by_host.get(msg.dst, 0) + 1
         if self.trace is not None:

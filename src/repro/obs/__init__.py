@@ -1,0 +1,51 @@
+"""repro.obs — the unified observability layer.
+
+Three pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of counters,
+  gauges, fixed-bucket histograms, and time series that every layer of
+  the scheduler populates when observability is wired in;
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` export of a
+  run's :class:`~repro.util.trace.TraceLog` plus registry, openable in
+  ``ui.perfetto.dev``;
+* :mod:`repro.obs.manifest` — attributable run manifests written next
+  to experiment and benchmark outputs.
+"""
+
+from repro.obs.export import to_perfetto, validate_perfetto, write_perfetto
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    GRAIN_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "LATENCY_BUCKETS_S",
+    "DEPTH_BUCKETS",
+    "GRAIN_BUCKETS_S",
+    "to_perfetto",
+    "write_perfetto",
+    "validate_perfetto",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "validate_manifest",
+    "load_manifest",
+]

@@ -1,0 +1,238 @@
+"""Export a TraceLog (+ MetricsRegistry) to Chrome/Perfetto trace JSON.
+
+The output follows the Chrome ``trace_event`` JSON-array format that
+``ui.perfetto.dev`` and ``chrome://tracing`` both open directly:
+
+* one **thread track per worker** (pid/tid pairs with ``process_name``
+  and ``thread_name`` metadata), carrying a duration slice for each
+  participation span (``worker.start``/``worker.rejoin`` .. the matching
+  ``worker.exit.*``) and instant events for steals, migrations, redo
+  waves, and crashes;
+* **counter tracks** built from registry :class:`~repro.obs.metrics.Series`
+  instruments — per-worker deque depth (``micro.deque.depth.<host>``)
+  and the live-participant count (``macro.participants``);
+* Clearinghouse events (deaths, result delivery) on their own track.
+
+Simulated seconds map to trace microseconds (the format's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.util.trace import TraceLog
+from repro.viz.timeline import worker_intervals
+
+#: Trace kinds rendered as instant events on the emitting worker's track.
+INSTANT_KINDS: Tuple[str, ...] = (
+    "steal.request",
+    "steal.grant",
+    "steal.success",
+    "migrate.in",
+    "migrate.out",
+    "redo",
+    "closure.lost",
+    "worker.exit.crashed",
+    "worker.rejoin",
+)
+
+#: Clearinghouse kinds rendered on the control track.
+CH_KINDS: Tuple[str, ...] = (
+    "ch.register",
+    "ch.unregister",
+    "ch.worker_died",
+    "ch.result",
+    "jobq.submit",
+    "jobq.grant",
+    "jobq.done",
+)
+
+#: pid of the per-worker tracks / of the control+counter tracks.
+WORKERS_PID = 1
+CONTROL_PID = 2
+
+_US = 1e6  # seconds -> trace microseconds
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a trace-detail value into something JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def to_perfetto(
+    trace: TraceLog,
+    registry: Optional[MetricsRegistry] = None,
+    job_name: str = "phish",
+) -> Dict[str, Any]:
+    """Build the trace_event document (a JSON-ready dict)."""
+    events: List[Dict[str, Any]] = []
+    intervals = worker_intervals(trace)
+    # A capacity-truncated trace may have lost the worker.start records;
+    # any surviving worker-track event still names its source, so the
+    # track set is the union (the slice for an evicted start is simply
+    # absent, not a reason to drop the worker's instants).
+    instant_sources = {
+        ev.source for ev in trace
+        if ev.kind in INSTANT_KINDS or ev.kind.startswith("worker.")
+    }
+    workers = sorted(set(intervals) | instant_sources)
+    tids = {name: i + 1 for i, name in enumerate(workers)}
+
+    events.append({
+        "ph": "M", "pid": WORKERS_PID, "tid": 0, "ts": 0,
+        "name": "process_name", "args": {"name": f"{job_name} workers"},
+    })
+    events.append({
+        "ph": "M", "pid": CONTROL_PID, "tid": 0, "ts": 0,
+        "name": "process_name", "args": {"name": f"{job_name} control"},
+    })
+    for name in workers:
+        events.append({
+            "ph": "M", "pid": WORKERS_PID, "tid": tids[name], "ts": 0,
+            "name": "thread_name", "args": {"name": name},
+        })
+
+    # Participation slices: complete events (ph "X") per start..exit span.
+    # A worker may have several spans (retire, then rejoin), so pair each
+    # start-ish event with the next exit-ish event in trace order.
+    open_since: Dict[str, float] = {}
+    last_t = 0.0
+    for ev in trace:
+        last_t = max(last_t, ev.time)
+        if ev.kind in ("worker.start", "worker.rejoin"):
+            open_since.setdefault(ev.source, ev.time)
+        elif ev.kind.startswith("worker.exit."):
+            t0 = open_since.pop(ev.source, None)
+            if t0 is not None and ev.source in tids:
+                events.append({
+                    "ph": "X", "pid": WORKERS_PID, "tid": tids[ev.source],
+                    "ts": t0 * _US, "dur": max(0.0, ev.time - t0) * _US,
+                    "name": "participating", "cat": "worker",
+                    "args": {"exit": ev.kind.rsplit(".", 1)[1]},
+                })
+    for source, t0 in open_since.items():
+        if source in tids:
+            events.append({
+                "ph": "X", "pid": WORKERS_PID, "tid": tids[source],
+                "ts": t0 * _US, "dur": max(0.0, last_t - t0) * _US,
+                "name": "participating", "cat": "worker",
+                "args": {"exit": "running"},
+            })
+
+    instant_kinds = set(INSTANT_KINDS)
+    ch_kinds = set(CH_KINDS)
+    for ev in trace:
+        if ev.kind in instant_kinds:
+            tid = tids.get(ev.source)
+            if tid is None:
+                continue
+            events.append({
+                "ph": "i", "s": "t", "pid": WORKERS_PID, "tid": tid,
+                "ts": ev.time * _US, "name": ev.kind,
+                "cat": ev.kind.split(".", 1)[0],
+                "args": {k: _jsonable(v) for k, v in ev.detail.items()},
+            })
+        elif ev.kind in ch_kinds:
+            events.append({
+                "ph": "i", "s": "p", "pid": CONTROL_PID, "tid": 1,
+                "ts": ev.time * _US, "name": ev.kind, "cat": "control",
+                "args": {k: _jsonable(v) for k, v in ev.detail.items()},
+            })
+
+    if registry is not None:
+        for name in registry.names():
+            inst = registry.get(name)
+            if inst is None or inst.kind != "series":
+                continue
+            # "micro.deque.depth.ws03" -> counter "deque depth ws03".
+            label = name.replace("micro.deque.depth.", "deque depth ") \
+                if name.startswith("micro.deque.depth.") else name
+            for t, v in inst.samples:
+                events.append({
+                    "ph": "C", "pid": CONTROL_PID, "ts": t * _US,
+                    "name": label, "args": {"value": v},
+                })
+
+    # The format does not require global ordering, but a time-sorted
+    # array keeps every per-track sequence monotonic and diffs stable.
+    events.sort(key=lambda e: (e["ts"], e["ph"] != "M"))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"job": job_name, "trace_events": len(trace),
+                      "trace_dropped": trace.dropped},
+    }
+
+
+def write_perfetto(
+    trace: TraceLog,
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    job_name: str = "phish",
+) -> Dict[str, Any]:
+    """Write the export to *path*; returns the document."""
+    doc = to_perfetto(trace, registry, job_name)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return doc
+
+
+#: Phase types emitted by this exporter, with their required keys.
+_REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
+    "M": ("name", "pid", "args"),
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "i": ("name", "pid", "tid", "ts", "s"),
+    "C": ("name", "pid", "ts", "args"),
+}
+
+
+def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
+    """Check *doc* against the Chrome trace_event JSON-object format.
+
+    Returns a list of problems (empty = valid): structural shape, the
+    per-phase required keys, numeric non-negative timestamps, and
+    monotonically non-decreasing ``ts`` within each (pid, tid) track.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: Dict[Tuple[Any, Any], float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        required = _REQUIRED_KEYS.get(ph)
+        if required is None:
+            problems.append(f"event {i} has unknown phase {ph!r}")
+            continue
+        missing = [k for k in required if k not in ev]
+        if missing:
+            problems.append(f"event {i} ({ph}) missing keys {missing}")
+            continue
+        ts = ev.get("ts", 0)
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} has bad ts {ts!r}")
+            continue
+        if ph == "X" and (not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0):
+            problems.append(f"event {i} has bad dur {ev['dur']!r}")
+        if ph != "M":
+            key = (ev.get("pid"), ev.get("tid"))
+            if ts < last_ts.get(key, 0.0):
+                problems.append(
+                    f"event {i} ts {ts} not monotonic on track {key}"
+                )
+            last_ts[key] = ts
+    return problems

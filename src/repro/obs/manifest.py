@@ -1,0 +1,155 @@
+"""Run manifests: attributable, machine-readable experiment provenance.
+
+Every experiment/bench output can be accompanied by a small JSON file
+recording *what produced it*: the command, the seed, the cluster shape,
+the git revision, the metric snapshot, wall time, and the machine's
+recorded kernel throughput (so a slow number can be told apart from a
+slow machine).  ``validate_manifest`` is the schema check used by the
+unit tests and the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Manifest schema version (bump on breaking shape changes).
+MANIFEST_SCHEMA = 1
+
+#: Required top-level fields and their types (the schema, in effect).
+MANIFEST_FIELDS: Dict[str, tuple] = {
+    "schema": (int,),
+    "kind": (str,),
+    "command": (str,),
+    "seed": (int,),
+    "app": (str,),
+    "created_at": (str,),
+    "python": (str,),
+    "platform": (str,),
+    "git": (str, type(None)),
+    "cluster": (dict,),
+    "wall_s": (int, float),
+    "kernel_events_per_s": (int, float, type(None)),
+    "metrics": (dict,),
+}
+
+
+def git_describe(cwd: Optional[str] = None) -> Optional[str]:
+    """``git describe --always --dirty`` of the working tree, or None.
+
+    Tolerates every failure mode (no git binary, not a repository, bare
+    checkout without tags) — provenance is best-effort, never fatal.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _baseline_kernel_rate() -> Optional[float]:
+    """kernel events/s from the recorded BENCH_kernel.json, if any."""
+    from repro.bench import load_bench
+
+    recorded = load_bench()
+    if not recorded:
+        return None
+    return (recorded.get("kernel") or {}).get("events_per_s")
+
+
+def build_manifest(
+    command: str,
+    seed: int,
+    app: str,
+    cluster: Dict[str, Any],
+    wall_s: float,
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest dict that passes :func:`validate_manifest`.
+
+    Args:
+        command: the CLI subcommand (or API entry point) that ran.
+        seed: the root random seed of the run.
+        app: application name ("fib", "pfold", ...; "-" when not
+            app-specific, e.g. for ``bench``).
+        cluster: shape description, e.g. ``{"workers": 8,
+            "profile": "SparcStation-1"}``.
+        wall_s: real (not simulated) seconds the run took.
+        registry: metric snapshot source (empty snapshot when None).
+        extra: additional payload merged under its own keys (must not
+            collide with schema fields).
+    """
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": "repro.obs.manifest",
+        "command": command,
+        "seed": seed,
+        "app": app,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git": git_describe(),
+        "cluster": cluster,
+        "wall_s": wall_s,
+        "kernel_events_per_s": _baseline_kernel_rate(),
+        "metrics": registry.snapshot() if registry is not None else {},
+    }
+    if extra:
+        for key in extra:
+            if key in MANIFEST_FIELDS:
+                raise ValueError(f"extra key {key!r} collides with the schema")
+        manifest.update(extra)
+    return manifest
+
+
+def validate_manifest(manifest: Any) -> List[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    if not isinstance(manifest, dict):
+        return ["manifest is not a JSON object"]
+    problems: List[str] = []
+    for field, types in MANIFEST_FIELDS.items():
+        if field not in manifest:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(manifest[field], types):
+            problems.append(
+                f"field {field!r} has type {type(manifest[field]).__name__}, "
+                f"wanted {'/'.join(t.__name__ for t in types)}"
+            )
+    if manifest.get("schema") not in (None, MANIFEST_SCHEMA):
+        problems.append(
+            f"schema version {manifest.get('schema')!r} unknown "
+            f"(this build reads {MANIFEST_SCHEMA})"
+        )
+    if manifest.get("kind") not in (None, "repro.obs.manifest"):
+        problems.append(f"kind {manifest.get('kind')!r} is not a run manifest")
+    cluster = manifest.get("cluster")
+    if isinstance(cluster, dict) and "workers" not in cluster:
+        problems.append("cluster description lacks 'workers'")
+    return problems
+
+
+def write_manifest(manifest: Dict[str, Any], path: str) -> None:
+    """Write *manifest* as pretty-printed JSON (validating first)."""
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ValueError(f"refusing to write invalid manifest: {problems}")
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Read a manifest back (no validation; callers validate as needed)."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,316 @@
+"""The metrics registry: counters, gauges, histograms, time series.
+
+The paper's whole evaluation is observability — counting steals,
+synchronizations, messages, and per-participant times — and the related
+work argues that *distributions* (steal latency, message latency) drive
+makespan, not just counts.  This module is the common registry those
+measurements flow into.
+
+Design discipline (same as :meth:`repro.util.trace.TraceLog.emit`):
+instrumented components hold ``Optional`` references to their
+instruments and guard every hot-path update with an ``is not None``
+check, so a run without observability pays one attribute load and a
+pointer comparison per site.  A :class:`MetricsRegistry` constructed
+with ``enabled=False`` additionally hands out shared null instruments,
+so code that unconditionally keeps a registry reference is also cheap.
+
+Names are hierarchical dot-paths (``micro.steal.latency_s``,
+``net.msg.inflight``, ``macro.jobq.wait_s``); the catalogue lives in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Latency histogram edges (seconds): geometric 10 µs .. 10 s, the span
+#: from a loopback datagram to a heartbeat-scale stall on the 1994 LAN.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1,
+    1.0, 2.0, 5.0, 10.0,
+)
+
+#: Queue-depth histogram edges (tasks): the paper's "max tasks in use"
+#: working sets are tens of tasks; powers-of-two-ish up to 256.
+DEPTH_BUCKETS: Tuple[float, ...] = (
+    1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256,
+)
+
+#: Task-grain histogram edges (simulated seconds of useful work).
+GRAIN_BUCKETS_S: Tuple[float, ...] = (
+    1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Instantaneous value (set/inc/dec); also remembers its peak."""
+
+    __slots__ = ("name", "value", "peak")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "peak": self.peak}
+
+
+class Histogram:
+    """Fixed-bucket histogram with underflow/overflow buckets.
+
+    For edges ``(e0, .., e{n-1})`` there are ``n + 1`` buckets: bucket 0
+    is the underflow (``v < e0``), bucket ``i`` covers ``e{i-1} <= v <
+    e{i}``, and bucket ``n`` is the overflow (``v >= e{n-1}``).  Exact
+    sum/count/min/max are tracked alongside, so averages are exact and
+    only percentiles are bucket-interpolated.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, edges: Sequence[float] = LATENCY_BUCKETS_S) -> None:
+        if len(edges) < 1:
+            raise ReproError(f"histogram {name!r} needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, list(edges)[1:])):
+            raise ReproError(f"histogram {name!r} edges must strictly increase")
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        # Linear scan: the edge lists are short (~20) and observations
+        # cluster in a few buckets; bisect would not pay for itself.
+        edges = self.edges
+        i = 0
+        n = len(edges)
+        while i < n and value >= edges[i]:
+            i += 1
+        self.counts[i] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated q-quantile (q in [0, 1]); None when empty.
+
+        Within a bucket the mass is assumed uniform; the underflow bucket
+        interpolates from the observed minimum, the overflow bucket to
+        the observed maximum (both exact).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"percentile wants q in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lo = self.min if i == 0 else self.edges[i - 1]
+                hi = self.max if i == len(self.edges) else self.edges[i]
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                frac = (target - cum) / n
+                return lo + frac * (hi - lo)
+            cum += n
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "mean": self.mean,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+        }
+        snap["percentiles"] = {
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+        return snap
+
+
+class Series:
+    """Timestamped (time, value) samples of a piecewise-constant quantity.
+
+    The raw material of a Perfetto counter track (deque depth over time,
+    live participants over time).  Optionally capacity-bounded the same
+    way :class:`~repro.util.trace.TraceLog` is, so a long run cannot
+    exhaust memory through its metrics.
+    """
+
+    __slots__ = ("name", "samples", "capacity", "dropped")
+    kind = "series"
+
+    def __init__(self, name: str, capacity: Optional[int] = None) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, time: float, value: float) -> None:
+        if self.capacity is not None and len(self.samples) >= self.capacity:
+            self.dropped += 1
+            return
+        self.samples.append((time, float(value)))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.samples[-1][1] if self.samples else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n_samples": len(self.samples),
+            "dropped": self.dropped,
+            "last": self.last,
+            "peak": max((v for _t, v in self.samples), default=None),
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "<null>"
+    value = 0
+    count = 0
+    samples: List[Tuple[float, float]] = []
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def dec(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def record(self, time: float, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> Optional[float]:
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments under hierarchical dot-path names.
+
+    ``counter``/``gauge``/``histogram``/``series`` create on first use
+    and return the existing instrument afterwards, so call sites need no
+    setup ceremony.  Asking for an existing name with a different
+    instrument kind is an error — silent aliasing would corrupt both
+    measurements.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_make(self, name: str, cls, *args: Any):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(name, *args)
+        elif not isinstance(inst, cls):
+            raise ReproError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"not {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_make(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_make(name, Gauge)
+
+    def histogram(self, name: str, edges: Sequence[float] = LATENCY_BUCKETS_S) -> Histogram:
+        return self._get_or_make(name, Histogram, edges)
+
+    def series(self, name: str, capacity: Optional[int] = 100_000) -> Series:
+        return self._get_or_make(name, Series, capacity)
+
+    def get(self, name: str) -> Optional[Any]:
+        """The instrument registered under *name*, or None."""
+        return self._instruments.get(name)
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted registered names, optionally filtered by prefix."""
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """name -> instrument snapshot, sorted by name (JSON-ready)."""
+        return {name: self._instruments[name].snapshot() for name in self.names()}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -25,6 +25,7 @@ from repro.micro.stats import JobStats
 from repro.micro.worker import Worker, WorkerConfig
 from repro.net.network import Network
 from repro.net.topology import Topology, UniformTopology
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.tasks.program import JobProgram
 from repro.util.rng import RngRegistry
@@ -45,6 +46,7 @@ class JobResult:
     clearinghouse: Optional[Clearinghouse] = field(repr=False, default=None)
     network: Optional[Network] = field(repr=False, default=None)
     trace: Optional[TraceLog] = field(repr=False, default=None)
+    metrics: Optional[MetricsRegistry] = field(repr=False, default=None)
 
 
 def build_cluster(
@@ -96,6 +98,7 @@ def run_job(
     trace: bool = False,
     drain_s: float = 2.0,
     profiles: Optional[List[PlatformProfile]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> JobResult:
     """Run *job* on *n_workers* dedicated workstations and collect stats.
 
@@ -115,6 +118,8 @@ def run_job(
             the termination broadcast reaches every worker.
         profiles: optional per-workstation profiles (heterogeneous
             cluster); overrides *profile* machine-by-machine.
+        metrics: optional :class:`MetricsRegistry` wired through the
+            network, Clearinghouse, and every worker (``repro.cli obs``).
     """
     sim = Simulator()
     reg = RngRegistry(seed)
@@ -122,8 +127,11 @@ def run_job(
     network, hosts = build_cluster(
         sim, n_workers, profile, reg, topology, tracelog, profiles=profiles
     )
+    if metrics is not None:
+        network.attach_metrics(metrics)
 
-    ch = Clearinghouse(sim, network, hosts[0].name, job.name, ch_config, tracelog)
+    ch = Clearinghouse(sim, network, hosts[0].name, job.name, ch_config, tracelog,
+                       metrics=metrics)
 
     base_cfg = worker_config or WorkerConfig()
     jitter_rng = reg.stream("start.jitter")
@@ -141,6 +149,7 @@ def run_job(
                 config=cfg,
                 rng=reg.stream(f"worker.{i}"),
                 trace=tracelog,
+                metrics=metrics,
             )
         )
 
@@ -162,4 +171,5 @@ def run_job(
         clearinghouse=ch,
         network=network,
         trace=tracelog,
+        metrics=metrics,
     )

@@ -61,3 +61,61 @@ class Probe:
         if end > last_t:
             area += last_v * (end - last_t)
         return area / (end - first_t)
+
+    def _dwell_times(self, until: float | None = None) -> List[Tuple[float, float]]:
+        """(value, seconds held) pairs of the step function up to *until*."""
+        end = self.sim.now if until is None else until
+        out: List[Tuple[float, float]] = []
+        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
+            dt = min(t1, end) - t0
+            if dt > 0:
+                out.append((v0, dt))
+        last_t, last_v = self.samples[-1]
+        if end > last_t:
+            out.append((last_v, end - last_t))
+        return out
+
+    def percentile(self, q: float, until: float | None = None) -> float:
+        """Time-weighted q-quantile (q in [0, 1]) of the step function.
+
+        The value the quantity was at or below for a fraction *q* of the
+        observed span — e.g. ``percentile(0.5)`` is the median deque
+        depth *by time*, not by sample count, so bursts of rapid samples
+        do not skew it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise SimulationError(f"percentile wants q in [0, 1], got {q!r}")
+        if not self.samples:
+            raise SimulationError(f"probe {self.name!r} has no samples")
+        dwell = self._dwell_times(until)
+        if not dwell:
+            # Zero observed span (single sample at `until`): the only
+            # value ever held is the answer for every quantile.
+            return self.samples[-1][1]
+        dwell.sort(key=lambda pair: pair[0])
+        total = sum(dt for _v, dt in dwell)
+        target = q * total
+        cum = 0.0
+        for v, dt in dwell:
+            cum += dt
+            if cum >= target:
+                return v
+        return dwell[-1][0]
+
+    def to_histogram(self, edges, until: float | None = None):
+        """Export the step function as a time-weighted
+        :class:`~repro.obs.metrics.Histogram` over the given bucket
+        *edges* — each dwell interval contributes its value once per
+        whole second held (minimum once), approximating "seconds spent
+        at each level" in fixed buckets.
+        """
+        from repro.obs.metrics import Histogram  # local: avoid a hard dep
+
+        if not self.samples:
+            raise SimulationError(f"probe {self.name!r} has no samples")
+        hist = Histogram(self.name, edges)
+        dwell = self._dwell_times(until) or [(self.samples[-1][1], 0.0)]
+        for v, dt in dwell:
+            for _ in range(max(1, int(dt))):
+                hist.observe(v)
+        return hist

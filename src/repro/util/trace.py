@@ -16,8 +16,22 @@ slotted object (no dataclass machinery), and rendering is lazy — the
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+def _jsonl_value(value: Any) -> Any:
+    """Best-effort JSON coercion of one detail value (tuples become
+    lists, unknown objects their ``repr``) — lossy on types, lossless on
+    information, which is what offline re-analysis needs."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonl_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonl_value(v) for k, v in value.items()}
+    return repr(value)
 
 
 class TraceEvent:
@@ -162,6 +176,61 @@ class TraceLog:
         tests compare ``dump()`` outputs byte-for-byte.
         """
         return "\n".join(str(ev) for ev in self._events)
+
+    def to_jsonl(self) -> str:
+        """Serialise the log as JSON Lines for offline re-analysis.
+
+        The first line is a meta record (capacity, categories, dropped
+        count); each further line is one event.  Detail payloads are
+        JSON-coerced (tuples become lists, arbitrary objects their
+        ``repr``), so the round-trip preserves times, kinds, sources,
+        and counts exactly but not Python types inside ``detail`` —
+        :meth:`dump` remains the byte-exact determinism fingerprint.
+        """
+        lines = [json.dumps({
+            "meta": {
+                "capacity": self.capacity,
+                "categories": list(self.categories) if self.categories else None,
+                "dropped": self._dropped,
+                "events": len(self._events),
+            }
+        }, sort_keys=True)]
+        for ev in self._events:
+            lines.append(json.dumps({
+                "t": ev.time,
+                "kind": ev.kind,
+                "src": ev.source,
+                "detail": {k: _jsonl_value(v) for k, v in ev.detail.items()},
+            }, sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceLog":
+        """Rebuild a log written by :meth:`to_jsonl`.
+
+        The restored log keeps the original capacity bound and dropped
+        count, so truncation-aware consumers (the invariant checker)
+        treat a reloaded truncated history exactly like a live one.
+        """
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            return cls(enabled=True)
+        head = json.loads(lines[0])
+        meta = head.get("meta")
+        body = lines[1:] if meta is not None else lines
+        meta = meta or {}
+        log = cls(
+            enabled=True,
+            capacity=meta.get("capacity"),
+            categories=meta.get("categories"),
+        )
+        for line in body:
+            rec = json.loads(line)
+            log._events.append(TraceEvent(
+                rec["t"], rec["kind"], rec["src"], rec.get("detail") or {}
+            ))
+        log._dropped = int(meta.get("dropped", 0))
+        return log
 
     def clear(self) -> None:
         self._events.clear()

@@ -79,3 +79,22 @@ def test_empty_job_stats():
     assert js.max_tasks_in_use == 0
     assert js.average_execution_time == 0.0
     assert js.tasks_executed == 0
+
+
+def test_steal_latency_averages():
+    w = worker("w", steal_latency_sum_s=0.6, steal_latency_count=3)
+    assert w.avg_steal_latency_s == pytest.approx(0.2)
+    assert worker("idle").avg_steal_latency_s == 0.0
+    js = JobStats(workers=[w, worker("idle")])
+    assert js.avg_steal_latency_s == pytest.approx(0.2)
+    assert JobStats().avg_steal_latency_s == 0.0
+
+
+def test_table2_rows_steal_latency_behind_flag():
+    js = JobStats(workers=[worker("a", steal_latency_sum_s=0.5,
+                                  steal_latency_count=2)])
+    assert "Avg steal latency" not in js.table2_rows()
+    rows = js.table2_rows(include_steal_latency=True)
+    assert rows["Avg steal latency"] == pytest.approx(0.25)
+    # The paper rows keep their exact order in both modes.
+    assert list(rows)[:7] == list(js.table2_rows())

@@ -1,0 +1,115 @@
+"""Tests for the Chrome/Perfetto trace_event exporter."""
+
+import json
+
+from repro.apps.fib import fib_job
+from repro.obs.export import (
+    CONTROL_PID,
+    WORKERS_PID,
+    to_perfetto,
+    validate_perfetto,
+    write_perfetto,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.phish import run_job
+from repro.util.trace import TraceLog
+
+
+def _run(n=18, workers=4, seed=1):
+    # fib(18) at this seed steals several times yet stays well under the
+    # trace capacity, so the export sees the complete history.
+    reg = MetricsRegistry()
+    res = run_job(fib_job(n), n_workers=workers, seed=seed, trace=True,
+                  metrics=reg)
+    assert not res.trace.truncated
+    return res, reg
+
+
+def test_export_validates_and_is_json(tmp_path):
+    res, reg = _run()
+    doc = write_perfetto(res.trace, str(tmp_path / "t.json"), reg,
+                         job_name="fib")
+    assert validate_perfetto(doc) == []
+    # The written file is plain JSON and identical to the document.
+    reloaded = json.loads((tmp_path / "t.json").read_text())
+    assert reloaded == doc
+    assert reloaded["otherData"]["job"] == "fib"
+
+
+def test_export_has_one_track_per_worker():
+    res, reg = _run(workers=4)
+    doc = to_perfetto(res.trace, reg)
+    thread_names = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "thread_name"
+        and ev["pid"] == WORKERS_PID
+    }
+    assert thread_names == {"ws00", "ws01", "ws02", "ws03"}
+
+
+def test_export_counter_tracks_for_depth_and_participants():
+    res, reg = _run()
+    doc = to_perfetto(res.trace, reg)
+    counters = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "C"}
+    assert "macro.participants" in counters
+    assert any(name.startswith("deque depth ws") for name in counters)
+    # Counter values ride in args.value (the format Perfetto plots).
+    sample = next(ev for ev in doc["traceEvents"] if ev["ph"] == "C")
+    assert "value" in sample["args"]
+
+
+def test_export_instant_events_for_steals():
+    res, reg = _run()
+    assert res.stats.tasks_stolen > 0
+    doc = to_perfetto(res.trace, reg)
+    instants = [ev for ev in doc["traceEvents"] if ev["ph"] == "i"]
+    names = {ev["name"] for ev in instants}
+    assert "steal.success" in names
+    assert "ch.register" in names
+    # Worker instants land on worker tracks, control ones on the CH track.
+    steal = next(ev for ev in instants if ev["name"] == "steal.success")
+    assert steal["pid"] == WORKERS_PID
+    reg_ev = next(ev for ev in instants if ev["name"] == "ch.register")
+    assert reg_ev["pid"] == CONTROL_PID
+
+
+def test_export_crash_instant_from_synthetic_trace():
+    trace = TraceLog()
+    trace.emit(0.0, "worker.start", "ws00")
+    trace.emit(0.5, "steal.request", "ws00", victim="ws01")
+    trace.emit(2.0, "worker.exit.crashed", "ws00")
+    doc = to_perfetto(trace)
+    assert validate_perfetto(doc) == []
+    events = doc["traceEvents"]
+    crash = [ev for ev in events if ev["name"] == "worker.exit.crashed"]
+    assert len(crash) == 1 and crash[0]["ph"] == "i"
+    # The participation slice closes at the crash.
+    span = next(ev for ev in events if ev["ph"] == "X")
+    assert span["args"]["exit"] == "crashed"
+    assert span["dur"] == 2.0 * 1e6
+
+
+def test_export_timestamps_monotonic_per_track():
+    res, reg = _run()
+    doc = to_perfetto(res.trace, reg)
+    last = {}
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "M":
+            continue
+        key = (ev["pid"], ev.get("tid"))
+        assert ev["ts"] >= last.get(key, 0.0)
+        last[key] = ev["ts"]
+
+
+def test_validate_rejects_malformed_documents():
+    assert validate_perfetto([]) == ["document is not a JSON object"]
+    assert validate_perfetto({}) == ["traceEvents missing or not a list"]
+    bad = {"traceEvents": [{"ph": "X", "name": "n", "pid": 1, "tid": 1,
+                            "ts": 5.0, "dur": -1.0}]}
+    assert any("bad dur" in p for p in validate_perfetto(bad))
+    unordered = {"traceEvents": [
+        {"ph": "i", "s": "t", "name": "a", "pid": 1, "tid": 1, "ts": 5.0},
+        {"ph": "i", "s": "t", "name": "b", "pid": 1, "tid": 1, "ts": 4.0},
+    ]}
+    assert any("monotonic" in p for p in validate_perfetto(unordered))

@@ -1,0 +1,83 @@
+"""Tests for run manifests (build, validate, write, load)."""
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _build(**kwargs):
+    defaults = dict(
+        command="obs",
+        seed=1,
+        app="fib",
+        cluster={"workers": 4, "profile": "SparcStation-1"},
+        wall_s=1.5,
+    )
+    defaults.update(kwargs)
+    return build_manifest(**defaults)
+
+
+def test_build_manifest_is_valid():
+    m = _build()
+    assert validate_manifest(m) == []
+    assert m["schema"] == MANIFEST_SCHEMA
+    assert m["kind"] == "repro.obs.manifest"
+    assert m["seed"] == 1
+    assert m["metrics"] == {}
+
+
+def test_manifest_carries_metric_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(3)
+    m = _build(registry=reg)
+    assert m["metrics"]["a"]["value"] == 3
+
+
+def test_manifest_extra_keys_merge_but_cannot_shadow_schema():
+    m = _build(extra={"makespan_s": 0.25})
+    assert m["makespan_s"] == 0.25
+    with pytest.raises(ValueError):
+        _build(extra={"seed": 9})
+
+
+def test_validate_detects_missing_and_mistyped_fields():
+    m = _build()
+    del m["cluster"]
+    m["seed"] = "one"
+    problems = validate_manifest(m)
+    assert any("missing field 'cluster'" in p for p in problems)
+    assert any("'seed'" in p for p in problems)
+    assert validate_manifest("nope") == ["manifest is not a JSON object"]
+
+
+def test_validate_checks_kind_schema_and_cluster_shape():
+    m = _build()
+    m["kind"] = "something.else"
+    assert any("not a run manifest" in p for p in validate_manifest(m))
+    m = _build()
+    m["schema"] = 999
+    assert any("unknown" in p for p in validate_manifest(m))
+    m = _build()
+    m["cluster"] = {"profile": "x"}
+    assert any("lacks 'workers'" in p for p in validate_manifest(m))
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = str(tmp_path / "manifest.json")
+    m = _build()
+    write_manifest(m, path)
+    assert load_manifest(path) == m
+
+
+def test_write_refuses_invalid_manifest(tmp_path):
+    m = _build()
+    del m["app"]
+    with pytest.raises(ValueError):
+        write_manifest(m, str(tmp_path / "m.json"))

@@ -1,0 +1,167 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_S,
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+
+
+# ---------------------------------------------------------------- counters
+
+
+def test_counter_increments():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    assert c.snapshot() == {"kind": "counter", "value": 6}
+
+
+def test_gauge_tracks_peak():
+    g = Gauge("x")
+    g.inc(3)
+    g.inc(4)
+    g.dec(5)
+    assert g.value == 2
+    assert g.peak == 7
+    g.set(1)
+    assert g.snapshot()["peak"] == 7
+
+
+# --------------------------------------------------------------- histograms
+
+
+def test_histogram_bucket_edges_underflow_overflow():
+    h = Histogram("h", edges=(1.0, 2.0, 4.0))
+    # 4 buckets: <1, [1,2), [2,4), >=4
+    h.observe(0.5)     # underflow
+    h.observe(1.0)     # boundary: lands in [1,2)
+    h.observe(1.99)
+    h.observe(2.0)     # boundary: lands in [2,4)
+    h.observe(4.0)     # boundary: overflow (v >= last edge)
+    h.observe(100.0)   # overflow
+    assert h.counts == [1, 2, 1, 2]
+    assert h.count == 6
+    assert h.min == 0.5
+    assert h.max == 100.0
+
+
+def test_histogram_empty_snapshot():
+    h = Histogram("h", edges=(1.0, 2.0))
+    snap = h.snapshot()
+    assert snap["count"] == 0
+    assert snap["min"] is None
+    assert snap["max"] is None
+    assert snap["mean"] is None
+    assert snap["percentiles"] == {"p50": None, "p90": None, "p99": None}
+    assert h.percentile(0.5) is None
+
+
+def test_histogram_percentiles_bracket_observations():
+    h = Histogram("h", edges=LATENCY_BUCKETS_S)
+    for v in (0.0011, 0.0012, 0.0013, 0.0014, 0.04):
+        h.observe(v)
+    p50 = h.percentile(0.5)
+    p99 = h.percentile(0.99)
+    assert 0.001 <= p50 <= 0.002
+    assert p50 <= p99 <= 0.05
+    # Percentiles stay clamped to the observed range.
+    assert h.percentile(0.0) >= h.min
+    assert h.percentile(1.0) <= h.max
+
+
+def test_histogram_percentile_rejects_bad_q():
+    h = Histogram("h", edges=(1.0,))
+    with pytest.raises(ReproError):
+        h.percentile(1.5)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ReproError):
+        Histogram("h", edges=())
+    with pytest.raises(ReproError):
+        Histogram("h", edges=(2.0, 1.0))
+
+
+def test_histogram_mean_exact():
+    h = Histogram("h", edges=DEPTH_BUCKETS)
+    for v in (1, 2, 3):
+        h.observe(v)
+    assert h.mean == 2.0
+
+
+# ------------------------------------------------------------------ series
+
+
+def test_series_records_and_bounds():
+    s = Series("s", capacity=2)
+    s.record(0.0, 1)
+    s.record(1.0, 2)
+    s.record(2.0, 3)  # over capacity: dropped
+    assert s.samples == [(0.0, 1.0), (1.0, 2.0)]
+    assert s.dropped == 1
+    assert s.last == 2.0
+    snap = s.snapshot()
+    assert snap["n_samples"] == 2
+    assert snap["peak"] == 2.0
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("a.b")
+    assert reg.counter("a.b") is a
+    assert reg.get("a.b") is a
+    assert reg.names() == ["a.b"]
+
+
+def test_registry_kind_mismatch_is_an_error():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ReproError):
+        reg.gauge("x")
+
+
+def test_registry_names_prefix_filter():
+    reg = MetricsRegistry()
+    reg.counter("micro.a")
+    reg.counter("net.b")
+    assert reg.names("micro.") == ["micro.a"]
+
+
+def test_disabled_registry_hands_out_nulls():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("x")
+    h = reg.histogram("y")
+    assert c is NULL_INSTRUMENT
+    assert h is NULL_INSTRUMENT
+    # Null instruments absorb every operation.
+    c.inc()
+    h.observe(1.0)
+    assert h.percentile(0.5) is None
+    assert len(reg) == 0
+    assert reg.snapshot() == {}
+
+
+def test_registry_snapshot_round_trips_through_json():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.histogram("h", (1.0, 2.0)).observe(1.5)
+    reg.series("s").record(0.5, 7)
+    doc = json.loads(reg.to_json())
+    assert doc["c"]["value"] == 2
+    assert doc["h"]["count"] == 1
+    assert doc["s"]["peak"] == 7.0

@@ -58,3 +58,43 @@ def test_time_average_horizon_before_first_sample(sim):
     p.record(1)
     with pytest.raises(SimulationError):
         p.time_average(until=1.0)
+
+
+def test_percentile_time_weighted(sim):
+    p = Probe(sim)
+    p.record(1)            # held 1..9 for 8s
+    sim.run(until=8.0)
+    p.record(9)            # held for 2s
+    sim.run(until=10.0)
+    # 80% of the span at value 1: the time-median is 1, not 5.
+    assert p.percentile(0.5) == 1.0
+    assert p.percentile(0.9) == 9.0
+    assert p.percentile(0.0) == 1.0
+    assert p.percentile(1.0) == 9.0
+
+
+def test_percentile_rejects_bad_inputs(sim):
+    p = Probe(sim)
+    with pytest.raises(SimulationError):
+        p.percentile(0.5)  # no samples
+    p.record(1)
+    with pytest.raises(SimulationError):
+        p.percentile(1.5)
+
+
+def test_percentile_zero_span(sim):
+    p = Probe(sim)
+    p.record(4)
+    assert p.percentile(0.5, until=0.0) == 4.0
+
+
+def test_to_histogram_weights_by_dwell_time(sim):
+    p = Probe(sim)
+    p.record(1)
+    sim.run(until=8.0)
+    p.record(9)
+    sim.run(until=10.0)
+    hist = p.to_histogram(edges=(2.0, 10.0))
+    # ~8 observations at 1 (below 2.0), ~2 at 9 (in [2, 10)).
+    assert hist.counts == [8, 2, 0]
+    assert hist.percentile(0.5) <= 2.0

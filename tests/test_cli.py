@@ -52,3 +52,50 @@ def test_seed_changes_runs(capsys):
     # Strip the wall-time footer before comparing.
     strip = lambda s: "\n".join(l for l in s.splitlines() if "regenerated" not in l)  # noqa: E731
     assert strip(out1) != strip(out2)
+
+
+def test_obs_command_writes_manifest(capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_manifest
+
+    manifest_path = tmp_path / "obs_manifest.json"
+    assert main(["obs", "--seed", "1", "--app", "fib", "--scale", "18",
+                 "--manifest", str(manifest_path)]) == 0
+    out = capsys.readouterr().out
+    # The report prints steal-latency percentiles and the counters.
+    assert "micro.steal.latency_s" in out
+    assert "p50" in out and "p90" in out and "p99" in out
+    assert "net.msg.sent.count" in out
+    assert "job.result" in out
+    manifest = json.loads(manifest_path.read_text())
+    assert validate_manifest(manifest) == []
+    assert manifest["command"] == "obs"
+    assert manifest["seed"] == 1
+    assert "micro.steal.latency_s" in manifest["metrics"]
+
+
+def test_timeline_perfetto_export(capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_perfetto
+
+    out_path = tmp_path / "timeline.json"
+    assert main(["timeline", "--perfetto", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "timeline 0 .." in out  # ASCII output is unchanged
+    assert "wrote Perfetto trace" in out
+    doc = json.loads(out_path.read_text())
+    assert validate_perfetto(doc) == []
+    counters = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "C"}
+    assert "macro.participants" in counters
+    assert any(name.startswith("deque depth") for name in counters)
+
+
+def test_seed_accepted_after_subcommand(capsys):
+    main(["ablations", "victim", "--seed", "1"])
+    out1 = capsys.readouterr().out
+    main(["--seed", "1", "ablations", "victim"])
+    out2 = capsys.readouterr().out
+    strip = lambda s: "\n".join(l for l in s.splitlines() if "regenerated" not in l)  # noqa: E731
+    assert strip(out1) == strip(out2)
