@@ -214,9 +214,21 @@ def format_bench(results: Dict[str, Any]) -> str:
 
 
 def write_bench(results: Dict[str, Any], out_path: str = DEFAULT_OUT) -> None:
-    """Write *results* as pretty-printed JSON."""
+    """Write *results* as pretty-printed JSON, preserving history.
+
+    The recorded file may carry keys this run does not produce — most
+    importantly the ``pre_overhaul`` baseline block that documents the
+    seed kernel's throughput.  Any such key in the existing file is
+    merged back in rather than clobbered; keys the new results do
+    produce always win.
+    """
+    existing = load_bench(out_path) or {}
+    merged = dict(results)
+    for key, value in existing.items():
+        if key not in merged:
+            merged[key] = value
     with open(out_path, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
+        json.dump(merged, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
 

@@ -7,12 +7,23 @@ Public surface:
   injection, then verify the invariant catalog.
 * :func:`check_invariants` — the post-run trace pass on its own.
 * :func:`fuzz` — sweep many seeds of a registered app, shrinking failures.
+* :func:`fuzz_sharded` — the same sweep fanned out over a process pool
+  (``--jobs``), merged byte-identically to the serial run.
 * :class:`Perturbation` — one seed-derived point in schedule space.
 
 See ``docs/checking.md`` for the invariant catalog and workflow.
 """
 
-from repro.check.fuzzer import APPS, AppSpec, FuzzFailure, FuzzResult, fuzz
+from repro.check.fuzzer import (
+    APPS,
+    AppSpec,
+    FuzzFailure,
+    FuzzResult,
+    FuzzShardSpec,
+    ShardedFuzz,
+    fuzz,
+    fuzz_sharded,
+)
 from repro.check.harness import (
     BUGS,
     CHECK_CH,
@@ -43,12 +54,15 @@ __all__ = [
     "DequeAuditor",
     "FuzzFailure",
     "FuzzResult",
+    "FuzzShardSpec",
     "InvariantReport",
     "Perturbation",
+    "ShardedFuzz",
     "Violation",
     "check_invariants",
     "collect_leftovers",
     "fuzz",
+    "fuzz_sharded",
     "install_network_accounting",
     "run_checked",
     "shrink_perturbation",

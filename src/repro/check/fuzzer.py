@@ -21,8 +21,11 @@ Reproduce a reported failure exactly::
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple,
+)
 
 from repro.check.harness import (
     CHECK_WORKER,
@@ -34,6 +37,9 @@ from repro.check.harness import (
 from repro.errors import ReproError
 from repro.micro.worker import WorkerConfig
 from repro.tasks.program import JobProgram
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -132,6 +138,8 @@ def fuzz(
     shrink: bool = True,
     horizon_s: float = 60.0,
     progress: Optional[Callable[[int, CheckedRun], None]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> FuzzResult:
     """Fuzz *n_seeds* schedules of one registered application.
 
@@ -144,30 +152,45 @@ def fuzz(
             the sweep then *should* fail; used to validate the checker.
         shrink: shrink each failure to a minimal perturbation.
         progress: optional callback ``(seed, run)`` after each run.
+        seeds: explicit seed list overriding ``n_seeds``/``start_seed``
+            (how :func:`fuzz_sharded` hands each shard its range).
+        metrics: optional registry receiving ``check.*`` counters and
+            the per-seed wall-time histogram.
     """
     spec = APPS.get(app)
     if spec is None:
         raise ReproError(f"unknown app {app!r}; known: {sorted(APPS)}")
-    seeds = tuple(range(start_seed, start_seed + n_seeds))
-    result = FuzzResult(app=app, n_workers=n_workers, seeds=seeds, bug=bug)
-    for seed in seeds:
+    seed_window = (
+        tuple(seeds) if seeds is not None
+        else tuple(range(start_seed, start_seed + n_seeds))
+    )
+    result = FuzzResult(app=app, n_workers=n_workers, seeds=seed_window, bug=bug)
+    for seed in seed_window:
+        seed_started = time.perf_counter()
         pert = Perturbation.generate(seed, n_workers)
-        run = run_checked(
-            spec.make(),
-            n_workers=n_workers,
-            seed=seed,
-            perturbation=pert,
-            expected=spec.expected,
-            worker_config=spec.worker_config,
-            horizon_s=horizon_s,
-            bug=bug,
-        )
+        try:
+            run = run_checked(
+                spec.make(),
+                n_workers=n_workers,
+                seed=seed,
+                perturbation=pert,
+                expected=spec.expected,
+                worker_config=spec.worker_config,
+                horizon_s=horizon_s,
+                bug=bug,
+            )
+        except Exception as exc:
+            # Attach the owning seed: in a sharded run this crosses the
+            # process boundary as text, so the context must be in the
+            # message, not just the local traceback.
+            raise ReproError(
+                f"fuzz({app!r}) seed {seed} "
+                f"[{pert.describe()}]: {type(exc).__name__}: {exc}"
+            ) from exc
         if progress is not None:
             progress(seed, run)
-        if run.ok:
-            continue
         shrunk, shrink_runs = pert, 0
-        if shrink:
+        if not run.ok and shrink:
             shrunk, shrink_runs = shrink_perturbation(
                 spec.make,
                 pert,
@@ -178,6 +201,16 @@ def fuzz(
                 horizon_s=horizon_s,
                 bug=bug,
             )
+        if metrics is not None:
+            metrics.counter("check.seeds_run").inc()
+            metrics.histogram("check.seed_wall_s").observe(
+                time.perf_counter() - seed_started
+            )
+            if not run.ok:
+                metrics.counter("check.failures").inc()
+                metrics.counter("check.shrink_runs").inc(shrink_runs)
+        if run.ok:
+            continue
         result.failures.append(FuzzFailure(
             seed=seed,
             perturbation=pert,
@@ -187,3 +220,125 @@ def fuzz(
             shrink_runs=shrink_runs,
         ))
     return result
+
+
+# ---------------------------------------------------------------------------
+# Sharded fuzzing (see repro.parallel and docs/checking.md)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzShardSpec:
+    """One shard's worth of a fuzz sweep — everything the worker
+    process needs, all picklable primitives (spawn-safe)."""
+
+    app: str
+    seeds: Tuple[int, ...]
+    n_workers: int
+    bug: Optional[str]
+    shrink: bool
+    horizon_s: float
+
+    def describe(self) -> str:
+        if not self.seeds:
+            return "no seeds"
+        return f"seeds {self.seeds[0]}..{self.seeds[-1]} ({len(self.seeds)})"
+
+
+def _run_fuzz_shard(spec: FuzzShardSpec) -> Tuple[FuzzResult, Dict[str, Any]]:
+    """Shard entry point (module-level so the pool can import it).
+
+    Returns the shard's :class:`FuzzResult` plus its
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshot; both are
+    plain picklable data.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = fuzz(
+        app=spec.app,
+        seeds=spec.seeds,
+        n_workers=spec.n_workers,
+        bug=spec.bug,
+        shrink=spec.shrink,
+        horizon_s=spec.horizon_s,
+        metrics=registry,
+    )
+    return result, registry.snapshot()
+
+
+@dataclass
+class ShardedFuzz:
+    """Outcome of :func:`fuzz_sharded`: the merged sweep plus how the
+    fan-out executed and the combined metric snapshot."""
+
+    result: FuzzResult
+    stats: Any  # repro.parallel.PoolStats
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+def fuzz_sharded(
+    app: str = "fib",
+    n_seeds: int = 25,
+    start_seed: int = 0,
+    n_workers: int = 4,
+    bug: Optional[str] = None,
+    shrink: bool = True,
+    horizon_s: float = 60.0,
+    jobs: Optional[int] = 1,
+    progress: Optional[Callable[[int, bool], None]] = None,
+    shards_per_job: int = 4,
+) -> ShardedFuzz:
+    """Shard a fuzz sweep's seed range across worker processes.
+
+    The merged :class:`FuzzResult` is **byte-identical** to what the
+    serial :func:`fuzz` produces for the same seed window: seeds are
+    split into contiguous chunks, every chunk replays the exact serial
+    per-seed logic (shrinking included, in the shard that owns the
+    failing seed), and chunk results concatenate in order.  ``jobs=1``
+    (or one seed) runs inline with no process machinery.
+
+    Args:
+        jobs: worker processes (None/0 = one per CPU, 1 = inline).
+        progress: parent-side callback ``(seed, ok)`` per finished seed
+            (bursts in shard-completion order when pooled).
+        shards_per_job: chunks submitted per worker — finer chunks
+            balance load when one shard hits a slow shrink cycle.
+    """
+    from repro.obs.metrics import merge_snapshots
+    from repro.parallel import ShardedRunner, resolve_jobs, split_evenly
+
+    if app not in APPS:  # fail in the parent, not 4 children
+        raise ReproError(f"unknown app {app!r}; known: {sorted(APPS)}")
+    seeds = list(range(start_seed, start_seed + n_seeds))
+    jobs = resolve_jobs(jobs)
+    chunks = split_evenly(seeds, jobs * max(1, shards_per_job))
+    specs = [
+        FuzzShardSpec(app=app, seeds=tuple(chunk), n_workers=n_workers,
+                      bug=bug, shrink=shrink, horizon_s=horizon_s)
+        for chunk in chunks
+    ]
+
+    def on_result(_index: int, spec: FuzzShardSpec, payload) -> None:
+        if progress is None:
+            return
+        shard_result, _snap = payload
+        failing = {f.seed for f in shard_result.failures}
+        for seed in spec.seeds:
+            progress(seed, seed not in failing)
+
+    runner = ShardedRunner(jobs=jobs)
+    payloads, stats = runner.map(
+        _run_fuzz_shard, specs, label=f"fuzz({app})",
+        describe=FuzzShardSpec.describe, on_result=on_result,
+    )
+    merged = FuzzResult(
+        app=app, n_workers=n_workers, seeds=tuple(seeds), bug=bug,
+    )
+    for shard_result, _snap in payloads:
+        merged.failures.extend(shard_result.failures)
+    return ShardedFuzz(
+        result=merged,
+        stats=stats,
+        metrics=merge_snapshots([snap for _res, snap in payloads]),
+    )

@@ -9,15 +9,20 @@ Usage::
     python -m repro.cli ablations [order|victim|initiation|sharing|
                                    retirement|faults|heterogeneity|all]
     python -m repro.cli macro-demo
-    python -m repro.cli check --seeds 100 --app fib
+    python -m repro.cli check --seeds 100 --app fib --jobs 4
     python -m repro.cli bench --out BENCH_kernel.json
     python -m repro.cli obs --seed 1 --app fib
     python -m repro.cli timeline --perfetto out.json
 
 ``--seed`` controls every random stream; runs are fully reproducible.
+``check``, ``figure4``/``figure5``/``table2``, ``ablations`` and
+``harvest --reps N`` accept ``--jobs N`` to fan independent runs out
+over a process pool (0 = one per CPU); outputs are byte-identical at
+any ``--jobs`` (see docs/checking.md, "Parallel runs").
 ``table2``/``figure4``/``figure5``/``bench`` accept ``--manifest PATH``
 to drop a provenance manifest (see docs/observability.md) next to the
-printed output.
+printed output; ``check --manifest`` additionally records merged
+per-shard metrics and the fan-out speedup.
 """
 
 from __future__ import annotations
@@ -156,7 +161,7 @@ def _cmd_table2(args: argparse.Namespace) -> str:
     from repro.experiments.table2 import format_table2, run_table2
 
     started = time.time()
-    out = format_table2(run_table2(seed=args.seed))
+    out = format_table2(run_table2(seed=args.seed, jobs=args.jobs))
     return out + _maybe_manifest(
         args, "table2", "pfold", {"workers": [4, 8]}, time.time() - started
     )
@@ -168,7 +173,7 @@ def _cmd_figure4(args: argparse.Namespace) -> str:
     )
 
     started = time.time()
-    out = format_figure4(run_speedup_curve(seed=args.seed))
+    out = format_figure4(run_speedup_curve(seed=args.seed, jobs=args.jobs))
     return out + _maybe_manifest(
         args, "figure4", "pfold", {"workers": list(PAPER_PARTICIPANTS)},
         time.time() - started,
@@ -181,7 +186,7 @@ def _cmd_figure5(args: argparse.Namespace) -> str:
     )
 
     started = time.time()
-    out = format_figure5(run_speedup_curve(seed=args.seed))
+    out = format_figure5(run_speedup_curve(seed=args.seed, jobs=args.jobs))
     return out + _maybe_manifest(
         args, "figure5", "pfold", {"workers": list(PAPER_PARTICIPANTS)},
         time.time() - started,
@@ -189,37 +194,13 @@ def _cmd_figure5(args: argparse.Namespace) -> str:
 
 
 def _cmd_ablations(args: argparse.Namespace) -> str:
-    from repro.experiments import ablations as ab
+    from repro.experiments.ablations import SECTIONS, run_sections
 
     which = args.which
-    sections: List[str] = []
-
-    def want(name: str) -> bool:
-        return which in ("all", name)
-
-    if want("order"):
-        sections.append(ab.format_order_ablation(ab.run_order_ablation(args.seed)))
-    if want("victim"):
-        sections.append(ab.format_victim_ablation(ab.run_victim_ablation(args.seed)))
-    if want("initiation"):
-        sections.append(
-            ab.format_initiation_ablation(ab.run_initiation_ablation(args.seed))
-        )
-    if want("sharing"):
-        sections.append(ab.format_sharing_ablation(ab.run_sharing_ablation(seed=args.seed)))
-    if want("retirement"):
-        sections.append(
-            ab.format_retirement_ablation(ab.run_retirement_ablation(seed=args.seed))
-        )
-    if want("faults"):
-        sections.append(ab.format_fault_ablation(ab.run_fault_ablation(seed=args.seed)))
-    if want("heterogeneity"):
-        sections.append(
-            ab.format_heterogeneity_ablation(ab.run_heterogeneity_ablation(args.seed))
-        )
-    if not sections:
+    names = list(SECTIONS) if which == "all" else [which]
+    if not all(name in SECTIONS for name in names):
         raise SystemExit(f"unknown ablation {which!r}")
-    return "\n\n".join(sections)
+    return "\n\n".join(run_sections(names, seed=args.seed, jobs=args.jobs))
 
 
 def _cmd_macro_demo(args: argparse.Namespace) -> str:
@@ -259,22 +240,66 @@ def _cmd_macro_demo(args: argparse.Namespace) -> str:
 
 def _cmd_check(args: argparse.Namespace) -> str:
     """Fuzz the schedule space and check every run against the runtime
-    invariants (see docs/checking.md)."""
-    from repro.check import fuzz
+    invariants (see docs/checking.md).  ``--jobs N`` shards the seed
+    range over worker processes; the merged result is byte-identical to
+    the serial sweep."""
+    from repro.check import fuzz_sharded
 
-    def progress(seed, run) -> None:
-        sys.stderr.write("." if run.ok else "F")
+    def progress(seed: int, ok: bool) -> None:
+        sys.stderr.write("." if ok else "F")
         sys.stderr.flush()
 
-    result = fuzz(
+    started = time.time()
+    outcome = fuzz_sharded(
         app=args.app,
         n_seeds=args.seeds,
         start_seed=args.seed,
         n_workers=args.workers,
         bug=args.inject_bug,
+        jobs=args.jobs,
         progress=progress,
     )
+    elapsed = time.time() - started
+    result, stats = outcome.result, outcome.stats
     sys.stderr.write("\n")
+    # Fuzz-budget telemetry: CI logs make seeds/s regressions visible.
+    n = max(1, len(result.seeds))
+    sys.stderr.write(
+        f"{len(result.seeds)} seeds in {elapsed:.1f}s "
+        f"({n / elapsed:.1f} seeds/s, jobs={stats.effective_jobs}, "
+        f"mode={stats.mode})\n"
+    )
+    if stats.effective_jobs > 1:
+        for shard in stats.shards:
+            sys.stderr.write(
+                f"  shard {shard.index:2d}: {shard.description} "
+                f"in {shard.wall_s:.2f}s (pid {shard.pid})\n"
+            )
+        sys.stderr.write(
+            f"  shard work {stats.work_s:.1f}s / wall {stats.wall_s:.1f}s "
+            f"= {stats.speedup:.2f}x harvest\n"
+        )
+    if getattr(args, "manifest", None):
+        from repro.obs import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            command="check",
+            seed=args.seed,
+            app=args.app,
+            cluster={"workers": args.workers, "profile": "SparcStation-1"},
+            wall_s=elapsed,
+            metrics_snapshot=outcome.metrics,
+            extra={
+                "parallel": stats.to_dict(),
+                "fuzz": {
+                    "seeds": len(result.seeds),
+                    "failures": len(result.failures),
+                    "bug": result.bug,
+                },
+            },
+        )
+        write_manifest(manifest, args.manifest)
+        sys.stderr.write(f"wrote manifest {args.manifest}\n")
     if not result.ok:
         # Non-zero exit so CI fails loudly; the summary names the seeds
         # and prints shrunk reproducing schedules.
@@ -300,9 +325,15 @@ def _cmd_bench(args: argparse.Namespace) -> str:
 
 
 def _cmd_harvest(args: argparse.Namespace) -> str:
-    from repro.experiments.harvest import format_harvest, run_harvest
+    from repro.experiments.harvest import (
+        format_harvest, format_harvest_sweep, run_harvest, run_harvest_sweep,
+    )
 
-    return format_harvest(run_harvest(seed=args.seed))
+    if args.reps <= 1:
+        return format_harvest(run_harvest(seed=args.seed))
+    seeds = list(range(args.seed, args.seed + args.reps))
+    reports = run_harvest_sweep(seeds, jobs=args.jobs)
+    return format_harvest_sweep(seeds, reports)
 
 
 def _cmd_timeline(args: argparse.Namespace) -> str:
@@ -358,12 +389,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("table1", "macro-demo", "harvest"):
+
+    def add_jobs(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent runs (0 = one per "
+                 "CPU, default 1 = serial); results are identical at "
+                 "any value",
+        )
+
+    for name in ("table1", "macro-demo"):
         sub.add_parser(name)
+    harvest = sub.add_parser("harvest")
+    harvest.add_argument("--reps", type=int, default=1, metavar="N",
+                         help="repetitions at consecutive seeds (owner "
+                              "churn is stochastic; default 1)")
+    add_jobs(harvest)
     for name in ("table2", "figure4", "figure5"):
         cmd = sub.add_parser(name)
         cmd.add_argument("--manifest", default=None, metavar="PATH",
                          help="also write a run-provenance manifest JSON")
+        add_jobs(cmd)
     timeline = sub.add_parser("timeline")
     timeline.add_argument("--perfetto", default=None, metavar="PATH",
                           help="also export the run as Chrome/Perfetto "
@@ -390,6 +436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["all", "order", "victim", "initiation", "sharing",
                  "retirement", "faults", "heterogeneity"],
     )
+    add_jobs(ab)
     bench = sub.add_parser(
         "bench",
         help="benchmark the simulation substrate (kernel event throughput, "
@@ -420,6 +467,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                      choices=["skip-redo", "drop-migration", "dup-exec"],
                      help="deliberately break the scheduler to prove the "
                           "checker catches it")
+    chk.add_argument("--manifest", default=None, metavar="PATH",
+                     help="write a run manifest with merged per-shard "
+                          "metrics and the fan-out speedup")
+    add_jobs(chk)
     # --seed works both before and after the subcommand; SUPPRESS keeps a
     # pre-subcommand value from being clobbered by a subparser default.
     for cmd in sub.choices.values():

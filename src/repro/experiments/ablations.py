@@ -349,3 +349,55 @@ def run_heterogeneity_ablation(seed: int = 0) -> List[AblationRow]:
 
 def format_heterogeneity_ablation(rows: List[AblationRow]) -> str:
     return _render("Ablation — network heterogeneity (future-work motivation)", rows)
+
+
+# ---------------------------------------------------------------------------
+# Section registry and parallel fan-out (see repro.parallel)
+# ---------------------------------------------------------------------------
+
+#: Display-order registry of every ablation: name -> (runner, formatter).
+#: All runners take only ``seed``, so one picklable spec covers them.
+SECTIONS = {
+    "order": (run_order_ablation, format_order_ablation),
+    "victim": (run_victim_ablation, format_victim_ablation),
+    "initiation": (run_initiation_ablation, format_initiation_ablation),
+    "sharing": (run_sharing_ablation, format_sharing_ablation),
+    "retirement": (run_retirement_ablation, format_retirement_ablation),
+    "faults": (run_fault_ablation, format_fault_ablation),
+    "heterogeneity": (run_heterogeneity_ablation, format_heterogeneity_ablation),
+}
+
+
+@dataclass(frozen=True)
+class _SectionSpec:
+    """One ablation section to run — picklable for the ``--jobs`` pool."""
+
+    name: str
+    seed: int
+
+
+def _run_section(spec: _SectionSpec) -> str:
+    """Shard task: run one ablation section and render its table."""
+    run, fmt = SECTIONS[spec.name]
+    return fmt(run(seed=spec.seed))
+
+
+def run_sections(names: Sequence[str], seed: int = 0, jobs: int = 1) -> List[str]:
+    """Run the named ablation sections, possibly in parallel.
+
+    Each section is an independent set of seeded simulations, so the
+    rendered tables are identical at any ``jobs``; they come back in
+    the order *names* lists them.
+    """
+    from repro.parallel import ShardedRunner
+
+    for name in names:
+        if name not in SECTIONS:
+            raise ValueError(f"unknown ablation {name!r}; known: {list(SECTIONS)}")
+    sections, _stats = ShardedRunner(jobs=jobs).map(
+        _run_section,
+        [_SectionSpec(name=name, seed=seed) for name in names],
+        label="ablations",
+        describe=lambda s: s.name,
+    )
+    return sections

@@ -15,7 +15,7 @@ the same as everywhere else, which is what produces the droop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.apps.pfold import pfold_job
 from repro.cluster.platform import SPARCSTATION_1, PlatformProfile
@@ -46,6 +46,50 @@ class FigurePoint:
     max_tasks_in_use: int
 
 
+@dataclass(frozen=True)
+class _PointSpec:
+    """One (participants) point of the curve — picklable, so the sweep
+    can fan points out over a process pool (``--jobs``)."""
+
+    sequence: str
+    work_scale: float
+    participants: int
+    profile: PlatformProfile
+    seed: int
+    worker_config: Optional[WorkerConfig]
+
+
+@dataclass(frozen=True)
+class _RawPoint:
+    """A point before the speedup is known (needs the P=1 time)."""
+
+    participants: int
+    execution_times: Tuple[float, ...]
+    average_time_s: float
+    tasks_stolen: int
+    messages_sent: int
+    max_tasks_in_use: int
+
+
+def _run_point(spec: _PointSpec) -> _RawPoint:
+    """Shard task: one pfold run at one participant count."""
+    result = run_job(
+        pfold_job(spec.sequence, work_scale=spec.work_scale),
+        n_workers=spec.participants,
+        profile=spec.profile,
+        seed=spec.seed,
+        worker_config=spec.worker_config,
+    )
+    return _RawPoint(
+        participants=spec.participants,
+        execution_times=tuple(result.stats.execution_times),
+        average_time_s=result.stats.average_execution_time,
+        tasks_stolen=result.stats.tasks_stolen,
+        messages_sent=result.stats.messages_sent,
+        max_tasks_in_use=result.stats.max_tasks_in_use,
+    )
+
+
 def run_speedup_curve(
     sequence: str = DEFAULT_SEQUENCE,
     work_scale: float = DEFAULT_WORK_SCALE,
@@ -53,37 +97,39 @@ def run_speedup_curve(
     profile: PlatformProfile = SPARCSTATION_1,
     seed: int = 0,
     worker_config: Optional[WorkerConfig] = None,
+    jobs: int = 1,
 ) -> List[FigurePoint]:
     """Run pfold at each participant count; returns the curve points.
 
     The P=1 run (required for the speedup denominator) is added
-    automatically if absent from *participants*.
+    automatically if absent from *participants*.  ``jobs > 1`` runs the
+    points as parallel shard tasks; every run is an independently
+    seeded simulation, so the curve is identical either way.
     """
+    from repro.parallel import ShardedRunner
+
     counts = sorted(set(participants) | {1})
-    points: List[FigurePoint] = []
-    t1: Optional[float] = None
-    for p in counts:
-        result = run_job(
-            pfold_job(sequence, work_scale=work_scale),
-            n_workers=p,
-            profile=profile,
-            seed=seed,
-            worker_config=worker_config,
+    specs = [
+        _PointSpec(sequence=sequence, work_scale=work_scale, participants=p,
+                   profile=profile, seed=seed, worker_config=worker_config)
+        for p in counts
+    ]
+    raws, _stats = ShardedRunner(jobs=jobs).map(
+        _run_point, specs, label="speedup-curve",
+        describe=lambda s: f"P={s.participants}",
+    )
+    t1 = next(r for r in raws if r.participants == 1).execution_times[0]
+    points = [
+        FigurePoint(
+            participants=raw.participants,
+            average_time_s=raw.average_time_s,
+            speedup=speedup_paper(t1, list(raw.execution_times)),
+            tasks_stolen=raw.tasks_stolen,
+            messages_sent=raw.messages_sent,
+            max_tasks_in_use=raw.max_tasks_in_use,
         )
-        times = result.stats.execution_times
-        if p == 1:
-            t1 = times[0]
-        assert t1 is not None
-        points.append(
-            FigurePoint(
-                participants=p,
-                average_time_s=result.stats.average_execution_time,
-                speedup=speedup_paper(t1, times),
-                tasks_stolen=result.stats.tasks_stolen,
-                messages_sent=result.stats.messages_sent,
-                max_tasks_in_use=result.stats.max_tasks_in_use,
-            )
-        )
+        for raw in raws
+    ]
     return [pt for pt in points if pt.participants in set(participants) or pt.participants == 1]
 
 

@@ -12,7 +12,7 @@ to parallel work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, List, Sequence
 
 from repro.apps.pfold import pfold_job, pfold_serial
 from repro.cluster.owner import AlwaysIdleTrace, RenewalOwnerTrace
@@ -127,6 +127,82 @@ def run_harvest(
     )
     system.stop()
     return report
+
+
+@dataclass(frozen=True)
+class HarvestSpec:
+    """One harvesting repetition — picklable for the ``--jobs`` pool."""
+
+    seed: int
+    n_machines: int = 10
+    n_jobs: int = 3
+    busy_mean_s: float = 30.0
+    idle_mean_s: float = 60.0
+    job_spacing_s: float = 5.0
+    sequence: str = "HPHPPHHPHPPH"
+    work_scale: float = 60.0
+
+
+def _run_harvest_rep(spec: HarvestSpec) -> HarvestReport:
+    """Shard task: one full harvesting scenario at one seed."""
+    return run_harvest(
+        n_machines=spec.n_machines,
+        n_jobs=spec.n_jobs,
+        seed=spec.seed,
+        busy_mean_s=spec.busy_mean_s,
+        idle_mean_s=spec.idle_mean_s,
+        job_spacing_s=spec.job_spacing_s,
+        sequence=spec.sequence,
+        work_scale=spec.work_scale,
+    )
+
+
+def run_harvest_sweep(
+    seeds: Sequence[int],
+    jobs: int = 1,
+    **params,
+) -> List[HarvestReport]:
+    """Repeat the harvesting scenario at several seeds (owner churn is
+    stochastic, so the harvest fraction is a distribution — one rep is
+    an anecdote).  ``jobs > 1`` fans repetitions out over a process
+    pool; reports come back in seed order either way.
+    """
+    from repro.parallel import ShardedRunner
+
+    specs = [HarvestSpec(seed=s, **params) for s in seeds]
+    reports, _stats = ShardedRunner(jobs=jobs).map(
+        _run_harvest_rep, specs, label="harvest",
+        describe=lambda s: f"seed={s.seed}",
+    )
+    return reports
+
+
+def format_harvest_sweep(seeds: Sequence[int],
+                         reports: List[HarvestReport]) -> str:
+    """Per-seed harvest rows plus the sweep means."""
+    rows = []
+    for seed, r in zip(seeds, reports):
+        rows.append((
+            seed, f"{r.jobs_completed}/{r.n_jobs}", r.all_results_exact,
+            f"{r.horizon_s:.0f}s", f"{r.idle_capacity_s:.0f}",
+            f"{r.harvested_s:.0f}", f"{100 * r.harvest_fraction:.1f}%",
+            r.workers_reclaimed,
+        ))
+    n = max(1, len(reports))
+    rows.append((
+        "mean", "-", all(r.all_results_exact for r in reports),
+        f"{sum(r.horizon_s for r in reports) / n:.0f}s",
+        f"{sum(r.idle_capacity_s for r in reports) / n:.0f}",
+        f"{sum(r.harvested_s for r in reports) / n:.0f}",
+        f"{100 * sum(r.harvest_fraction for r in reports) / n:.1f}%",
+        sum(r.workers_reclaimed for r in reports) // n,
+    ))
+    return render_table(
+        f"Idle-cycle harvesting — {len(reports)} repetitions",
+        ["seed", "jobs done", "exact", "horizon", "idle machine-s",
+         "harvested machine-s", "fraction", "reclaims"],
+        rows,
+    )
 
 
 def format_harvest(report: HarvestReport) -> str:

@@ -87,6 +87,31 @@ class Table2Column:
         }
 
 
+@dataclass(frozen=True)
+class _ColumnSpec:
+    """One Table 2 column run — picklable for the ``--jobs`` fan-out."""
+
+    sequence: str
+    work_scale: float
+    participants: int
+    profile: PlatformProfile
+    seed: int
+    worker_config: Optional[WorkerConfig]
+
+
+def _run_column(spec: _ColumnSpec) -> Table2Column:
+    """Shard task: one pfold run producing one measured column."""
+    result = run_job(
+        pfold_job(spec.sequence, work_scale=spec.work_scale),
+        n_workers=spec.participants,
+        profile=spec.profile,
+        seed=spec.seed,
+        worker_config=spec.worker_config,
+    )
+    return Table2Column(participants=spec.participants,
+                        rows=result.stats.table2_rows())
+
+
 def run_table2(
     sequence: str = DEFAULT_SEQUENCE,
     work_scale: float = DEFAULT_WORK_SCALE,
@@ -94,18 +119,25 @@ def run_table2(
     profile: PlatformProfile = SPARCSTATION_1,
     seed: int = 0,
     worker_config: Optional[WorkerConfig] = None,
+    jobs: int = 1,
 ) -> List[Table2Column]:
-    """Regenerate the Table 2 statistics at each participant count."""
-    columns: List[Table2Column] = []
-    for p in participants:
-        result = run_job(
-            pfold_job(sequence, work_scale=work_scale),
-            n_workers=p,
-            profile=profile,
-            seed=seed,
-            worker_config=worker_config,
-        )
-        columns.append(Table2Column(participants=p, rows=result.stats.table2_rows()))
+    """Regenerate the Table 2 statistics at each participant count.
+
+    Each repetition is an independent seeded simulation; ``jobs > 1``
+    runs them as parallel shard tasks with identical results, columns
+    reassembled in input order.
+    """
+    from repro.parallel import ShardedRunner
+
+    specs = [
+        _ColumnSpec(sequence=sequence, work_scale=work_scale, participants=p,
+                    profile=profile, seed=seed, worker_config=worker_config)
+        for p in participants
+    ]
+    columns, _stats = ShardedRunner(jobs=jobs).map(
+        _run_column, specs, label="table2",
+        describe=lambda s: f"P={s.participants}",
+    )
     return columns
 
 

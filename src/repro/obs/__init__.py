@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     Series,
+    merge_snapshots,
 )
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "LATENCY_BUCKETS_S",
     "DEPTH_BUCKETS",
     "GRAIN_BUCKETS_S",
+    "merge_snapshots",
     "to_perfetto",
     "write_perfetto",
     "validate_perfetto",

@@ -75,6 +75,7 @@ def build_manifest(
     wall_s: float,
     registry: Optional[MetricsRegistry] = None,
     extra: Optional[Dict[str, Any]] = None,
+    metrics_snapshot: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a manifest dict that passes :func:`validate_manifest`.
 
@@ -89,7 +90,12 @@ def build_manifest(
         registry: metric snapshot source (empty snapshot when None).
         extra: additional payload merged under its own keys (must not
             collide with schema fields).
+        metrics_snapshot: pre-built metrics dict — how sharded runs
+            hand over their :func:`~repro.obs.metrics.merge_snapshots`
+            result (mutually exclusive with *registry*).
     """
+    if registry is not None and metrics_snapshot is not None:
+        raise ValueError("pass either registry or metrics_snapshot, not both")
     manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "kind": "repro.obs.manifest",
@@ -103,7 +109,11 @@ def build_manifest(
         "cluster": cluster,
         "wall_s": wall_s,
         "kernel_events_per_s": _baseline_kernel_rate(),
-        "metrics": registry.snapshot() if registry is not None else {},
+        "metrics": (
+            registry.snapshot() if registry is not None
+            else metrics_snapshot if metrics_snapshot is not None
+            else {}
+        ),
     }
     if extra:
         for key in extra:

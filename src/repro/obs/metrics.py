@@ -258,6 +258,82 @@ class _NullInstrument:
 NULL_INSTRUMENT = _NullInstrument()
 
 
+def _merge_two(name: str, a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge one instrument snapshot *b* into a copy of *a*."""
+    kind = a.get("kind")
+    if kind != b.get("kind"):
+        raise ReproError(
+            f"cannot merge metric {name!r}: kind {a.get('kind')!r} vs "
+            f"{b.get('kind')!r}"
+        )
+    out = dict(a)
+    if kind == "counter":
+        out["value"] = a["value"] + b["value"]
+    elif kind == "gauge":
+        # Shards are concurrent instances of the same quantity: the
+        # instantaneous values add, the merged peak is bounded below by
+        # each shard's own peak.
+        out["value"] = a["value"] + b["value"]
+        out["peak"] = max(a["peak"], b["peak"])
+    elif kind == "histogram":
+        if a["edges"] != b["edges"]:
+            raise ReproError(
+                f"cannot merge histogram {name!r}: bucket edges differ"
+            )
+        out["counts"] = [x + y for x, y in zip(a["counts"], b["counts"])]
+        out["count"] = a["count"] + b["count"]
+        out["sum"] = a["sum"] + b["sum"]
+        mins = [v for v in (a["min"], b["min"]) if v is not None]
+        maxs = [v for v in (a["max"], b["max"]) if v is not None]
+        out["min"] = min(mins) if mins else None
+        out["max"] = max(maxs) if maxs else None
+        out["mean"] = out["sum"] / out["count"] if out["count"] else None
+        # Percentiles are not mergeable from summaries; rebuild the
+        # interpolation over the combined buckets.
+        rebuilt = Histogram(name, a["edges"])
+        rebuilt.counts = list(out["counts"])
+        rebuilt.count = out["count"]
+        rebuilt.sum = out["sum"]
+        rebuilt.min = out["min"] if out["min"] is not None else float("inf")
+        rebuilt.max = out["max"] if out["max"] is not None else float("-inf")
+        out["percentiles"] = {
+            "p50": rebuilt.percentile(0.50),
+            "p90": rebuilt.percentile(0.90),
+            "p99": rebuilt.percentile(0.99),
+        }
+    elif kind == "series":
+        # Snapshots carry summaries, not samples; combine the summaries.
+        out["n_samples"] = a["n_samples"] + b["n_samples"]
+        out["dropped"] = a["dropped"] + b["dropped"]
+        peaks = [v for v in (a.get("peak"), b.get("peak")) if v is not None]
+        out["peak"] = max(peaks) if peaks else None
+        out["last"] = b.get("last") if b.get("last") is not None else a.get("last")
+    # "null" and unknown kinds merge to the first snapshot unchanged.
+    return out
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Dict[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """Combine per-shard :meth:`MetricsRegistry.snapshot` dicts.
+
+    Counters and histogram buckets add, gauge/series peaks take the
+    max, histogram percentiles are re-interpolated over the summed
+    buckets.  Disjoint names union.  This is the shard-aware merge the
+    parallel runner uses to produce one run manifest from N worker
+    processes (instrument *objects* never cross the process boundary —
+    only these JSON-ready snapshots do).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for snap in snapshots:
+        for name, inst in snap.items():
+            if name not in merged:
+                merged[name] = dict(inst)
+            else:
+                merged[name] = _merge_two(name, merged[name], inst)
+    return dict(sorted(merged.items()))
+
+
 class MetricsRegistry:
     """Named instruments under hierarchical dot-path names.
 

@@ -1,0 +1,293 @@
+"""Multi-core fan-out of independent simulation runs.
+
+The paper's thesis is harvesting idle parallel capacity; this module
+applies it to our own harness.  Every fan-out consumer in the repo —
+the schedule fuzzer, the figure/table sweeps, the harvest repetitions —
+boils down to the same shape: a list of *independent, deterministic*
+work items, each mapped through a pure module-level function, with the
+results reassembled **in input order** so the merged output is
+byte-identical to a serial run.
+
+:class:`ShardedRunner` is that shape, once:
+
+* ``jobs <= 1`` (or a single item) runs inline in the parent — no
+  process machinery, no pickling, identical code path for the merge.
+* ``jobs > 1`` fans items out over a ``ProcessPoolExecutor``.  Shard
+  functions must be module-level importables and items picklable, so
+  the pool works under ``spawn`` as well as ``fork`` (no module-level
+  RNG or registry state is relied on across the boundary).
+* If the platform cannot create a process pool at all (no ``fork`` /
+  ``spawn`` primitives, sandboxed semaphores, broken workers), the
+  runner degrades to the inline path and records why in
+  :attr:`PoolStats.mode` — callers never have to care.
+* A child exception is captured as a full traceback string and
+  re-raised in the parent as :class:`ShardError` with the owning item's
+  description attached (e.g. the fuzz seed range), so a failure in
+  shard 7 of 16 reads like a failure in a serial loop.
+
+Timed benchmarks deliberately do **not** use this module: wall-clock
+numbers from co-scheduled shards measure contention, not the code
+(see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Environment override for the multiprocessing start method
+#: ("fork" | "spawn" | "forkserver"); default is the platform's.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+class ShardError(ReproError):
+    """A shard task raised; carries the child's formatted traceback."""
+
+    def __init__(self, label: str, index: int, description: str,
+                 child_traceback: str) -> None:
+        self.label = label
+        self.index = index
+        self.description = description
+        self.child_traceback = child_traceback
+        super().__init__(
+            f"{label} shard {index} ({description}) failed in the worker "
+            f"process:\n{child_traceback.rstrip()}"
+        )
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Bookkeeping for one completed shard."""
+
+    index: int
+    items: int
+    wall_s: float
+    pid: int
+    description: str = ""
+    #: CPU seconds the shard's process actually spent — on an
+    #: oversubscribed host this is smaller than ``wall_s`` (which then
+    #: includes time-sliced waiting).
+    cpu_s: float = 0.0
+
+
+@dataclass
+class PoolStats:
+    """How a :meth:`ShardedRunner.map` call actually executed.
+
+    ``speedup`` is the classic harvest ratio: summed per-shard busy
+    time over parent wall time — 1.0 for inline runs, approaching
+    ``effective_jobs`` when the pool keeps every core busy.
+    """
+
+    jobs: int
+    effective_jobs: int
+    mode: str  # "inline" | "pool(fork)" | "inline-fallback(...)" ...
+    wall_s: float = 0.0
+    shards: List[ShardInfo] = field(default_factory=list)
+
+    @property
+    def work_s(self) -> float:
+        """Total per-shard busy seconds (the serial-equivalent cost)."""
+        return sum(s.wall_s for s in self.shards)
+
+    @property
+    def cpu_s(self) -> float:
+        """Total CPU seconds burned across shards."""
+        return sum(s.cpu_s for s in self.shards)
+
+    @property
+    def speedup(self) -> float:
+        return self.work_s / self.wall_s if self.wall_s > 0 else 1.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for run manifests."""
+        return {
+            "jobs": self.jobs,
+            "effective_jobs": self.effective_jobs,
+            "mode": self.mode,
+            "wall_s": self.wall_s,
+            "work_s": self.work_s,
+            "cpu_s": self.cpu_s,
+            "speedup": self.speedup,
+            "shards": [
+                {"index": s.index, "items": s.items, "wall_s": s.wall_s,
+                 "cpu_s": s.cpu_s, "pid": s.pid, "description": s.description}
+                for s in self.shards
+            ],
+        }
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 means one per CPU."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def split_evenly(items: Sequence[Any], n_chunks: int) -> List[List[Any]]:
+    """Split *items* into at most *n_chunks* contiguous, non-empty runs.
+
+    Contiguity is what makes merged fuzz output identical to the serial
+    loop: concatenating chunk results in chunk order replays input
+    order exactly.  Sizes differ by at most one.
+    """
+    items = list(items)
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks: List[List[Any]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+def _shard_entry(fn: Callable[[Any], Any], index: int, item: Any) -> Tuple:
+    """Run one shard in the worker process; never raises across the
+    process boundary (exceptions come back as formatted tracebacks so
+    the parent can attach the owning item)."""
+    started = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        payload = fn(item)
+        return ("ok", index, payload, time.perf_counter() - started,
+                time.process_time() - cpu0, os.getpid())
+    except BaseException:
+        return ("err", index, traceback.format_exc(),
+                time.perf_counter() - started,
+                time.process_time() - cpu0, os.getpid())
+
+
+class ShardedRunner:
+    """Map a module-level function over independent items, maybe in
+    parallel, preserving input order in the results.
+
+    Args:
+        jobs: worker processes to use; ``None``/``0`` means one per
+            CPU, ``1`` forces the inline path.
+        start_method: multiprocessing start method override (default:
+            the ``REPRO_PARALLEL_START_METHOD`` env var, else the
+            platform default — ``fork`` on Linux).
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.start_method = start_method or os.environ.get(START_METHOD_ENV)
+
+    # -- internals ----------------------------------------------------
+
+    def _run_inline(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        stats: PoolStats,
+        describe: Callable[[Any], str],
+        on_result: Optional[Callable[[int, Any, Any], None]],
+    ) -> List[Any]:
+        results: List[Any] = []
+        for i, item in enumerate(items):
+            t0 = time.perf_counter()
+            cpu0 = time.process_time()
+            payload = fn(item)
+            stats.shards.append(ShardInfo(
+                index=i, items=1, wall_s=time.perf_counter() - t0,
+                pid=os.getpid(), description=describe(item),
+                cpu_s=time.process_time() - cpu0,
+            ))
+            results.append(payload)
+            if on_result is not None:
+                on_result(i, item, payload)
+        return results
+
+    def _run_pool(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        stats: PoolStats,
+        label: str,
+        describe: Callable[[Any], str],
+        on_result: Optional[Callable[[int, Any, Any], None]],
+    ) -> List[Any]:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        ctx = mp.get_context(self.start_method)
+        workers = min(self.jobs, len(items))
+        results: List[Any] = [None] * len(items)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = {
+                pool.submit(_shard_entry, fn, i, item): (i, item)
+                for i, item in enumerate(items)
+            }
+            for fut in as_completed(futures):
+                status, index, payload, wall_s, cpu_s, pid = fut.result()
+                _i, item = futures[fut]
+                if status == "err":
+                    raise ShardError(label, index, describe(item), payload)
+                stats.shards.append(ShardInfo(
+                    index=index, items=1, wall_s=wall_s, pid=pid,
+                    description=describe(item), cpu_s=cpu_s,
+                ))
+                results[index] = payload
+                if on_result is not None:
+                    on_result(index, item, payload)
+        stats.shards.sort(key=lambda s: s.index)
+        return results
+
+    # -- public -------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        label: str = "shard",
+        describe: Optional[Callable[[Any], str]] = None,
+        on_result: Optional[Callable[[int, Any, Any], None]] = None,
+    ) -> Tuple[List[Any], PoolStats]:
+        """``[fn(item) for item in items]``, possibly on many cores.
+
+        Returns ``(results_in_input_order, PoolStats)``.  *fn* must be
+        a module-level callable and every item picklable whenever the
+        pool path may run.  ``on_result(index, item, payload)`` fires in
+        the **parent** as each shard completes (completion order under
+        the pool, input order inline) — use it for progress output.
+
+        Raises :class:`ShardError` when a shard task itself raises;
+        infrastructure failures (no multiprocessing primitives, broken
+        pool) silently degrade to the inline path.
+        """
+        items = list(items)
+        describe = describe or (lambda item: repr(item)[:80])
+        stats = PoolStats(jobs=self.jobs, effective_jobs=1, mode="inline")
+        started = time.perf_counter()
+        if self.jobs <= 1 or len(items) <= 1:
+            results = self._run_inline(fn, items, stats, describe, on_result)
+            stats.wall_s = time.perf_counter() - started
+            return results, stats
+        try:
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError:  # pragma: no cover - ancient stdlib layout
+            BrokenProcessPool = OSError  # type: ignore[misc, assignment]
+        try:
+            stats.effective_jobs = min(self.jobs, len(items))
+            stats.mode = f"pool({self.start_method or 'default'})"
+            results = self._run_pool(fn, items, stats, label, describe, on_result)
+        except (ImportError, OSError, PermissionError, ValueError,
+                BrokenProcessPool) as exc:
+            # The platform cannot run (or keep) a process pool — e.g.
+            # no sem_open in the sandbox, or no usable start method.
+            # Shards are deterministic and side-effect free, so a clean
+            # inline re-run is always equivalent.
+            stats.shards.clear()
+            stats.effective_jobs = 1
+            stats.mode = f"inline-fallback({type(exc).__name__})"
+            results = self._run_inline(fn, items, stats, describe, on_result)
+        stats.wall_s = time.perf_counter() - started
+        return results, stats

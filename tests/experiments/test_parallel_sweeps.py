@@ -1,0 +1,81 @@
+"""`--jobs` fan-out of the experiment sweeps: identical output at any
+job count, rows reassembled in input order (small scales)."""
+
+import pytest
+
+from repro.experiments.ablations import SECTIONS, run_sections
+from repro.experiments.figures import format_figure4, format_figure5, run_speedup_curve
+from repro.experiments.harvest import (
+    format_harvest_sweep,
+    run_harvest_sweep,
+)
+from repro.experiments.table2 import format_table2, run_table2
+
+SMALL = dict(sequence="HPHPPHHP", work_scale=120.0)
+
+
+class TestFigureSweep:
+    @pytest.fixture(scope="class")
+    def serial_points(self):
+        return run_speedup_curve(participants=(1, 2, 4), seed=0, jobs=1, **SMALL)
+
+    def test_sharded_curve_identical(self, serial_points):
+        sharded = run_speedup_curve(participants=(1, 2, 4), seed=0, jobs=2,
+                                    **SMALL)
+        assert sharded == serial_points
+        assert format_figure4(sharded) == format_figure4(serial_points)
+        assert format_figure5(sharded) == format_figure5(serial_points)
+
+    def test_points_come_back_in_participant_order(self, serial_points):
+        assert [pt.participants for pt in serial_points] == [1, 2, 4]
+
+    def test_p1_added_for_denominator_even_when_sharded(self):
+        points = run_speedup_curve(participants=(2,), seed=0, jobs=2, **SMALL)
+        assert [pt.participants for pt in points] == [1, 2]
+
+
+class TestTable2Sweep:
+    def test_sharded_columns_identical(self):
+        serial = run_table2(participants=(4, 8), seed=0, jobs=1, **SMALL)
+        sharded = run_table2(participants=(4, 8), seed=0, jobs=2, **SMALL)
+        assert [c.rows for c in sharded] == [c.rows for c in serial]
+        assert [c.participants for c in sharded] == [4, 8]
+        assert format_table2(sharded) == format_table2(serial)
+
+
+class TestAblationSections:
+    def test_registry_covers_every_ablation(self):
+        assert list(SECTIONS) == [
+            "order", "victim", "initiation", "sharing", "retirement",
+            "faults", "heterogeneity",
+        ]
+
+    def test_sections_render_in_requested_order(self):
+        out = run_sections(["victim"], seed=0, jobs=1)
+        assert len(out) == 1
+        assert "victim selection" in out[0]
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            run_sections(["coffee"], seed=0)
+
+
+class TestHarvestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        seeds = [3, 4]
+        kwargs = dict(n_machines=5, n_jobs=1, busy_mean_s=20.0,
+                      idle_mean_s=40.0, work_scale=40.0)
+        serial = run_harvest_sweep(seeds, jobs=1, **kwargs)
+        sharded = run_harvest_sweep(seeds, jobs=2, **kwargs)
+        return seeds, serial, sharded
+
+    def test_sharded_reports_identical(self, sweep):
+        _seeds, serial, sharded = sweep
+        assert [vars(r) for r in sharded] == [vars(r) for r in serial]
+
+    def test_reports_in_seed_order_and_format(self, sweep):
+        seeds, serial, _ = sweep
+        out = format_harvest_sweep(seeds, serial)
+        assert "2 repetitions" in out
+        assert "mean" in out

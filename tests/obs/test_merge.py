@@ -1,0 +1,110 @@
+"""Shard-aware merging of MetricsRegistry snapshots."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry, build_manifest, merge_snapshots
+
+
+def _registry_with(counter=0, gauge=None, hist=(), series=()):
+    reg = MetricsRegistry()
+    if counter:
+        reg.counter("c").inc(counter)
+    if gauge is not None:
+        reg.gauge("g").set(gauge)
+    for v in hist:
+        reg.histogram("h", edges=(1.0, 10.0, 100.0)).observe(v)
+    for t, v in series:
+        reg.series("s").record(t, v)
+    return reg
+
+
+class TestMergeSnapshots:
+    def test_empty(self):
+        assert merge_snapshots([]) == {}
+
+    def test_single_snapshot_passes_through(self):
+        snap = _registry_with(counter=3).snapshot()
+        assert merge_snapshots([snap]) == snap
+
+    def test_counters_add(self):
+        a = _registry_with(counter=3).snapshot()
+        b = _registry_with(counter=4).snapshot()
+        assert merge_snapshots([a, b])["c"]["value"] == 7
+
+    def test_gauges_add_values_and_max_peaks(self):
+        a = _registry_with(gauge=5.0).snapshot()
+        b = _registry_with(gauge=2.0).snapshot()
+        merged = merge_snapshots([a, b])["g"]
+        assert merged["value"] == 7.0
+        assert merged["peak"] == 5.0
+
+    def test_histograms_sum_buckets_and_reinterpolate(self):
+        a = _registry_with(hist=[0.5, 5.0]).snapshot()
+        b = _registry_with(hist=[50.0, 500.0]).snapshot()
+        merged = merge_snapshots([a, b])["h"]
+        assert merged["count"] == 4
+        assert merged["sum"] == pytest.approx(555.5)
+        assert merged["min"] == 0.5
+        assert merged["max"] == 500.0
+        assert merged["mean"] == pytest.approx(555.5 / 4)
+        assert merged["counts"] == [1, 1, 1, 1]
+        # The re-interpolated median sits between the two middle values.
+        assert 1.0 <= merged["percentiles"]["p50"] <= 100.0
+
+    def test_histogram_matches_single_registry_observing_everything(self):
+        """Merging shard histograms == one registry that saw all values."""
+        a = _registry_with(hist=[0.5, 5.0]).snapshot()
+        b = _registry_with(hist=[50.0, 500.0]).snapshot()
+        both = _registry_with(hist=[0.5, 5.0, 50.0, 500.0]).snapshot()
+        assert merge_snapshots([a, b])["h"] == both["h"]
+
+    def test_mismatched_histogram_edges_rejected(self):
+        reg_a = MetricsRegistry()
+        reg_a.histogram("h", edges=(1.0, 2.0)).observe(1.5)
+        reg_b = MetricsRegistry()
+        reg_b.histogram("h", edges=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(ReproError, match="edges differ"):
+            merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+
+    def test_mismatched_kinds_rejected(self):
+        reg_a = MetricsRegistry()
+        reg_a.counter("x").inc()
+        reg_b = MetricsRegistry()
+        reg_b.gauge("x").set(1.0)
+        with pytest.raises(ReproError, match="kind"):
+            merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+
+    def test_series_summaries_combine(self):
+        a = _registry_with(series=[(0.0, 1.0), (1.0, 4.0)]).snapshot()
+        b = _registry_with(series=[(2.0, 2.0)]).snapshot()
+        merged = merge_snapshots([a, b])["s"]
+        assert merged["n_samples"] == 3
+        assert merged["peak"] == 4.0
+        assert merged["last"] == 2.0
+
+    def test_disjoint_names_union_sorted(self):
+        reg_a = MetricsRegistry()
+        reg_a.counter("z.late").inc()
+        reg_b = MetricsRegistry()
+        reg_b.counter("a.early").inc()
+        merged = merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+        assert list(merged) == ["a.early", "z.late"]
+
+
+class TestManifestSnapshotHandoff:
+    def test_metrics_snapshot_lands_in_manifest(self):
+        snap = merge_snapshots([_registry_with(counter=2).snapshot(),
+                                _registry_with(counter=3).snapshot()])
+        manifest = build_manifest(
+            command="check", seed=0, app="fib", cluster={"workers": 4},
+            wall_s=1.0, metrics_snapshot=snap,
+        )
+        assert manifest["metrics"]["c"]["value"] == 5
+
+    def test_registry_and_snapshot_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            build_manifest(
+                command="check", seed=0, app="fib", cluster={"workers": 4},
+                wall_s=1.0, registry=MetricsRegistry(), metrics_snapshot={},
+            )

@@ -1,0 +1,149 @@
+"""Unit tests for the generic sharded runner (repro.parallel)."""
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    PoolStats,
+    ShardedRunner,
+    ShardError,
+    resolve_jobs,
+    split_evenly,
+)
+
+
+# Shard tasks must be module-level so the pool can pickle them.
+def _triple(x):
+    return 3 * x
+
+
+def _fail_on_seven(x):
+    if x == 7:
+        raise ValueError(f"item {x} is cursed")
+    return x
+
+
+class TestSplitEvenly:
+    def test_contiguous_and_balanced(self):
+        chunks = split_evenly(list(range(10)), 3)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_never_more_chunks_than_items(self):
+        assert split_evenly([1, 2], 8) == [[1], [2]]
+
+    def test_single_chunk(self):
+        assert split_evenly([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_empty(self):
+        assert split_evenly([], 4) == [[]]
+
+    def test_concatenation_replays_input_order(self):
+        items = list(range(17))
+        chunks = split_evenly(items, 5)
+        assert [x for chunk in chunks for x in chunk] == items
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_auto(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+
+class TestInline:
+    def test_jobs_1_runs_inline_in_order(self):
+        results, stats = ShardedRunner(jobs=1).map(_triple, [1, 2, 3])
+        assert results == [3, 6, 9]
+        assert stats.mode == "inline"
+        assert stats.effective_jobs == 1
+        assert [s.pid for s in stats.shards] == [os.getpid()] * 3
+
+    def test_single_item_stays_inline_even_with_many_jobs(self):
+        results, stats = ShardedRunner(jobs=8).map(_triple, [5])
+        assert results == [15]
+        assert stats.mode == "inline"
+
+    def test_inline_accepts_unpicklable_fn(self):
+        results, _ = ShardedRunner(jobs=1).map(lambda x: x + 1, [1, 2])
+        assert results == [2, 3]
+
+    def test_inline_error_propagates_directly(self):
+        with pytest.raises(ValueError, match="cursed"):
+            ShardedRunner(jobs=1).map(_fail_on_seven, [7])
+
+
+class TestPool:
+    def test_results_in_input_order(self):
+        results, stats = ShardedRunner(jobs=2).map(_triple, list(range(8)))
+        assert results == [3 * i for i in range(8)]
+        assert stats.mode.startswith("pool(")
+        assert stats.effective_jobs == 2
+        assert len(stats.shards) == 8
+        # shards recorded in index order regardless of completion order
+        assert [s.index for s in stats.shards] == list(range(8))
+
+    def test_runs_in_child_processes(self):
+        pids, _ = ShardedRunner(jobs=2).map(_pid_task, [0, 1, 2, 3])
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_child_exception_becomes_sharderror_with_description(self):
+        with pytest.raises(ShardError) as exc_info:
+            ShardedRunner(jobs=2).map(
+                _fail_on_seven, [1, 7, 3],
+                label="demo", describe=lambda item: f"seed {item}",
+            )
+        err = exc_info.value
+        assert err.description == "seed 7"
+        assert "ValueError" in err.child_traceback
+        assert "cursed" in str(err)
+
+    def test_on_result_fires_per_item(self):
+        seen = []
+        ShardedRunner(jobs=2).map(
+            _triple, [1, 2, 3, 4],
+            on_result=lambda i, item, payload: seen.append((i, item, payload)),
+        )
+        assert sorted(seen) == [(0, 1, 3), (1, 2, 6), (2, 3, 9), (3, 4, 12)]
+
+
+class TestFallback:
+    def test_pool_failure_degrades_to_inline(self, monkeypatch):
+        runner = ShardedRunner(jobs=2)
+        monkeypatch.setattr(
+            ShardedRunner, "_run_pool",
+            lambda self, *a, **k: (_ for _ in ()).throw(OSError("no sem_open")),
+        )
+        results, stats = runner.map(_triple, [1, 2, 3])
+        assert results == [3, 6, 9]
+        assert stats.mode == "inline-fallback(OSError)"
+        assert stats.effective_jobs == 1
+
+    def test_unknown_start_method_degrades(self):
+        runner = ShardedRunner(jobs=2, start_method="no-such-method")
+        results, stats = runner.map(_triple, [1, 2, 3])
+        assert results == [3, 6, 9]
+        assert stats.mode.startswith("inline-fallback(")
+
+
+class TestPoolStats:
+    def test_speedup_and_dict_shape(self):
+        _, stats = ShardedRunner(jobs=2).map(_triple, list(range(6)))
+        d = stats.to_dict()
+        assert d["jobs"] == 2
+        assert d["speedup"] == pytest.approx(stats.work_s / stats.wall_s)
+        assert len(d["shards"]) == 6
+        for shard in d["shards"]:
+            assert set(shard) == {
+                "index", "items", "wall_s", "cpu_s", "pid", "description"
+            }
+
+    def test_empty_stats_speedup_is_one(self):
+        stats = PoolStats(jobs=1, effective_jobs=1, mode="inline")
+        assert stats.speedup == 1.0
+
+
+def _pid_task(_x):
+    return os.getpid()

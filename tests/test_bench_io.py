@@ -1,0 +1,65 @@
+"""write_bench must preserve recorded history (the `pre_overhaul`
+baseline block) instead of clobbering it on re-record."""
+
+import json
+
+from repro.bench import format_bench, load_bench, write_bench
+
+PRE_OVERHAUL = {
+    "kernel": {"events_per_s": 501086, "note": "seed kernel"},
+}
+
+
+def _fake_results(rate=1_000_000.0):
+    return {
+        "schema": 1,
+        "recorded_at": "2026-01-01T00:00:00",
+        "kernel": {"n_events": 10000, "repeats": 10, "best_s": 0.01,
+                   "events_per_s": rate},
+    }
+
+
+def test_write_bench_preserves_pre_overhaul_roundtrip(tmp_path):
+    path = str(tmp_path / "BENCH_kernel.json")
+    first = dict(_fake_results(), pre_overhaul=PRE_OVERHAUL)
+    write_bench(first, path)
+
+    # Re-record without the historical block: it must survive.
+    write_bench(_fake_results(rate=2_000_000.0), path)
+    reread = load_bench(path)
+    assert reread["pre_overhaul"] == PRE_OVERHAUL
+    assert reread["kernel"]["events_per_s"] == 2_000_000.0
+    assert reread["recorded_at"] == "2026-01-01T00:00:00"
+
+
+def test_write_bench_new_keys_win_over_existing(tmp_path):
+    path = str(tmp_path / "BENCH_kernel.json")
+    write_bench(_fake_results(rate=1.0), path)
+    write_bench(_fake_results(rate=2.0), path)
+    assert load_bench(path)["kernel"]["events_per_s"] == 2.0
+
+
+def test_write_bench_fresh_file(tmp_path):
+    path = str(tmp_path / "BENCH_kernel.json")
+    write_bench(_fake_results(), path)
+    with open(path) as fh:
+        assert json.load(fh)["kernel"]["n_events"] == 10000
+
+
+def test_write_bench_tolerates_corrupt_existing_file(tmp_path):
+    path = str(tmp_path / "BENCH_kernel.json")
+    with open(path, "w") as fh:
+        fh.write("{not json")
+    write_bench(_fake_results(), path)
+    assert load_bench(path)["kernel"]["n_events"] == 10000
+
+
+def test_repo_baseline_still_has_pre_overhaul():
+    """The recorded repo baseline keeps its seed-kernel history."""
+    recorded = load_bench()
+    if recorded is None:
+        return  # no baseline on this machine; nothing to protect
+    assert "pre_overhaul" in recorded, (
+        "BENCH_kernel.json lost its pre_overhaul history block"
+    )
+    assert format_bench(recorded)  # renders without raising

@@ -92,6 +92,44 @@ def test_timeline_perfetto_export(capsys, tmp_path):
     assert any(name.startswith("deque depth") for name in counters)
 
 
+def test_check_command_sharded_smoke(capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_manifest
+
+    manifest_path = tmp_path / "check_manifest.json"
+    assert main(["check", "--seeds", "6", "--jobs", "2",
+                 "--manifest", str(manifest_path)]) == 0
+    captured = capsys.readouterr()
+    assert "all schedules clean" in captured.out
+    # Fuzz-budget telemetry on stderr: dot line, seeds/s, shard breakdown.
+    assert "seeds in" in captured.err
+    assert "seeds/s" in captured.err
+    manifest = json.loads(manifest_path.read_text())
+    assert validate_manifest(manifest) == []
+    assert manifest["parallel"]["jobs"] == 2
+    assert manifest["parallel"]["speedup"] > 0
+    assert len(manifest["parallel"]["shards"]) >= 2
+    assert manifest["fuzz"] == {"seeds": 6, "failures": 0, "bug": None}
+    assert manifest["metrics"]["check.seeds_run"]["value"] == 6
+
+
+def test_check_command_serial_matches_sharded_stdout(capsys):
+    strip = lambda s: "\n".join(l for l in s.splitlines() if "regenerated" not in l)  # noqa: E731
+    assert main(["check", "--seeds", "5", "--jobs", "1"]) == 0
+    serial = strip(capsys.readouterr().out)
+    assert main(["check", "--seeds", "5", "--jobs", "2"]) == 0
+    sharded = strip(capsys.readouterr().out)
+    assert serial == sharded
+
+
+def test_jobs_flag_rides_every_sweep_command(capsys):
+    # --jobs parses everywhere it is advertised (victim is the quickest
+    # section; the figure/table sweeps have their own equivalence tests).
+    assert main(["ablations", "victim", "--jobs", "1"]) == 0
+    assert "Ablation" in capsys.readouterr().out
+
+
 def test_seed_accepted_after_subcommand(capsys):
     main(["ablations", "victim", "--seed", "1"])
     out1 = capsys.readouterr().out
