@@ -99,6 +99,7 @@ class FuzzResult:
     seeds: Tuple[int, ...]
     failures: List[FuzzFailure] = field(default_factory=list)
     bug: Optional[str] = None
+    scenario: str = "mixed"
 
     @property
     def ok(self) -> bool:
@@ -107,6 +108,7 @@ class FuzzResult:
     def summary(self) -> str:
         head = (
             f"fuzz {self.app}: {len(self.seeds)} seeds x {self.n_workers} workers"
+            + (f" [scenario: {self.scenario}]" if self.scenario != "mixed" else "")
             + (f" [injected bug: {self.bug}]" if self.bug else "")
         )
         if self.ok:
@@ -121,10 +123,14 @@ class FuzzResult:
                 f"    shrunk schedule:   {f.shrunk.describe()} "
                 f"({f.shrink_runs} re-runs)"
             )
+            scenario_arg = (
+                f", scenario={self.scenario!r}" if self.scenario != "mixed" else ""
+            )
             lines.append(
                 f"    reproduce: run_checked(<{self.app} job>, "
                 f"n_workers={self.n_workers}, seed={f.seed}, "
-                f"perturbation=Perturbation.generate({f.seed}, {self.n_workers}))"
+                f"perturbation=Perturbation.generate({f.seed}, "
+                f"{self.n_workers}{scenario_arg}))"
             )
         return "\n".join(lines)
 
@@ -140,6 +146,7 @@ def fuzz(
     progress: Optional[Callable[[int, CheckedRun], None]] = None,
     seeds: Optional[Sequence[int]] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    scenario: str = "mixed",
 ) -> FuzzResult:
     """Fuzz *n_seeds* schedules of one registered application.
 
@@ -156,6 +163,9 @@ def fuzz(
             (how :func:`fuzz_sharded` hands each shard its range).
         metrics: optional registry receiving ``check.*`` counters and
             the per-seed wall-time histogram.
+        scenario: perturbation scenario class (see
+            :attr:`Perturbation.SCENARIOS`) — "partition" and "spike"
+            force that network dynamic into every seed.
     """
     spec = APPS.get(app)
     if spec is None:
@@ -164,10 +174,11 @@ def fuzz(
         tuple(seeds) if seeds is not None
         else tuple(range(start_seed, start_seed + n_seeds))
     )
-    result = FuzzResult(app=app, n_workers=n_workers, seeds=seed_window, bug=bug)
+    result = FuzzResult(app=app, n_workers=n_workers, seeds=seed_window,
+                        bug=bug, scenario=scenario)
     for seed in seed_window:
         seed_started = time.perf_counter()
-        pert = Perturbation.generate(seed, n_workers)
+        pert = Perturbation.generate(seed, n_workers, scenario=scenario)
         try:
             run = run_checked(
                 spec.make(),
@@ -238,6 +249,7 @@ class FuzzShardSpec:
     bug: Optional[str]
     shrink: bool
     horizon_s: float
+    scenario: str = "mixed"
 
     def describe(self) -> str:
         if not self.seeds:
@@ -263,6 +275,7 @@ def _run_fuzz_shard(spec: FuzzShardSpec) -> Tuple[FuzzResult, Dict[str, Any]]:
         shrink=spec.shrink,
         horizon_s=spec.horizon_s,
         metrics=registry,
+        scenario=spec.scenario,
     )
     return result, registry.snapshot()
 
@@ -288,6 +301,7 @@ def fuzz_sharded(
     jobs: Optional[int] = 1,
     progress: Optional[Callable[[int, bool], None]] = None,
     shards_per_job: int = 4,
+    scenario: str = "mixed",
 ) -> ShardedFuzz:
     """Shard a fuzz sweep's seed range across worker processes.
 
@@ -304,6 +318,8 @@ def fuzz_sharded(
             (bursts in shard-completion order when pooled).
         shards_per_job: chunks submitted per worker — finer chunks
             balance load when one shard hits a slow shrink cycle.
+        scenario: perturbation scenario class, forwarded to every shard
+            (see :attr:`Perturbation.SCENARIOS`).
     """
     from repro.obs.metrics import merge_snapshots
     from repro.parallel import ShardedRunner, resolve_jobs, split_evenly
@@ -315,7 +331,8 @@ def fuzz_sharded(
     chunks = split_evenly(seeds, jobs * max(1, shards_per_job))
     specs = [
         FuzzShardSpec(app=app, seeds=tuple(chunk), n_workers=n_workers,
-                      bug=bug, shrink=shrink, horizon_s=horizon_s)
+                      bug=bug, shrink=shrink, horizon_s=horizon_s,
+                      scenario=scenario)
         for chunk in chunks
     ]
 
@@ -334,6 +351,7 @@ def fuzz_sharded(
     )
     merged = FuzzResult(
         app=app, n_workers=n_workers, seeds=tuple(seeds), bug=bug,
+        scenario=scenario,
     )
     for shard_result, _snap in payloads:
         merged.failures.extend(shard_result.failures)

@@ -35,7 +35,12 @@ from repro.errors import ReproError
 from repro.micro import protocol as P
 from repro.micro.worker import Worker, WorkerConfig
 from repro.net.network import Network
-from repro.net.topology import UniformTopology
+from repro.net.topology import (
+    CongestionSpike,
+    DynamicTopology,
+    PartitionWindow,
+    UniformTopology,
+)
 from repro.phish import build_cluster
 from repro.sim.core import Simulator
 from repro.tasks.program import JobProgram
@@ -52,6 +57,14 @@ CHECK_WORKER = WorkerConfig(
     update_interval_s=0.5,
     track_completed=True,
 )
+
+#: Extra acknowledgement machinery enabled only for schedules that
+#: actually sever or congest links (see :func:`run_checked`): an unacked
+#: steal grant is reclaimed and unacked argument fills retransmit, both
+#: after three steal timeouts — under the paper's protocol either loss
+#: hangs the job.  Fault-only schedules keep the paper protocol (and
+#: their pinned byte-exact traces).
+RESILIENT_TIMEOUTS = dict(grant_ack_timeout_s=0.06, arg_retry_timeout_s=0.06)
 
 CHECK_CH = ClearinghouseConfig(
     update_interval_s=0.5,
@@ -84,6 +97,16 @@ class Perturbation:
     crashes: Tuple[Tuple[float, int], ...] = ()
     #: Graceful owner-reclaim injections: (time_s, workstation index).
     reclaims: Tuple[Tuple[float, int], ...] = ()
+    #: Congestion-spike windows: (start_s, end_s, latency_factor) — every
+    #: link's latency is multiplied by the factor inside the window.
+    spikes: Tuple[Tuple[float, float, float], ...] = ()
+    #: Partition-heal windows: (start_s, end_s, island_indices) — during
+    #: the window the island workstations are unreachable from the rest
+    #: of the cluster (both directions); at end_s the partition heals.
+    partitions: Tuple[Tuple[float, float, Tuple[int, ...]], ...] = ()
+
+    #: Scenario names understood by :meth:`generate` (CLI ``--scenario``).
+    SCENARIOS = ("mixed", "partition", "spike", "faults-only")
 
     @classmethod
     def generate(
@@ -94,8 +117,23 @@ class Perturbation:
         p_reclaim: float = 0.5,
         fault_window_s: Tuple[float, float] = (0.012, 0.06),
         max_jitter_s: float = 2.0e-3,
+        p_spike: float = 0.4,
+        p_partition: float = 0.35,
+        scenario: str = "mixed",
     ) -> "Perturbation":
-        """Derive a perturbation from *seed* (stable across processes)."""
+        """Derive a perturbation from *seed* (stable across processes).
+
+        ``scenario`` focuses the network dynamics: "mixed" uses the
+        default probabilities, "partition" / "spike" force that window
+        into every seed, "faults-only" disables both (the pre-topology
+        scenario set).  Crash/reclaim/jitter components are identical
+        across scenarios for the same seed — every scenario consumes
+        the same rng draws, only the inclusion thresholds differ.
+        """
+        if scenario not in cls.SCENARIOS:
+            raise ReproError(
+                f"unknown scenario {scenario!r}; known: {sorted(cls.SCENARIOS)}"
+            )
         rng = random.Random(derive_seed(seed, "check.perturb"))
         lo, hi = fault_window_s
         crashes: List[Tuple[float, int]] = []
@@ -117,11 +155,35 @@ class Perturbation:
             removed.add(idx)
             if len(removed) < n_workers:
                 reclaims.append((t, idx))
+        # Drawn after the original components so pre-topology seeds keep
+        # their exact crash/reclaim/jitter values.
+        jitter = rng.random() * max_jitter_s
+        eff_spike = {"spike": 1.0, "faults-only": 0.0}.get(scenario, p_spike)
+        eff_part = {"partition": 1.0, "faults-only": 0.0}.get(scenario, p_partition)
+        spikes: List[Tuple[float, float, float]] = []
+        r = rng.random()
+        start = lo + rng.random() * (hi - lo)
+        duration = 0.01 + rng.random() * 0.04
+        factor = 4.0 + rng.random() * 16.0
+        if r < eff_spike:
+            spikes.append((start, start + duration, factor))
+        partitions: List[Tuple[float, float, Tuple[int, ...]]] = []
+        r = rng.random()
+        start = lo + rng.random() * (hi - lo)
+        duration = 0.01 + rng.random() * 0.04
+        size = 1 + rng.randrange(max(1, n_workers // 2))
+        island = tuple(sorted(rng.sample(range(n_workers), min(size, n_workers))))
+        if n_workers > 1 and r < eff_part and len(island) < n_workers:
+            # Windows stay well short of the death timeout (1.5 s): a
+            # partition must delay heartbeats, not forge false deaths.
+            partitions.append((start, start + duration, island))
         return cls(
             tiebreak_seed=derive_seed(seed, "check.tiebreak"),
-            latency_jitter_s=rng.random() * max_jitter_s,
+            latency_jitter_s=jitter,
             crashes=tuple(crashes),
             reclaims=tuple(reclaims),
+            spikes=tuple(spikes),
+            partitions=tuple(partitions),
         )
 
     def describe(self) -> str:
@@ -132,6 +194,12 @@ class Perturbation:
             parts.append(f"jitter={self.latency_jitter_s * 1e3:.3f}ms")
         parts += [f"crash(ws{i:02d}@{t:.3f}s)" for t, i in self.crashes]
         parts += [f"reclaim(ws{i:02d}@{t:.3f}s)" for t, i in self.reclaims]
+        parts += [f"spike(x{f:.1f}@{s:.3f}-{e:.3f}s)" for s, e, f in self.spikes]
+        parts += [
+            "partition({}@{:.3f}-{:.3f}s)".format(
+                "|".join(f"ws{i:02d}" for i in island), s, e)
+            for s, e, island in self.partitions
+        ]
         return " ".join(parts) if parts else "identity"
 
 
@@ -235,7 +303,7 @@ def install_network_accounting(network: Network, trace: TraceLog) -> None:
             return
         cids = []
         if payload[0] == P.STEAL_REPLY and payload[1] is not None:
-            cids = [payload[1].cid]
+            cids = [c.cid for c in payload[1]]
         elif payload[0] == P.MIGRATE:
             cids = [c.cid for c in payload[1]] + [c.cid for c in payload[2]]
         if cids:
@@ -298,6 +366,12 @@ def run_checked(
     for _t, idx in pert.reclaims:
         if not 0 <= idx < n_workers:
             raise ReproError(f"reclaim index {idx} out of range for {n_workers} machines")
+    for start, end, island in pert.partitions:
+        if not island or not all(0 <= i < n_workers for i in island):
+            raise ReproError(
+                f"partition island {island} out of range for {n_workers} machines")
+        if len(set(island)) >= n_workers:
+            raise ReproError("partition island must be a proper subset of the cluster")
     if bug is not None and bug not in BUGS:
         raise ReproError(f"unknown bug {bug!r}; known: {sorted(BUGS)}")
 
@@ -310,15 +384,29 @@ def run_checked(
     net_params = dataclasses.replace(
         profile.net, jitter_s=profile.net.jitter_s + pert.latency_jitter_s
     )
-    network, hosts = build_cluster(
-        sim, n_workers, profile, reg, UniformTopology(net_params), trace
-    )
+    topology = UniformTopology(net_params)
+    if pert.spikes or pert.partitions:
+        # Layer the perturbation's network dynamics over the uniform LAN.
+        # Static runs keep the plain topology: the network then skips the
+        # reachability check entirely.
+        topology = DynamicTopology(
+            topology,
+            clock=lambda: sim.now,
+            spikes=tuple(CongestionSpike(s, e, f) for s, e, f in pert.spikes),
+            partitions=tuple(
+                PartitionWindow(s, e, frozenset(f"ws{i:02d}" for i in island))
+                for s, e, island in pert.partitions
+            ),
+        )
+    network, hosts = build_cluster(sim, n_workers, profile, reg, topology, trace)
     install_network_accounting(network, trace)
 
     ch = Clearinghouse(sim, network, hosts[0].name, job.name,
                        ch_config or CHECK_CH, trace)
 
     base_cfg = worker_config or CHECK_WORKER
+    if pert.spikes or pert.partitions:
+        base_cfg = dataclasses.replace(base_cfg, **RESILIENT_TIMEOUTS)
     jitter_rng = reg.stream("start.jitter")
     workers: List[Worker] = []
     for i, ws in enumerate(hosts):
@@ -397,6 +485,14 @@ def _simplifications(pert: Perturbation):
         yield dataclasses.replace(
             pert, reclaims=pert.reclaims[:i] + pert.reclaims[i + 1:]
         )
+    for i in range(len(pert.partitions)):
+        yield dataclasses.replace(
+            pert, partitions=pert.partitions[:i] + pert.partitions[i + 1:]
+        )
+    for i in range(len(pert.spikes)):
+        yield dataclasses.replace(
+            pert, spikes=pert.spikes[:i] + pert.spikes[i + 1:]
+        )
     if pert.latency_jitter_s:
         yield dataclasses.replace(pert, latency_jitter_s=0.0)
     if pert.tiebreak_seed is not None:
@@ -411,8 +507,9 @@ def shrink_perturbation(
 ) -> Tuple[Perturbation, int]:
     """Greedy delta-debugging over a failing perturbation.
 
-    Repeatedly tries to remove one component (a crash, a reclaim, the
-    latency jitter, the tie-break shuffle) and keeps any simplification
+    Repeatedly tries to remove one component (a crash, a reclaim, a
+    partition window, a congestion spike, the latency jitter, the
+    tie-break shuffle) and keeps any simplification
     under which the run still violates an invariant, until no single
     removal preserves the failure or *max_runs* re-executions are spent.
 

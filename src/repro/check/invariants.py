@@ -173,6 +173,10 @@ class _TraceIndex:
         self.grants: List[Tuple[int, float, str, str, ClosureId, int]] = []
         self.successes: List[Tuple[int, float, str, str, ClosureId, int]] = []
         self.redo_pairs: Dict[Tuple[str, str], Set[ClosureId]] = {}
+        #: Identities retired by a migration failover re-key: the old
+        #: cid may still execute once at a stale adopter, or never
+        #: surface again at all — either way its copy carries the work.
+        self.superseded: Set[ClosureId] = set()
         self.migrate_out: List[Tuple[int, float, str, str, List[ClosureId]]] = []
         self.migrated_in: Set[Tuple[str, ClosureId]] = set()
         #: Full exit history per worker: a retired worker may rejoin when
@@ -224,6 +228,17 @@ class _TraceIndex:
                 bucket = self.redo_pairs.setdefault((ev.source, ev.detail["dead"]), set())
                 for orig, _copy in ev.detail.get("pairs", ()):
                     bucket.add(orig)
+            elif kind == "steal.reclaim":
+                # A grant reclaimed for lack of a GRANT_ACK discharges
+                # the victim's redo obligation for those closures exactly
+                # as a death redo would (the thief may die later without
+                # the cids reappearing in a "redo" event).
+                bucket = self.redo_pairs.setdefault((ev.source, ev.detail["thief"]), set())
+                for orig, _copy in ev.detail.get("pairs", ()):
+                    bucket.add(orig)
+            elif kind == "migrate.reoffer":
+                for orig, _copy in ev.detail.get("pairs", ()):
+                    self.superseded.add(orig)
             elif kind == "migrate.out":
                 self.migrate_out.append(
                     (order, ev.time, ev.source, ev.detail["target"],
@@ -270,7 +285,8 @@ def _check_conservation(
                 time=times[1], evidence={"cid": cid, "times": times},
             ))
     for cid, born in idx.created.items():
-        if cid in idx.executed or cid in idx.lost or cid in leftovers:
+        if (cid in idx.executed or cid in idx.lost or cid in leftovers
+                or cid in idx.superseded):
             continue
         out.append(Violation(
             "conservation",

@@ -187,7 +187,12 @@ class Clearinghouse:
             if self._m_heartbeat_gap is not None:
                 self._m_heartbeat_gap.observe(self.sim.now - self.forwarders[name])
             self.forwarders[name] = self.sim.now  # forwarder heartbeat
-        return {"peers": self._sorted_workers(), "done": self.done.is_set}
+        # Deaths piggyback on the (reliable, retried) RPC reply: the
+        # WORKER_DIED broadcast is a lone datagram, and a victim behind a
+        # partition at announcement time would otherwise never learn of
+        # its redo obligation.  Workers process the list idempotently.
+        return {"peers": self._sorted_workers(), "done": self.done.is_set,
+                "dead": sorted(self.dead)}
 
     def _rpc_io_write(self, args: Dict[str, Any], _msg) -> bool:
         """Buffered worker I/O: 'a user need only watch the Clearinghouse
@@ -287,19 +292,25 @@ class Clearinghouse:
         """
         survivors = sorted(self.workers)
         if survivors:
+            # The ping names the appointee: a survivor that is secretly
+            # mid-departure (its unregister still in flight) parks the
+            # assignment and honors it after rejoining, when the
+            # register reply can no longer re-grant the root.
             self.root_owner = survivors[0]
-            self._post(survivors[0], (P.RUN_ROOT,))
+            self._post(survivors[0], (P.RUN_ROOT, survivors[0]))
         else:
             # No registered survivors — but retired machines may still
             # be listening (an idle NOW machine stays available to the
             # job until JOB_DONE).  Clear the owner so the first worker
             # to (re-)register inherits the root, and ping every
-            # reachable ex-member to rejoin; pings to crashed hosts are
-            # dropped at the NIC.  Without this, a schedule where the
-            # root owner fail-stops after every other worker retired
+            # ex-member to rejoin; pings to crashed hosts are dropped at
+            # the NIC, and a "dead" member may in fact be a live retiree
+            # whose silence was a partition-delayed unregister — skipping
+            # it would strand the job.  Without this, a schedule where
+            # the root owner fail-stops after every other worker retired
             # strands the job forever.
             self.root_owner = None
-            for name in sorted(self.ever_registered - self.dead):
+            for name in sorted(self.ever_registered):
                 self._post(name, (P.RUN_ROOT,))
 
     # ------------------------------------------------------------------

@@ -9,7 +9,9 @@ Usage::
     python -m repro.cli ablations [order|victim|initiation|sharing|
                                    retirement|faults|heterogeneity|all]
     python -m repro.cli macro-demo
+    python -m repro.cli latency --jobs 4
     python -m repro.cli check --seeds 100 --app fib --jobs 4
+    python -m repro.cli check --seeds 25 --scenario partition
     python -m repro.cli bench --out BENCH_kernel.json
     python -m repro.cli obs --seed 1 --app fib
     python -m repro.cli timeline --perfetto out.json
@@ -258,6 +260,7 @@ def _cmd_check(args: argparse.Namespace) -> str:
         bug=args.inject_bug,
         jobs=args.jobs,
         progress=progress,
+        scenario=args.scenario,
     )
     elapsed = time.time() - started
     result, stats = outcome.result, outcome.stats
@@ -295,6 +298,7 @@ def _cmd_check(args: argparse.Namespace) -> str:
                     "seeds": len(result.seeds),
                     "failures": len(result.failures),
                     "bug": result.bug,
+                    "scenario": result.scenario,
                 },
             },
         )
@@ -306,6 +310,20 @@ def _cmd_check(args: argparse.Namespace) -> str:
         print(result.summary())
         raise SystemExit(1)
     return result.summary()
+
+
+def _cmd_latency(args: argparse.Namespace) -> str:
+    """Makespan vs steal latency per victim/steal policy, against the
+    Gast et al. analytical bound (see docs/stealing.md)."""
+    from repro.experiments.latency import format_latency, run_latency_sweep
+
+    started = time.time()
+    sweep = run_latency_sweep(seed=args.seed, jobs=args.jobs,
+                              n_workers=args.workers)
+    return format_latency(sweep) + _maybe_manifest(
+        args, "latency", "pfold", {"workers": args.workers, "segments": 2},
+        time.time() - started,
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> str:
@@ -376,6 +394,7 @@ COMMANDS = {
     "macro-demo": _cmd_macro_demo,
     "timeline": _cmd_timeline,
     "harvest": _cmd_harvest,
+    "latency": _cmd_latency,
     "check": _cmd_check,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
@@ -452,6 +471,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="fewer repetitions (smoke-test mode)")
     bench.add_argument("--manifest", default=None, metavar="PATH",
                        help="also write a run-provenance manifest JSON")
+    lat = sub.add_parser(
+        "latency",
+        help="sweep backbone steal latency on a two-segment cluster per "
+             "victim/steal policy and compare against the Gast et al. "
+             "analytical makespan bound",
+    )
+    lat.add_argument("--workers", type=int, default=8,
+                     help="cluster size, split over two segments (default 8)")
+    lat.add_argument("--manifest", default=None, metavar="PATH",
+                     help="also write a run-provenance manifest JSON")
+    add_jobs(lat)
     chk = sub.add_parser(
         "check",
         help="fuzz schedules (tie-breaks, jitter, crashes, reclaims) and "
@@ -463,6 +493,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="application to fuzz (default fib)")
     chk.add_argument("--workers", type=int, default=4,
                      help="cluster size (default 4)")
+    chk.add_argument("--scenario", default="mixed",
+                     choices=["mixed", "partition", "spike", "faults-only"],
+                     help="perturbation scenario class: 'partition' and "
+                          "'spike' force that network dynamic into every "
+                          "seed; 'faults-only' disables both (default "
+                          "mixed: probabilistic)")
     chk.add_argument("--inject-bug", default=None,
                      choices=["skip-redo", "drop-migration", "dup-exec"],
                      help="deliberately break the scheduler to prove the "

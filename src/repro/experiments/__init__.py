@@ -9,6 +9,9 @@ formats it next to the published values:
   time vs participants) and Figure 5 (speedup vs participants).
 * :mod:`repro.experiments.table2` — pfold locality statistics at 4 and
   8 participants.
+* :mod:`repro.experiments.latency` — makespan vs steal latency on a
+  two-segment cluster, per victim/steal policy, against the Gast et
+  al. analytical bound (the future-work direction of Section 5).
 * :mod:`repro.experiments.ablations` — the design-choice studies
   DESIGN.md calls out (LIFO/FIFO orders, victim policy, idle- vs
   sender-initiated vs central queue, space- vs time-sharing, retirement,
@@ -23,6 +26,13 @@ from repro.experiments.figures import (
     format_figure5,
     run_speedup_curve,
 )
+from repro.experiments.latency import (
+    LatencyPoint,
+    LatencySweep,
+    format_latency,
+    gast_bound_s,
+    run_latency_sweep,
+)
 
 __all__ = [
     "run_table1",
@@ -35,4 +45,9 @@ __all__ = [
     "format_figure4",
     "format_figure5",
     "FigurePoint",
+    "run_latency_sweep",
+    "format_latency",
+    "gast_bound_s",
+    "LatencyPoint",
+    "LatencySweep",
 ]

@@ -18,10 +18,24 @@ JOBQ_PORT = 5000
 
 #: ("steal_req", thief_name) — reply goes to the datagram's source addr.
 STEAL_REQ = "steal_req"
-#: ("steal_reply", closure_or_None, victim_name)
+#: ("steal_reply", [closures]_or_None, victim_name, req_id) — a grant
+#: carries one closure under steal-one, up to half the victim's deque
+#: under steal-half; None is a refusal.
 STEAL_REPLY = "steal_reply"
-#: ("arg", continuation, value, sender_name) — a non-local synchronization.
+#: ("grant_ack", thief_name, req_id) — thief acknowledges receipt of a
+#: grant; victims running with ``grant_ack_timeout_s`` reclaim unacked
+#: grants (the closure may have died on a severed or lossy link).
+GRANT_ACK = "grant_ack"
+#: ("arg", continuation, value, sender_name, seq_or_None) — a non-local
+#: synchronization.  ``seq`` is set by senders running with
+#: ``arg_retry_timeout_s``: the worker that terminates the send (fills
+#: the slot or recognises a duplicate) acks it back to ``sender_name``,
+#: and unacked sends are retransmitted — a fill dropped on a severed or
+#: lossy link would otherwise leave its join counter stuck forever.
 ARG = "arg"
+#: ("arg_ack", acker_name, seq) — terminates the retransmission of one
+#: reliable argument send.
+ARG_ACK = "arg_ack"
 #: ("migrate", [closures], [suspended_closures], sender_name) — a dying or
 #: retiring worker evacuating its tasks (also used by the central-queue
 #: and sender-initiated baseline modes to move work).
@@ -52,7 +66,7 @@ def estimate_size(payload: object) -> int:
     if isinstance(payload, tuple) and payload:
         tag = payload[0]
         if tag == STEAL_REPLY and len(payload) > 1 and payload[1] is not None:
-            size += CLOSURE_BYTES
+            size += CLOSURE_BYTES * len(payload[1])
         elif tag == ARG:
             size += VALUE_BYTES
         elif tag == MIGRATE and len(payload) > 2:

@@ -34,6 +34,11 @@ class WorkerStats:
     duplicate_sends: int = 0
     #: Closures re-enqueued because their thief crashed.
     tasks_redone: int = 0
+    #: Subset of tasks_redone regenerated because a steal grant went
+    #: unacknowledged (presumed lost in flight; grant-ack mode only).
+    grants_reclaimed: int = 0
+    #: Steal requests fired proactively (before going idle).
+    proactive_steals_sent: int = 0
     #: Tasks received via migration (reclaim/retirement evacuations).
     tasks_migrated_in: int = 0
     tasks_migrated_out: int = 0

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Set
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.cluster.workstation import Workstation
 from repro.micro import protocol as P
@@ -81,8 +81,32 @@ class WorkerConfig:
     #: LIFO execution with FIFO stealing; others are for ablations.
     exec_order: str = "lifo"
     steal_order: str = "fifo"
-    #: Victim selection: "random" (paper) or "round-robin" (ablation).
+    #: Victim selection: "random" (paper), "round-robin" (ablation), or
+    #: "low-latency" (prefer victims with the lowest observed steal RTT;
+    #: see repro.micro.steal for the full registry).
     victim_policy: str = "random"
+    #: How much work one grant carries: "one" (the paper's protocol) or
+    #: "half" (up to half of the victim's ready list, amortising the
+    #: steal round-trip over high-latency links).
+    steal_amount: str = "one"
+    #: Proactive (early) stealing: after finishing a task, if the ready
+    #: list is at or below this depth, fire a no-wait steal request so
+    #: the reply can arrive while the tail of local work still runs.
+    #: 0 disables (the paper steals only when already idle).
+    proactive_threshold: int = 0
+    #: When set, steal grants must be acknowledged by the thief; a grant
+    #: unacked after this many seconds is presumed lost in flight (lossy
+    #: or partitioned link) and reclaimed as redo copies.  None keeps
+    #: the paper's protocol: only a thief's *death* triggers redo, and a
+    #: grant lost on the wire would hang the job.
+    grant_ack_timeout_s: Optional[float] = None
+    #: When set, non-local argument sends (and the job result, which the
+    #: Clearinghouse confirms via the done broadcast rather than an ack)
+    #: are retransmitted at this period until acknowledged.  None keeps
+    #: the paper's fire-and-forget sends: an argument dropped on a
+    #: severed or lossy link leaves its join counter stuck and hangs the
+    #: job — the first hole the partition fuzz scenario found.
+    arg_retry_timeout_s: Optional[float] = None
     #: Remember completed successor ids to deduplicate crash-redo sends.
     #: Costs memory proportional to task count; enable for fault runs.
     track_completed: bool = False
@@ -171,6 +195,12 @@ class Worker:
         #: unfillable copy at the peer.
         self._fill_hold: Optional[List[tuple]] = None
         self.peers: List[str] = [self.name]
+        #: Every peer name this worker has ever seen registered.  The
+        #: live ``peers`` list shrinks as workers retire, but retired
+        #: machines stay reachable and rejoin when offered work — so
+        #: migration handoffs draw their candidates from this set (minus
+        #: observed deaths), not from the current registration snapshot.
+        self._peers_seen: Set[str] = {self.name}
         self.victim_policy = make_victim_policy(self.config.victim_policy, self.rng)
 
         #: Observability (repro.obs): when a registry is wired in, the
@@ -182,6 +212,8 @@ class Worker:
         self.metrics = metrics
         if metrics is not None:
             self._m_steal_latency = metrics.histogram("micro.steal.latency_s")
+            self._m_steal_latency_policy = metrics.histogram(
+                f"micro.steal.latency_s.{self.config.victim_policy}")
             self._m_fill_latency = metrics.histogram("micro.fill.latency_s")
             self._m_task_grain = metrics.histogram(
                 "micro.task.grain_s", GRAIN_BUCKETS_S)
@@ -192,6 +224,7 @@ class Worker:
             self._m_steals = metrics.counter("micro.steal.success.count")
         else:
             self._m_steal_latency = None
+            self._m_steal_latency_policy = None
             self._m_fill_latency = None
             self._m_task_grain = None
             self._m_deque_depth = None
@@ -216,6 +249,42 @@ class Worker:
         #: Outstanding steal attempts: req_id -> event the run loop awaits.
         self._steal_waiters: Dict[int, Event] = {}
         self._steal_seq = 0
+        #: Grants awaiting the thief's GRANT_ACK, keyed by
+        #: (thief, req_id) -> granted closures (grant-ack mode only).
+        self._pending_grants: Dict[tuple, List[Closure]] = {}
+        #: The one proactive steal allowed in flight: (req_id, victim).
+        self._proactive: Optional[tuple] = None
+        #: Deaths already processed; redo must stay idempotent now that
+        #: death notices arrive both as a broadcast datagram and
+        #: piggybacked on every heartbeat reply.
+        self._seen_deaths: Set[str] = set()
+        #: Reliable argument sends awaiting their ARG_ACK, keyed by seq
+        #: (arg-retry mode only), plus unconfirmed RESULT values.
+        self._pending_args: Dict[int, tuple] = {}
+        self._pending_results: List[Any] = []
+        self._arg_seq = 0
+        self._arg_flusher_on = False
+        #: Handoffs of straggler work currently in flight (late grants
+        #: being re-homed, redo batches seeking an adopter).  The
+        #: departure linger must not tear the worker down while one is
+        #: active: the closures it carries are acked to their victim, so
+        #: nobody else would ever regenerate them.
+        self._handoffs_active = 0
+        #: Acked migration offers this worker has adopted, keyed by
+        #: (sender, offer seq).  A retransmitted MIGRATE (our ack died
+        #: on a severed or congested link) is re-acked without
+        #: re-adopting.  Only offers carrying a seq dedup — push-mode
+        #: migrations are fire-and-forget, never retransmitted, and the
+        #: same closure may legitimately ping-pong between two workers.
+        self._adopted_batches: Set[Tuple[str, int]] = set()
+        self._migrate_seq = 0
+        #: A RUN_ROOT ping arrived while the retirement was still
+        #: unwinding (the unregister RPC can sit in retry past the death
+        #: timeout when a partition spans it), or named us as appointed
+        #: owner.  The ping is fire-and-forget and never re-sent, so it
+        #: is remembered here ("recruit" or "assigned") and answered
+        #: when the departure completes / the rejoin registers.
+        self._recruit_pending: Optional[str] = None
         #: Stop-the-world flag for checkpointing: the run loop idles and
         #: steal requests are refused while set.
         self.paused = False
@@ -307,13 +376,18 @@ class Worker:
         if continuation.target == CLEARINGHOUSE_TARGET:
             if self.ch_host != self.host:
                 self.stats.non_local_synchs += 1
+                if self.config.arg_retry_timeout_s is not None:
+                    # The Clearinghouse never acks results; resend until
+                    # its done broadcast (or heartbeat reply) confirms.
+                    self._pending_results.append(value)
+                    self._ensure_arg_flusher()
             self._post(self.ch_host, self.config.ch_data_port, (P.RESULT, value, self.name))
             return
         if self._fill_local(continuation, value):
             return
         self.stats.non_local_synchs += 1
         dest = self.forward_map.get(continuation.target, continuation.target[0])
-        self._post(dest, self.config.port, (P.ARG, continuation, value, self.name))
+        self._send_arg(dest, continuation, value)
 
     # ------------------------------------------------------------------
     # Local argument delivery
@@ -366,14 +440,22 @@ class Worker:
             return True
         return False
 
-    def _on_remote_arg(self, continuation: Continuation, value: Any, sender: str) -> None:
+    def _on_remote_arg(
+        self,
+        continuation: Continuation,
+        value: Any,
+        sender: str,
+        seq: Optional[int] = None,
+    ) -> None:
         """ARG datagram: fill locally or forward (no synch counted here —
         the synchronization was counted at the sending worker)."""
         if self._fill_local(continuation, value):
+            self._ack_arg(sender, seq)
             return
         dest = self.forward_map.get(continuation.target, continuation.target[0])
         if dest == self.name:
             self.stats.duplicate_sends += 1
+            self._ack_arg(sender, seq)
             return
         if continuation.target in self.forward_map:
             # Retain the relayed fill: if the adoptee crashes before it
@@ -381,7 +463,66 @@ class Worker:
             self._forwarded.setdefault(continuation.target, []).append(
                 (continuation, value)
             )
-        self._post(dest, self.config.port, (P.ARG, continuation, value, sender))
+        # Forward with the sender's seq intact: the *final* recipient
+        # acks the originator directly, so a forwarded hop dropped on a
+        # bad link is retransmitted end to end.
+        self._post(dest, self.config.port, (P.ARG, continuation, value, sender, seq))
+
+    def _ack_arg(self, sender: str, seq: Optional[int]) -> None:
+        """Confirm a reliable argument send back to its originator."""
+        if seq is not None and sender != self.name:
+            self._post(sender, self.config.port, (P.ARG_ACK, self.name, seq))
+
+    def _send_arg(self, dest: str, continuation: Continuation, value: Any) -> None:
+        """Send one of this worker's own argument fills to *dest*,
+        registering it for retransmission when arg-retry mode is on."""
+        seq = None
+        if self.config.arg_retry_timeout_s is not None:
+            self._arg_seq += 1
+            seq = self._arg_seq
+            self._pending_args[seq] = (continuation, value)
+            self._ensure_arg_flusher()
+        self._post(dest, self.config.port, (P.ARG, continuation, value, self.name, seq))
+
+    def _ensure_arg_flusher(self) -> None:
+        if self._arg_flusher_on:
+            return
+        self._arg_flusher_on = True
+        proc = self.sim.process(self._arg_flusher(), name=f"arg-retry@{self.name}")
+        self.workstation.register_process(proc)
+
+    def _arg_flusher(self) -> Generator:
+        """Retransmit unacknowledged argument sends (and unconfirmed
+        results) every ``arg_retry_timeout_s``.
+
+        Retransmits are idempotent at the receiver: a duplicate fill is
+        rejected slot-wise (``join.dup``), exactly like crash-redo
+        duplicates.  Sends addressed to a worker known to be dead are
+        dropped — crash redo regenerates that subtree, so the value
+        would fill a closure that no longer exists.
+        """
+        cfg = self.config
+        try:
+            while (self._pending_args or self._pending_results) and not self.done:
+                yield self.sim.timeout(cfg.arg_retry_timeout_s)
+                if self.done or self.workstation.crashed:
+                    break
+                for seq, (cont, value) in sorted(self._pending_args.items()):
+                    dest = self.forward_map.get(cont.target, cont.target[0])
+                    if dest in self._seen_deaths:
+                        del self._pending_args[seq]
+                        continue
+                    if self.trace is not None:
+                        self.trace.emit(self.sim.now, "arg.retry", self.name,
+                                        cid=cont.target, slot=cont.slot, seq=seq)
+                    self._post(dest, cfg.port, (P.ARG, cont, value, self.name, seq))
+                for value in self._pending_results:
+                    self._post(self.ch_host, cfg.ch_data_port,
+                               (P.RESULT, value, self.name))
+        except Interrupt:
+            pass
+        finally:
+            self._arg_flusher_on = False
 
     # ------------------------------------------------------------------
     # The run loop
@@ -401,7 +542,7 @@ class Worker:
                 self._on_job_done(reply.get("result"))
                 self._finish("done")
                 return
-            self.peers = list(reply["peers"])
+            self._set_peers(reply["peers"])
             if reply["run_root"]:
                 self._enqueue_root()
             if self.trace is not None:
@@ -432,6 +573,11 @@ class Worker:
                     yield from self._execute(closure)
                     if cfg.mode == "push":
                         self._maybe_push()
+                    elif (cfg.proactive_threshold > 0
+                          and cfg.mode == "steal"
+                          and not self.done
+                          and len(self.deque) <= cfg.proactive_threshold):
+                        self._proactive_steal()
                     continue
                 if self.done:
                     break
@@ -498,7 +644,7 @@ class Worker:
                     if not isinstance(payload, tuple) or not payload:
                         continue
                     if payload[0] == P.STEAL_REPLY and payload[1] is not None:
-                        lost.append(payload[1].cid)
+                        lost += [c.cid for c in payload[1]]
                     elif payload[0] == P.MIGRATE:
                         lost += [c.cid for c in payload[1]]
                         lost += [c.cid for c in payload[2]]
@@ -522,18 +668,34 @@ class Worker:
         root = Closure(self.new_cid(), self.job.root.name, args, depth=0)
         self.enqueue_ready(root)
 
-    def _on_run_root(self) -> None:
+    def _on_run_root(self, assigned: Optional[str] = None) -> None:
         """The Clearinghouse lost the root owner and picked (or is
-        recruiting) this machine to restart the root task."""
+        recruiting) this machine to restart the root task.
+
+        ``assigned`` names the worker the Clearinghouse appointed as the
+        new owner (the survivor path); ``None`` is an open recruitment
+        ping where the first re-registrant inherits the root.
+        """
         if self.done or self.workstation.crashed:
             return
         if self.departed:
-            # Recruitment ping to an ex-member.  Only an idle retired
-            # machine may answer (a reclaimed one belongs to its owner
-            # again); it rejoins and re-registers, and the Clearinghouse
-            # grants run_root to the first registrant after clearing
-            # the owner.
-            self._maybe_rejoin_idle()
+            # Ping to an ex-member.  Only an idle retired machine may
+            # answer (a reclaimed one belongs to its owner again); it
+            # rejoins and re-registers, and for an open recruitment the
+            # Clearinghouse grants run_root to the first registrant
+            # after clearing the owner.
+            forced = "assigned" if assigned == self.name else "recruit"
+            if self._maybe_rejoin_idle():
+                if forced == "assigned":
+                    # We are the appointed owner: the register reply
+                    # will not re-grant the root (root_owner still
+                    # names us), so _run_rejoined must force it.
+                    self._recruit_pending = forced
+            elif self.retired:
+                # Mid-departure: the run loop is still unwinding (its
+                # unregister RPC may be stuck in retry behind a
+                # partition).  Park the ping; _depart answers it.
+                self._recruit_pending = forced
             return
         self._enqueue_root()
 
@@ -602,7 +764,45 @@ class Worker:
         if waiter in settled and settled[waiter]:
             return True  # the net loop already enqueued the task
         self.stats.failed_steal_attempts += 1
+        if waiter not in settled:
+            # No reply at all inside the budget: teach the policy, so a
+            # latency-aware thief de-prioritizes unresponsive victims
+            # (stragglers, partitioned or congested links).
+            self.victim_policy.observe_timeout(victim, cfg.steal_timeout_s)
         return False
+
+    def _proactive_steal(self) -> None:
+        """Fire-and-forget steal request before going idle.
+
+        Early stealing hides the steal round-trip behind the tail of
+        local work: the reply is adopted by the net loop whenever it
+        arrives (the no-waiter path of :meth:`_on_steal_reply`).  At
+        most one proactive request is in flight at a time.
+        """
+        cfg = self.config
+        if self._proactive is not None:
+            req, victim = self._proactive
+            sent_at = self._steal_sent.get(req)
+            if sent_at is not None and self.sim.now - sent_at < cfg.steal_timeout_s:
+                return  # one in flight is enough
+            # The outstanding one went unanswered past the budget.
+            self._steal_sent.pop(req, None)
+            self._proactive = None
+            self.victim_policy.observe_timeout(victim, cfg.steal_timeout_s)
+        victims = sorted(p for p in self.peers if p != self.name)
+        if not victims:
+            return
+        victim = self.victim_policy.choose(victims)
+        self.stats.steal_requests_sent += 1
+        self.stats.proactive_steals_sent += 1
+        self._steal_seq += 1
+        req_id = self._steal_seq
+        self._proactive = (req_id, victim)
+        self._steal_sent[req_id] = self.sim.now
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "steal.request", self.name,
+                            victim=victim, req=req_id, proactive=True)
+        self._post(victim, cfg.port, (P.STEAL_REQ, self.name, req_id))
 
     # ------------------------------------------------------------------
     # The net loop (victim side + control messages)
@@ -620,10 +820,16 @@ class Worker:
                     yield from self._serve_steal(msg, payload[1], payload[2])
                 elif tag == P.STEAL_REPLY:
                     yield from self._on_steal_reply(payload[1], payload[2], payload[3])
+                elif tag == P.GRANT_ACK:
+                    self._pending_grants.pop((payload[1], payload[2]), None)
                 elif tag == P.ARG:
-                    self._on_remote_arg(payload[1], payload[2], payload[3])
+                    self._on_remote_arg(payload[1], payload[2], payload[3],
+                                        payload[4] if len(payload) > 4 else None)
+                elif tag == P.ARG_ACK:
+                    self._pending_args.pop(payload[2], None)
                 elif tag == P.MIGRATE:
-                    self._on_migrate(msg, payload[1], payload[2], payload[3])
+                    self._on_migrate(msg, payload[1], payload[2], payload[3],
+                                     payload[4] if len(payload) > 4 else None)
                 elif tag == P.JOB_DONE:
                     self._on_job_done(payload[1])
                     if self.departed:
@@ -633,7 +839,7 @@ class Worker:
                 elif tag == P.WORKER_DIED:
                     self._on_worker_died(payload[1])
                 elif tag == P.RUN_ROOT:
-                    self._on_run_root()
+                    self._on_run_root(payload[1] if len(payload) > 1 else None)
                 elif tag == P.LOAD:
                     self.peer_loads[payload[1]] = payload[2]
                 elif tag == P.PAUSE:
@@ -660,79 +866,170 @@ class Worker:
 
     def _serve_steal(self, msg, thief: str, req_id: int) -> Generator:
         self.stats.steal_requests_received += 1
-        closure = None
+        batch: Optional[List[Closure]] = None
         if not self.departed and not self.done and not self.paused:
-            closure = self.deque.pop_steal()
-        if closure is not None:
-            self.stats.tasks_stolen_from += 1
+            # Steal-one hands over a single tail closure; steal-half up
+            # to half the ready list (amortising one round-trip over
+            # several tasks on high-latency links).
+            take = (max(1, len(self.deque) // 2)
+                    if self.config.steal_amount == "half" else 1)
+            for _ in range(take):
+                closure = self.deque.pop_steal()
+                if closure is None:
+                    break
+                if batch is None:
+                    batch = []
+                batch.append(closure)
+        if batch is not None:
+            self.stats.tasks_stolen_from += len(batch)
             # Redundant state for crash redo: remember what went where.
-            self.outstanding.setdefault(thief, {})[closure.cid] = closure
+            mine = self.outstanding.setdefault(thief, {})
+            for closure in batch:
+                mine[closure.cid] = closure
+                if self.trace is not None:
+                    self.trace.emit(self.sim.now, "steal.grant", self.name,
+                                    thief=thief, cid=closure.cid, req=req_id)
             self._note_in_use()
             if self._m_deque_series is not None:
                 self._sample_deque()
-            if self.trace is not None:
-                self.trace.emit(self.sim.now, "steal.grant", self.name,
-                                thief=thief, cid=closure.cid, req=req_id)
+            if self.config.grant_ack_timeout_s is not None:
+                # The grant may die on a lossy or partitioned link; arm
+                # the reclaim timer (disarmed by the thief's GRANT_ACK).
+                self._pending_grants[(thief, req_id)] = list(batch)
+                proc = self.sim.process(
+                    self._grant_reclaim_timer(thief, req_id),
+                    name=f"grant-ack@{self.name}",
+                )
+                self.workstation.register_process(proc)
         host, port = msg.reply_addr()
-        reply = (P.STEAL_REPLY, closure, self.name, req_id)
+        reply = (P.STEAL_REPLY, batch, self.name, req_id)
         yield self.socket.sendto(reply, host, port, size_bytes=P.estimate_size(reply))
 
-    def _on_steal_reply(self, closure: Optional[Closure], victim: str, req_id: int) -> Generator:
+    def _grant_reclaim_timer(self, thief: str, req_id: int) -> Generator:
+        try:
+            yield self.sim.timeout(self.config.grant_ack_timeout_s)
+        except Interrupt:
+            return
+        batch = self._pending_grants.pop((thief, req_id), None)
+        if batch:
+            self._reclaim_grant(thief, req_id, batch)
+
+    def _reclaim_grant(self, thief: str, req_id: int, batch: List[Closure]) -> None:
+        """No GRANT_ACK in time: presume the grant died in flight and
+        regenerate the closures, exactly like a crash redo.
+
+        If the grant (or only its ack) actually survived, the thief runs
+        the originals and the copies' duplicate sends are rejected
+        slot-wise at the receivers — the same safety argument as redo
+        after a falsely-suspected death.
+        """
+        if self.done or self.workstation.crashed:
+            return
+        mine = self.outstanding.get(thief)
+        originals: List[Closure] = []
+        if mine:
+            for closure in batch:
+                if mine.pop(closure.cid, None) is not None:
+                    originals.append(closure)
+            if not mine:
+                self.outstanding.pop(thief, None)
+        if not originals:
+            return  # already redone (the thief was declared dead first)
+        copies = [c.redo_copy(self.new_cid()) for c in originals]
+        self.stats.tasks_redone += len(copies)
+        self.stats.grants_reclaimed += len(copies)
+        if self._m_redo is not None:
+            self._m_redo.inc(len(copies))
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "steal.reclaim", self.name, thief=thief,
+                req=req_id,
+                pairs=[(o.cid, c.cid) for o, c in zip(originals, copies)],
+            )
+        if self.departed and not self._maybe_rejoin_idle():
+            proc = self.sim.process(
+                self._redo_handoff(copies, []),
+                name=f"reclaim-handoff@{self.name}",
+            )
+            self.workstation.register_process(proc)
+        else:
+            for copy in copies:
+                self.enqueue_ready(copy)
+
+    def _on_steal_reply(self, batch: Optional[List[Closure]], victim: str, req_id: int) -> Generator:
         """A steal reply (possibly late) arrived at the main socket."""
         waiter = self._steal_waiters.pop(req_id, None)
-        if closure is not None:
-            # Request→grant latency of a successful steal (the quantity
-            # the latency-aware work-stealing analyses argue drives
-            # makespan).  Late grants adopted after the thief stopped
-            # waiting have no recorded send time and are skipped.
-            sent_at = self._steal_sent.get(req_id)
-            if sent_at is not None:
-                latency = self.sim.now - sent_at
+        if self._proactive is not None and self._proactive[0] == req_id:
+            self._proactive = None
+        # Request→grant latency (the quantity the latency-aware
+        # work-stealing analyses argue drives makespan).  Late grants
+        # adopted after the thief stopped waiting have no recorded send
+        # time and are skipped.  Refusals still carry RTT information,
+        # so the victim policy learns from every reply.
+        sent_at = self._steal_sent.pop(req_id, None)
+        if sent_at is not None:
+            latency = self.sim.now - sent_at
+            self.victim_policy.observe(victim, latency)
+            if batch is not None:
                 self.stats.steal_latency_sum_s += latency
                 self.stats.steal_latency_count += 1
                 if self._m_steal_latency is not None:
                     self._m_steal_latency.observe(latency)
-        if closure is not None:
+                if self._m_steal_latency_policy is not None:
+                    self._m_steal_latency_policy.observe(latency)
+        if batch is not None:
+            if self.config.grant_ack_timeout_s is not None:
+                # Receipt ack: disarms the victim's reclaim timer.  Sent
+                # in every branch — the grant physically arrived; what
+                # this worker then does with it is traced separately.
+                self._post(victim, self.config.port,
+                           (P.GRANT_ACK, self.name, req_id))
             if self.done:
                 # Job over; the victim's redundant copy is harmless, but
                 # the checker must know the grant terminated here.
                 if self.trace is not None:
-                    self.trace.emit(self.sim.now, "closure.drop", self.name,
-                                    cid=closure.cid, reason="thief-done")
+                    for closure in batch:
+                        self.trace.emit(self.sim.now, "closure.drop",
+                                        self.name, cid=closure.cid,
+                                        reason="thief-done")
             elif self.departed:
                 if self._maybe_rejoin_idle():
                     # Retired for lack of work — and work just arrived.
-                    self.stats.tasks_stolen += 1
-                    if self._m_steals is not None:
-                        self._m_steals.inc()
-                    self.enqueue_ready(closure, local=True)
-                    if self.trace is not None:
-                        self.trace.emit(self.sim.now, "steal.success",
-                                        self.name, victim=victim,
-                                        cid=closure.cid, req=req_id)
+                    self._adopt_stolen(batch, victim, req_id)
                 else:
                     # Evacuated: pass the late grant to a peer.
-                    target = yield from self._migrate_with_ack([closure], [])
+                    handoff = list(batch)  # may be re-keyed on failover
+                    self._handoffs_active += 1
+                    try:
+                        target = yield from self._migrate_with_ack(handoff, [])
+                    finally:
+                        self._handoffs_active -= 1
                     if target is None and self.trace is not None:
-                        # Nobody took it: the closure is gone (the victim
-                        # still believes we have it and will not redo it
-                        # unless we crash) — surface the loss to the
-                        # checker.
-                        self.trace.emit(self.sim.now, "closure.drop",
-                                        self.name, cid=closure.cid,
-                                        reason="no-peer")
+                        # Nobody took it: the closures are gone (the
+                        # victim still believes we have them and will not
+                        # redo them unless we crash) — surface the loss
+                        # to the checker.
+                        for closure in handoff:
+                            self.trace.emit(self.sim.now, "closure.drop",
+                                            self.name, cid=closure.cid,
+                                            reason="no-peer")
             else:
-                self.stats.tasks_stolen += 1
-                if self._m_steals is not None:
-                    self._m_steals.inc()
-                self.enqueue_ready(closure, local=True)
-                if self.trace is not None:
-                    self.trace.emit(self.sim.now, "steal.success", self.name,
-                                    victim=victim, cid=closure.cid, req=req_id)
+                self._adopt_stolen(batch, victim, req_id)
         if waiter is not None and not waiter.triggered:
-            waiter.succeed(closure is not None)
+            waiter.succeed(batch is not None)
 
-    def _on_migrate(self, msg, ready: List[Closure], suspended: List[Closure], sender: str) -> None:
+    def _adopt_stolen(self, batch: List[Closure], victim: str, req_id: int) -> None:
+        self.stats.tasks_stolen += len(batch)
+        if self._m_steals is not None:
+            self._m_steals.inc(len(batch))
+        for closure in batch:
+            self.enqueue_ready(closure, local=True)
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "steal.success", self.name,
+                                victim=victim, cid=closure.cid, req=req_id)
+
+    def _on_migrate(self, msg, ready: List[Closure], suspended: List[Closure],
+                    sender: str, offer: Optional[int] = None) -> None:
         if self.done or self.workstation.crashed:
             return
         if self.departed:
@@ -750,12 +1047,30 @@ class Worker:
             # the remaining closures would strand the job: the migration
             # redo that regenerates them would find no adopter.
             self._rejoin()
+        host, port = msg.reply_addr()
+        if offer is not None:
+            # Acked-offer path only: push-mode migrations never carry an
+            # offer seq — they are fire-and-forget, never retransmitted,
+            # and the same closure may legitimately ping-pong between
+            # two workers, which a cid-based dedup would swallow.
+            key = (sender, offer)
+            if key in self._adopted_batches:
+                # Retransmitted offer: the sender never saw our ack
+                # (lost on a severed or congested link).  Re-ack without
+                # re-adopting — double-enqueueing the same closure
+                # objects would execute them twice.
+                self._post(host, port, (P.MIGRATE_ACK, self.name))
+                if self.trace is not None:
+                    self.trace.emit(self.sim.now, "migrate.dup", self.name,
+                                    sender=sender,
+                                    n=len(ready) + len(suspended))
+                return
+            self._adopted_batches.add(key)
         for closure in suspended:
             self.suspended[closure.cid] = closure
         self.deque.extend_tail(ready)
         self.stats.tasks_migrated_in += len(ready) + len(suspended)
         self._note_in_use()
-        host, port = msg.reply_addr()
         self._post(host, port, (P.MIGRATE_ACK, self.name))
         if self.trace is not None:
             self.trace.emit(self.sim.now, "migrate.in", self.name,
@@ -769,11 +1084,26 @@ class Worker:
             self.stats.end_time = self.sim.now
 
     def _on_peer_update(self, names: List[str]) -> None:
+        self._set_peers(names)
+
+    def _set_peers(self, names: List[str]) -> None:
         self.peers = list(names)
+        self._peers_seen.update(names)
 
     def _on_worker_died(self, dead: str) -> None:
         """Crash redo: re-enqueue copies of everything *dead* stole from
-        us, and re-home everything we migrated to it at departure."""
+        us, and re-home everything we migrated to it at departure.
+
+        Idempotent: the notice arrives both as the Clearinghouse's
+        broadcast datagram (which a partition can drop) and piggybacked
+        on every heartbeat reply (reliable RPC)."""
+        if dead in self._seen_deaths:
+            return
+        self._seen_deaths.add(dead)
+        # Grants to the dead thief pending an ack are covered by the
+        # death redo below; disarm their reclaim bookkeeping.
+        for key in [k for k in self._pending_grants if k[0] == dead]:
+            del self._pending_grants[key]
         stolen = self.outstanding.pop(dead, None)
         if stolen:
             originals = list(stolen.values())
@@ -879,10 +1209,13 @@ class Worker:
         before the crash is rejected slot-wise as a duplicate, while one
         dropped in flight at the crash would otherwise be lost forever.
         """
+        self._handoffs_active += 1
         try:
             target = yield from self._migrate_with_ack(ready, suspended)
         except Interrupt:
             target = None
+        finally:
+            self._handoffs_active -= 1
         if target is None:
             if self.trace is not None:
                 cids = [c.cid for c in ready] + [c.cid for c in suspended]
@@ -893,8 +1226,7 @@ class Worker:
             self.forward_map[closure.cid] = target
         for closure in suspended:
             for continuation, value in self._forwarded.get(closure.cid, ()):
-                self._post(target, self.config.port,
-                           (P.ARG, continuation, value, self.name))
+                self._send_arg(target, continuation, value)
 
     # ------------------------------------------------------------------
     # Rejoin after retirement
@@ -938,8 +1270,14 @@ class Worker:
                 self._on_job_done(reply.get("result"))
                 self._finish("done")
                 return
-            self.peers = list(reply["peers"])
-            if reply["run_root"]:
+            self._set_peers(reply["peers"])
+            forced = self._recruit_pending == "assigned"
+            self._recruit_pending = None
+            if reply["run_root"] or forced:
+                # ``forced``: the Clearinghouse appointed us owner while
+                # we were mid-departure; the register reply cannot
+                # re-grant the root (root_owner still names us), so the
+                # parked ping is honored here.
                 self._enqueue_root()
             departed = yield from self._main_loop()
             if not departed:
@@ -1003,7 +1341,14 @@ class Worker:
                 yield self.sim.timeout(self.config.update_interval_s)
                 if self.done:
                     return
-                if self.departed and not self._forwarding:
+                if (self.departed and not self._forwarding
+                        and self.exit_reason is not None):
+                    # Departure protocol complete (unregister landed or
+                    # fail-stop).  Until then keep heartbeating: the
+                    # unregister RPC can sit in retransmission behind a
+                    # partition for longer than the death timeout, and a
+                    # partition must delay heartbeats, not forge false
+                    # deaths.
                     return
                 try:
                     reply = yield from rpc_call(
@@ -1013,7 +1358,15 @@ class Worker:
                 except Exception:
                     continue  # Clearinghouse unreachable; try next period
                 if not self.done and not self.departed:
-                    self.peers = list(reply["peers"])
+                    self._set_peers(reply["peers"])
+                # Deaths piggybacked on the (reliable) heartbeat reply:
+                # the WORKER_DIED broadcast is a plain datagram, so a
+                # victim partitioned at announcement time would otherwise
+                # never learn of its redo obligation — forwarders
+                # included, which is why this runs even when departed.
+                for dead in reply.get("dead", ()):
+                    if dead != self.name:
+                        self._on_worker_died(dead)
         except Interrupt:
             return
 
@@ -1064,6 +1417,13 @@ class Worker:
                 self.retired = False
                 for continuation, value in held:
                     self._fill_local(continuation, value)
+                if self._recruit_pending:
+                    # A root-recruitment ping landed during the aborted
+                    # departure; we are alive and registered, so answer
+                    # it directly (a duplicate root is sound — its sends
+                    # are dropped at the receivers).
+                    self._recruit_pending = None
+                    self._enqueue_root()
                 return
             for closure in suspended:
                 self.forward_map[closure.cid] = target
@@ -1076,8 +1436,7 @@ class Worker:
             # Sends that arrived mid-handoff chase the closures to their
             # new home (the forward_map now routes any later ones).
             for continuation, value in held:
-                self._post(target, self.config.port,
-                           (P.ARG, continuation, value, self.name))
+                self._send_arg(target, continuation, value)
         # Relay/redo duties outlive the departure: the Clearinghouse must
         # keep watching our heartbeat, because fills routed through a
         # silently-crashed forwarder are dropped forever (no victim would
@@ -1108,6 +1467,12 @@ class Worker:
             # machine via _rejoin; without this, a schedule where every
             # live worker retires while an undetected-dead peer holds the
             # remaining work strands the job forever.
+            if self._recruit_pending and not self.done \
+                    and not self.workstation.crashed:
+                # The Clearinghouse pinged us with RUN_ROOT while the
+                # unregister was still in flight; answer it now that the
+                # departure has completed.
+                self._rejoin()
             return
         if not self.forward_map and not self.outstanding and not self.migrated:
             # Nothing to forward and no redo obligations — but a steal
@@ -1122,9 +1487,13 @@ class Worker:
                 yield self.sim.timeout(self.config.steal_timeout_s)
             except Interrupt:
                 return  # crashed/stopped while lingering
-            if self.forward_map or self.outstanding or self.migrated:
+            if (self.forward_map or self.outstanding or self.migrated
+                    or self._handoffs_active):
                 # A straggler adopted during the linger left us with
-                # relay duties after all: stay up as a forwarder, and
+                # relay duties after all (or a late grant's handoff is
+                # still seeking an adopter — its closures are acked to
+                # the victim, so tearing down now would lose them):
+                # stay up as a forwarder, and
                 # amend the unregister so the Clearinghouse watches our
                 # heartbeat (the first one said forwarding=False).
                 self._forwarding = True
@@ -1157,35 +1526,81 @@ class Worker:
         itself be departing or already done, in which case it stays
         silent and we try the next).  Returns the accepting peer's name,
         or None if nobody took the work.
+
+        Under ``arg_retry_timeout_s`` (schedules whose links sever or
+        congest) the offer is retransmitted to the *same* target before
+        failing over — enough attempts to span any partition window —
+        because an adopted-but-unacked batch at a live peer is a double
+        home for the same closure identities.  The adopter re-acks
+        duplicates without re-adopting.  If every retry still goes
+        unanswered, the target may yet hold the batch, so the ready
+        closures are re-keyed as redo copies before the next offer: a
+        stale adopter running the originals then just produces duplicate
+        sends, absorbed slot-wise like any crash-redo duplicate.
+        (Suspended closures must keep their identities — continuations
+        elsewhere name them — which is why failover past a live adopted
+        target must be prevented rather than absorbed.)
         """
-        candidates = sorted(p for p in self.peers if p != self.name)
+        resilient = self.config.arg_retry_timeout_s is not None
+        attempts = 4 if resilient else 1
+        # Candidates: everyone ever registered, minus observed deaths —
+        # NOT the current peer list.  Retirements shrink ``peers``, but a
+        # retired machine is still listening and rejoins when offered
+        # work; a handoff that only consults the live snapshot can find
+        # nothing but an undetected-dead peer and drop the closures
+        # (fuzz: shrink seed 42, reclaim + crash + every thief retired).
+        candidates = sorted(
+            (self._peers_seen | set(self.peers)) - self._seen_deaths - {self.name}
+        )
         self.rng.shuffle(candidates)
-        for target in candidates:
+        for i, target in enumerate(candidates):
+            if resilient and i > 0 and ready:
+                copies = [c.redo_copy(self.new_cid()) for c in ready]
+                self.stats.tasks_redone += len(copies)
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now, "migrate.reoffer", self.name,
+                        pairs=[(o.cid, c.cid) for o, c in zip(ready, copies)],
+                    )
+                # In place: the caller's view (undo-retirement requeue,
+                # loss accounting) must track the live identities.
+                ready[:] = copies
             sock = Socket(self.network, self.host)  # ephemeral ack port
             try:
                 ack_ev = sock.recv()
-                batch = (P.MIGRATE, ready, suspended, self.name)
-                yield sock.sendto(
-                    batch, target, self.config.port,
-                    size_bytes=P.estimate_size(batch),
-                )
-                deadline = self.sim.timeout(self.config.steal_timeout_s)
-                try:
+                # One offer seq per target: retransmissions share it (so
+                # the adopter can dedup them), a failover is a new offer.
+                self._migrate_seq += 1
+                batch = (P.MIGRATE, ready, suspended, self.name,
+                         self._migrate_seq)
+                acked = received = False
+                for _ in range(attempts):
+                    yield sock.sendto(
+                        batch, target, self.config.port,
+                        size_bytes=P.estimate_size(batch),
+                    )
+                    deadline = self.sim.timeout(self.config.steal_timeout_s)
+                    # An Interrupt here (crash, reclaim fail-stop) must
+                    # propagate: the callers all handle it, and eating it
+                    # would keep this loop offering work from a worker
+                    # whose socket is being torn down.
                     settled = yield AnyOf(self.sim, [ack_ev, deadline])
-                except Interrupt:
-                    settled = {}
-                if ack_ev in settled:
-                    payload = settled[ack_ev].payload
-                    if isinstance(payload, tuple) and payload[0] == P.MIGRATE_ACK:
-                        if self.departed and (ready or suspended):
-                            # Redundant state for migration redo: keep
-                            # the batch until JOB_DONE so the adopter's
-                            # crash does not orphan it.
-                            self.migrated.setdefault(target, []).extend(
-                                ready + suspended
-                            )
-                        return target
-                else:
+                    if ack_ev in settled:
+                        received = True
+                        payload = settled[ack_ev].payload
+                        acked = (isinstance(payload, tuple)
+                                 and payload[0] == P.MIGRATE_ACK)
+                        break
+                if acked:
+                    if self.departed and (ready or suspended):
+                        # Redundant state for migration redo: keep
+                        # the batch until JOB_DONE so the adopter's
+                        # crash does not orphan it.
+                        self.migrated.setdefault(target, []).extend(
+                            ready + suspended
+                        )
+                    return target
+                if not received:
                     sock.cancel_recv(ack_ev)
             finally:
                 sock.close()

@@ -76,6 +76,9 @@ class NetCounters:
     delivered: int = 0
     dropped_loss: int = 0
     dropped_unroutable: int = 0
+    #: Datagrams discarded because a partition window severed the link
+    #: (see :class:`repro.net.topology.PartitionWindow`).
+    dropped_partition: int = 0
     bytes_sent: int = 0
     #: Same-host datagrams (loopback): delivered but not "sent on the wire",
     #: so they do not count toward the paper's "Messages sent" statistic.
@@ -134,10 +137,15 @@ class Network:
         #: Hosts currently crashed (their sockets drop all traffic).
         self._down: set[str] = set()
         #: Optional hook ``on_drop(message, reason)`` called whenever a
-        #: datagram is discarded (reason: "loss", "down", "unbound").
-        #: The invariant checker installs this to account for closures
-        #: lost in flight; None in normal runs.
+        #: datagram is discarded (reason: "loss", "down", "unbound",
+        #: "partition").  The invariant checker installs this to account
+        #: for closures lost in flight; None in normal runs.
         self.on_drop: Optional[Callable[[Message, str], None]] = None
+        #: True only when the topology overrides is_reachable (dynamic
+        #: partitions); static topologies skip the reachability call on
+        #: every send.
+        self._check_reachability = (
+            type(topology).is_reachable is not Topology.is_reachable)
         #: Shared callback tuples for delivery events (see _DeliveryEvent).
         self._deliver_cbs = (self._on_delivery,)
         self._deliver_local_cbs = (self._on_delivery_local,)
@@ -266,6 +274,17 @@ class Network:
         charge = self._cpu_charge.get(src)
         if charge:
             charge(params.send_overhead_s)
+
+        if self._check_reachability and not self.topology.is_reachable(src, dst):
+            # The sender paid its overhead; the datagram dies on the
+            # severed link.  UDP semantics: nobody is told.
+            counters.dropped_partition += 1
+            if self.trace is not None:
+                self.trace.emit(sim.now, "net.partition", src, dst=dst,
+                                id=msg.msg_id)
+            if self.on_drop is not None:
+                self.on_drop(msg, "partition")
+            return params
 
         if params.loss_prob > 0.0 and self.rng.random() < params.loss_prob:
             self.counters.dropped_loss += 1

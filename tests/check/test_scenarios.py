@@ -1,0 +1,202 @@
+"""Network-scenario schedules under the invariant checker.
+
+The latency-aware stealing work added time-varying network dynamics
+(congestion spikes, partition-heal windows, stragglers) to the fuzzer's
+schedule space.  This suite locks in three things:
+
+* scenario *generation* — "partition"/"spike" force their window into
+  every seed, "faults-only" excludes both, and the crash/reclaim/jitter
+  components never move across scenarios (draw-order stability, which
+  is what keeps old pinned seeds byte-exact);
+* protocol *resilience* — steals racing partitions, grants delayed by
+  congestion, and argument fills dropped on severed links all finish
+  clean under the checker (grant reclaim + ARG retransmission);
+* the new stealing *mechanisms* — steal-half batches, proactive
+  steals, and straggler topologies — each produce clean checked runs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.fib import fib_job, fib_serial
+from repro.check import CHECK_WORKER, Perturbation, run_checked
+from repro.check.invariants import check_invariants
+from repro.errors import ReproError
+from repro.net.network import NetworkParams
+from repro.net.topology import DynamicTopology, UniformTopology
+from repro.phish import run_job
+
+SCENARIOS = Perturbation.SCENARIOS
+
+
+def test_scenario_names_and_rejection():
+    assert set(SCENARIOS) == {"mixed", "partition", "spike", "faults-only"}
+    with pytest.raises(ReproError, match="unknown scenario"):
+        Perturbation.generate(0, 4, scenario="hurricane")
+
+
+def test_partition_scenario_forces_a_partition_window():
+    for seed in range(30):
+        pert = Perturbation.generate(seed, 4, scenario="partition")
+        assert pert.partitions, f"seed {seed} produced no partition"
+        for start, end, island in pert.partitions:
+            assert 0 < start < end
+            assert 0 < len(island) < 4  # never the whole cluster
+
+
+def test_spike_scenario_forces_a_congestion_spike():
+    for seed in range(30):
+        pert = Perturbation.generate(seed, 4, scenario="spike")
+        assert pert.spikes, f"seed {seed} produced no spike"
+        for start, end, factor in pert.spikes:
+            assert 0 < start < end
+            assert factor > 1.0  # a spike slows links down
+
+
+def test_faults_only_scenario_has_no_network_dynamics():
+    for seed in range(30):
+        pert = Perturbation.generate(seed, 4, scenario="faults-only")
+        assert pert.spikes == ()
+        assert pert.partitions == ()
+
+
+def test_scenarios_share_fault_components_per_seed():
+    """Draw-order stability: for one seed, every scenario produces the
+    exact same crashes, reclaims, jitter and tie-break — only the
+    inclusion of spike/partition windows differs.  Old pinned seeds
+    stay byte-exact because of this."""
+    for seed in range(30):
+        perts = {s: Perturbation.generate(seed, 4, scenario=s)
+                 for s in SCENARIOS}
+        ref = perts["mixed"]
+        for pert in perts.values():
+            assert pert.crashes == ref.crashes
+            assert pert.reclaims == ref.reclaims
+            assert pert.latency_jitter_s == ref.latency_jitter_s
+            assert pert.tiebreak_seed == ref.tiebreak_seed
+        # The forced windows are the same windows mixed would include.
+        if ref.spikes:
+            assert perts["spike"].spikes == ref.spikes
+        if ref.partitions:
+            assert perts["partition"].partitions == ref.partitions
+
+
+def _checked(seed, scenario, **cfg):
+    wc = dataclasses.replace(CHECK_WORKER, **cfg) if cfg else None
+    return run_checked(fib_job(14), n_workers=4, seed=seed,
+                       perturbation=Perturbation.generate(seed, 4,
+                                                          scenario=scenario),
+                       expected=fib_serial(14), worker_config=wc)
+
+
+@pytest.mark.parametrize("scenario", ["partition", "spike"])
+def test_scenario_schedules_run_clean(scenario):
+    """Every seed in this window completes with the right answer and a
+    clean invariant report — steals race the windows, heartbeats are
+    delayed, argument fills get dropped and retransmitted."""
+    for seed in range(10):
+        run = _checked(seed, scenario)
+        assert run.completed, f"{scenario} seed {seed} did not complete"
+        assert run.result == fib_serial(14)
+        run.require_ok()
+
+
+def test_partition_drops_argument_fills_and_retry_recovers_seed8():
+    """Seed 8's partition severs links mid-join: without ARG
+    retransmission the fill is lost and the join counter hangs forever
+    (the hole the partition fuzz scenario originally surfaced)."""
+    run = _checked(8, "partition")
+    run.require_ok()
+    kinds = dict(run.trace.kinds())
+    assert kinds.get("net.partition", 0) >= 1  # messages really dropped
+    assert kinds.get("arg.retry", 0) >= 1  # and really retransmitted
+
+
+def test_delayed_grant_is_reclaimed_and_duplicates_absorbed_seed8():
+    """Seed 8 also delays a steal grant past the ack budget: the victim
+    reclaims the closures as redo copies.  If the grant then arrives
+    anyway, the duplicate sends are rejected slot-wise."""
+    run = _checked(8, "spike")
+    run.require_ok()
+    assert sum(w.stats.grants_reclaimed for w in run.workers) >= 1
+    assert dict(run.trace.kinds()).get("steal.reclaim", 0) >= 1
+
+
+def test_steal_half_grants_carry_batches():
+    """Under steal-half a single round-trip moves several closures; the
+    grant events for one request id share that id."""
+    run = _checked(0, "faults-only", steal_amount="half")
+    run.require_ok()
+    batches = {}
+    for ev in run.trace.events():
+        if ev.kind == "steal.grant":
+            key = (ev.source, ev.detail["thief"], ev.detail["req"])
+            batches[key] = batches.get(key, 0) + 1
+    assert max(batches.values()) > 1  # at least one multi-closure grant
+
+
+def test_proactive_stealing_is_clean_and_counted():
+    run = _checked(0, "faults-only", proactive_threshold=1)
+    run.require_ok()
+    assert sum(w.stats.proactive_steals_sent for w in run.workers) >= 1
+    assert any(ev.detail.get("proactive") for ev in run.trace.events()
+               if ev.kind == "steal.request")
+
+
+def test_reclaim_handoff_reaches_retired_peers_shrink_seed42():
+    """Shrink seed 42: the owner's machine is reclaimed while its one
+    thief has crashed (undetected) and every other worker has retired.
+    The grant-reclaim fires mid-departure, and its handoff used to draw
+    candidates from the *current* peer list — which by then held only
+    the dead thief — so the regenerated closure was dropped
+    ``redo-no-peer`` and the job hung.  Handoffs must offer to every
+    ever-registered, not-known-dead peer: retired machines still listen
+    and rejoin when work arrives."""
+    from repro.apps.shrink import shrink_expected, shrink_job
+
+    wc = dataclasses.replace(CHECK_WORKER, retire_after_failed_steals=4)
+    run = run_checked(shrink_job(12, 60), n_workers=4, seed=42,
+                      perturbation=Perturbation.generate(42, 4),
+                      expected=shrink_expected(12, 60), worker_config=wc)
+    run.require_ok()
+    kinds = dict(run.trace.kinds())
+    assert kinds.get("steal.reclaim", 0) >= 1  # the grant really died
+    assert kinds.get("worker.rejoin", 0) >= 1  # a retired peer took it
+
+
+def test_unregister_stuck_behind_partition_shrink_seed145():
+    """Shrink seed 145 (shrunk: one reclaim + one partition): the
+    owner's machine is reclaimed before any peer registers, so its
+    evacuation fail-stops with the root lineage.  The remaining workers
+    then retire *inside* the partition window; their unregister RPCs
+    sit in retransmission past the death timeout.  Retiring workers
+    must keep heartbeating until the unregister lands (no forged
+    deaths), and the Clearinghouse's RUN_ROOT ping must be honored even
+    when it arrives while the departure is still unwinding."""
+    from repro.apps.shrink import shrink_expected, shrink_job
+
+    wc = dataclasses.replace(CHECK_WORKER, retire_after_failed_steals=4)
+    run = run_checked(shrink_job(12, 60), n_workers=4, seed=145,
+                      perturbation=Perturbation.generate(145, 4),
+                      expected=shrink_expected(12, 60), worker_config=wc)
+    run.require_ok()
+    kinds = dict(run.trace.kinds())
+    assert kinds.get("worker.rejoin", 0) >= 1  # a retiree took the root
+
+
+def test_straggler_topology_run_passes_invariants():
+    """Stragglers are not part of the fuzzer's perturbation space (they
+    never drop messages, only slow them), so drive one directly through
+    run_job and hand the trace to the checker."""
+    base = UniformTopology(NetworkParams(wire_latency_s=5e-4))
+    topo = DynamicTopology(base, lambda: 0.0,
+                           stragglers={"ws01": 8.0, "ws03": 4.0})
+    result = run_job(fib_job(14), n_workers=4, seed=2, topology=topo,
+                     worker_config=CHECK_WORKER, start_jitter_s=0.002,
+                     trace=True)
+    assert result.result == fib_serial(14)
+    report = check_invariants(result.trace, workers=result.workers,
+                              completed=True, result_ok=True)
+    assert report.ok, report.summary()
+    assert result.stats.tasks_stolen >= 1  # the slow links were exercised

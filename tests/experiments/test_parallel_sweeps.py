@@ -9,6 +9,11 @@ from repro.experiments.harvest import (
     format_harvest_sweep,
     run_harvest_sweep,
 )
+from repro.experiments.latency import (
+    format_latency,
+    gast_bound_s,
+    run_latency_sweep,
+)
 from repro.experiments.table2 import format_table2, run_table2
 
 SMALL = dict(sequence="HPHPPHHP", work_scale=120.0)
@@ -79,3 +84,52 @@ class TestHarvestSweep:
         out = format_harvest_sweep(seeds, serial)
         assert "2 repetitions" in out
         assert "mean" in out
+
+
+class TestLatencySweep:
+    TINY = dict(lam_multipliers=(1.0, 16.0), policies=("random", "low-latency"),
+                n_workers=4, sequence="HPHPPHHP", work_scale=60.0, seed=0)
+
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        serial = run_latency_sweep(jobs=1, **self.TINY)
+        sharded = run_latency_sweep(jobs=2, **self.TINY)
+        return serial, sharded
+
+    def test_sharded_figure_byte_identical(self, sweeps):
+        serial, sharded = sweeps
+        assert sharded == serial  # frozen dataclasses: full deep equality
+        assert format_latency(sharded) == format_latency(serial)
+
+    def test_cells_in_multiplier_major_policy_minor_order(self, sweeps):
+        serial, _ = sweeps
+        got = [(pt.lam_s, pt.policy) for pt in serial.points]
+        lams = sorted({lam for lam, _ in got})
+        assert got == [(lam, pol) for lam in lams
+                       for pol in self.TINY["policies"]]
+
+    def test_bounds_follow_the_gast_formula(self, sweeps):
+        serial, _ = sweeps
+        for pt in serial.points:
+            assert pt.bound_s > 0
+            assert pt.makespan_s > 0
+            # Rows at higher latency carry a strictly larger bound term.
+        by_policy = {}
+        for pt in serial.points:
+            by_policy.setdefault(pt.policy, []).append(pt.bound_s)
+        for bounds in by_policy.values():
+            assert bounds == sorted(bounds)
+
+    def test_gast_bound_validation_and_shape(self):
+        b = gast_bound_s(t1_s=8.0, n_workers=4, lam_s=0.001, n_tasks=1000)
+        assert b == pytest.approx(8.0 / 4 + 16.12 * 0.001 * 9.965784, rel=1e-5)
+        assert gast_bound_s(8.0, 4, 0.001, 1000, startup_s=0.5) == pytest.approx(
+            b + 0.5)
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            gast_bound_s(-1.0, 4, 0.001, 1000)
+        with pytest.raises(ReproError):
+            gast_bound_s(8.0, 0, 0.001, 1000)
+        with pytest.raises(ReproError):
+            gast_bound_s(8.0, 4, -0.001, 1000)

@@ -35,9 +35,11 @@ class TestEstimateSize:
         assert P.estimate_size((P.STEAL_REQ, "w1", 7)) < 100
 
     def test_steal_reply_with_closure_bigger_than_refusal(self):
-        grant = P.estimate_size((P.STEAL_REPLY, closure(), "v", 1))
+        grant = P.estimate_size((P.STEAL_REPLY, [closure()], "v", 1))
+        batch = P.estimate_size((P.STEAL_REPLY, [closure(), closure(1)], "v", 1))
         refusal = P.estimate_size((P.STEAL_REPLY, None, "v", 1))
         assert grant > refusal
+        assert batch - grant == P.CLOSURE_BYTES
 
     def test_migrate_scales_with_batch(self):
         small = P.estimate_size((P.MIGRATE, [closure(1)], [], "w"))

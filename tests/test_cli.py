@@ -110,7 +110,8 @@ def test_check_command_sharded_smoke(capsys, tmp_path):
     assert manifest["parallel"]["jobs"] == 2
     assert manifest["parallel"]["speedup"] > 0
     assert len(manifest["parallel"]["shards"]) >= 2
-    assert manifest["fuzz"] == {"seeds": 6, "failures": 0, "bug": None}
+    assert manifest["fuzz"] == {"seeds": 6, "failures": 0, "bug": None,
+                                "scenario": "mixed"}
     assert manifest["metrics"]["check.seeds_run"]["value"] == 6
 
 
