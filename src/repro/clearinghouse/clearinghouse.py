@@ -67,6 +67,7 @@ class Clearinghouse:
         data_port: int = P.CLEARINGHOUSE_DATA_PORT,
         assign_root: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -122,6 +123,9 @@ class Clearinghouse:
             self._m_heartbeat_gap = None
             self._m_participants = None
             self._m_deaths = None
+        #: Span profiler (repro.obs.prof): control-plane instants on the
+        #: profile's control track, same is-not-None discipline.
+        self._prof = profiler
 
         self.rpc = RpcServer(network, host, rpc_port, name=f"ch:{job_name}")
         self.rpc.register(P.RPC_REGISTER, self._rpc_register)
@@ -156,6 +160,8 @@ class Clearinghouse:
         self._peers_sorted = None
         self.forwarders.pop(name, None)  # a rejoining retiree is live again
         self.ever_registered.add(name)
+        if self._prof is not None:
+            self._prof.control(self.sim.now, "ch.register", worker=name)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "ch.register", self.host, worker=name)
         if self._m_participants is not None:
@@ -224,6 +230,9 @@ class Clearinghouse:
                     self.result = payload[1]
                     self.finished_at = self.sim.now
                     self.flush_io()
+                    if self._prof is not None:
+                        self._prof.control(self.sim.now, "ch.result",
+                                           sender=payload[2])
                     if self.trace is not None:
                         self.trace.emit(self.sim.now, "ch.result", self.host,
                                         sender=payload[2])
@@ -265,6 +274,8 @@ class Clearinghouse:
                     del self.forwarders[name]
                 for name in dead + dead_forwarders:
                     self.dead.add(name)
+                    if self._prof is not None:
+                        self._prof.control(now, "ch.death", worker=name)
                     if self.trace is not None:
                         self.trace.emit(now, "ch.worker_died", self.host, worker=name)
                     if self._m_deaths is not None:

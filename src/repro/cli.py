@@ -354,6 +354,125 @@ def _cmd_harvest(args: argparse.Namespace) -> str:
     return format_harvest_sweep(seeds, reports)
 
 
+def _warn_truncated(trace, stream=None) -> bool:
+    """Stderr warning when an exported TraceLog lost its oldest events
+    to the capacity bound — the Perfetto doc then renders a history
+    that *starts mid-run*, which is silent data loss unless flagged.
+    Returns True when a warning was emitted (testable seam)."""
+    if not trace.truncated:
+        return False
+    print(
+        f"warning: trace log truncated — {trace.dropped} oldest events "
+        f"were dropped (capacity {trace.capacity}); the exported "
+        f"timeline starts mid-run (otherData.trace_dropped records the "
+        f"count)",
+        file=stream if stream is not None else sys.stderr,
+    )
+    return True
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    """Critical-path profile of one seeded run: T1 / T-inf, efficiency
+    vs the greedy and Gast latency-aware bounds, per-worker overhead
+    attribution (see docs/observability.md, "Profiling")."""
+    from repro.cluster.platform import SPARCSTATION_1
+    from repro.experiments.report import render_attribution, render_table
+    from repro.micro.worker import WorkerConfig
+    from repro.obs import JsonlSpanSink, SpanProfiler, StreamingPerfettoWriter, TeeSink
+    from repro.phish import run_job
+
+    sinks = []
+    jsonl = perfetto = None
+    if args.out:
+        jsonl = JsonlSpanSink(args.out, buffer_events=args.buffer,
+                              meta={"app": args.app, "seed": args.seed,
+                                    "workers": args.workers})
+        sinks.append(jsonl)
+    if args.perfetto:
+        perfetto = StreamingPerfettoWriter(args.perfetto, job_name=args.app,
+                                           buffer_events=args.buffer)
+        sinks.append(perfetto)
+    sink = None
+    if len(sinks) == 1:
+        sink = sinks[0]
+    elif sinks:
+        sink = TeeSink(sinks)
+
+    prof = SpanProfiler(sink=sink)
+    cfg = WorkerConfig()
+    res = run_job(
+        _obs_job(args.app, args.scale),
+        n_workers=args.workers,
+        seed=args.seed,
+        worker_config=cfg,
+        profiler=prof,
+    )
+    summary = res.profile
+    assert summary is not None
+
+    sections = [render_table(
+        f"Critical-path profile — {args.app} seed={args.seed} "
+        f"P={args.workers}",
+        ["quantity", "value"],
+        [
+            ("result", res.result),
+            ("tasks executed (nodes)", summary["nodes"]),
+            ("dependency edges", summary["edges"]),
+            ("critical-path depth (nodes)", summary["max_depth"]),
+            ("redo copies", summary["redo_copies"]),
+            ("T1 (total work)", _fmt_s(summary["t1_s"])),
+            ("T-inf (span)", _fmt_s(summary["t_inf_s"])),
+            ("parallelism T1/T-inf", f"{summary['parallelism']:.2f}"),
+            ("steal requests / stolen", f"{summary['steal_requests']} / "
+                                        f"{summary['tasks_stolen']}"),
+            ("tasks migrated", summary["tasks_migrated"]),
+            ("wire messages (bytes)", f"{summary['msgs']} "
+                                      f"({summary['msg_bytes']})"),
+            ("heartbeats", summary["heartbeats"]),
+        ],
+    )]
+
+    lam = SPARCSTATION_1.net.wire_latency_s
+    bounds = prof.bound_report(res.makespan, args.workers, lam,
+                               startup_s=cfg.startup_cost_s)
+    sections.append(render_table(
+        "Makespan vs analytical bounds",
+        ["bound", "seconds", "makespan / bound"],
+        [
+            ("measured makespan", _fmt_s(bounds["makespan_s"]), "1.00"),
+            ("greedy  T1/P + T-inf", _fmt_s(bounds["greedy_bound_s"]),
+             f"{bounds['vs_greedy']:.2f}"),
+            (f"Gast (latency-aware, lam={lam * 1e3:.2f}ms)",
+             _fmt_s(bounds["gast_bound_s"]), f"{bounds['vs_gast']:.2f}"),
+            ("efficiency T1/(P*makespan)", f"{bounds['efficiency']:.3f}", "-"),
+        ],
+    ))
+
+    sections.append(render_attribution(
+        "Per-worker wall-clock attribution", summary["workers"]))
+
+    rtt_rows = []
+    for worker in res.workers:
+        for victim, rtt in worker.victim_policy.profile_snapshot().items():
+            rtt_rows.append((worker.name, victim, _fmt_s(rtt)))
+    if rtt_rows:
+        sections.append(render_table(
+            "Victim-policy learned RTT estimates",
+            ["thief", "victim", "EWMA RTT"], rtt_rows,
+        ))
+
+    if jsonl is not None:
+        sections.append(
+            f"wrote span stream {args.out} ({jsonl.events} events, "
+            f"peak {jsonl.peak_buffered} buffered, {jsonl.flushes} flushes)")
+    if perfetto is not None:
+        sections.append(
+            f"wrote Perfetto profile {args.perfetto} ({perfetto.events} "
+            f"events, peak {perfetto.peak_buffered} buffered; open at "
+            f"ui.perfetto.dev)")
+    return "\n\n".join(sections)
+
+
 def _cmd_timeline(args: argparse.Namespace) -> str:
     """Worker-activity timeline of a run with owner churn and a crash."""
     from repro.apps.pfold import pfold_job
@@ -380,6 +499,7 @@ def _cmd_timeline(args: argparse.Namespace) -> str:
 
         write_perfetto(system.trace, perfetto_path, system.metrics,
                        job_name="timeline")
+        _warn_truncated(system.trace)
         out += (f"\n\nwrote Perfetto trace {perfetto_path} "
                 f"(open at ui.perfetto.dev)")
     return out
@@ -398,6 +518,7 @@ COMMANDS = {
     "check": _cmd_check,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
+    "profile": _cmd_profile,
 }
 
 
@@ -447,6 +568,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "pfold work scale)")
     obs.add_argument("--manifest", default="obs_manifest.json", metavar="PATH",
                      help="manifest output path (default obs_manifest.json)")
+    profile = sub.add_parser(
+        "profile",
+        help="critical-path profile of one seeded run: T1/T-inf, "
+             "efficiency vs the greedy and latency-aware bounds, and a "
+             "per-worker overhead-attribution table; optionally stream "
+             "the span log to JSONL and/or Perfetto",
+    )
+    profile.add_argument("--app", default="fib",
+                         choices=["fib", "knary", "pfold"],
+                         help="application to profile (default fib)")
+    profile.add_argument("--workers", type=int, default=4,
+                         help="cluster size (default 4)")
+    profile.add_argument("--scale", type=int, default=None,
+                         help="problem size override (fib n / knary n / "
+                              "pfold work scale)")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="stream the span log as JSONL to PATH "
+                              "(bounded memory; mergeable across shards)")
+    profile.add_argument("--perfetto", default=None, metavar="PATH",
+                         help="stream a Chrome/Perfetto trace_event doc "
+                              "to PATH (open at ui.perfetto.dev)")
+    profile.add_argument("--buffer", type=int, default=8192,
+                         help="sink flush buffer, in events (default 8192)")
     ab = sub.add_parser("ablations")
     ab.add_argument(
         "which",

@@ -114,12 +114,22 @@ class _RawRun:
     tasks_stolen: int
     avg_steal_latency_s: float
     proactive_steals: int
+    #: Profiler-derived overhead attribution (repro.obs.prof): the
+    #: critical-path span and the summed per-worker bucket fractions —
+    #: where each policy's wall-clock actually went.
+    t_inf_s: float
+    work_frac: float
+    steal_frac: float
+    idle_frac: float
 
 
 def _run_sweep_point(spec: _SweepSpec) -> _RawRun:
     """Shard task: one pfold run at one (policy, backbone latency) cell."""
+    from repro.obs.prof import SpanProfiler
+
     overrides = POLICY_CONFIGS[spec.policy]
     config = dataclasses.replace(WorkerConfig(), **overrides)
+    profiler = SpanProfiler()  # sink-less: aggregates only, O(live) memory
     result = run_job(
         pfold_job(spec.sequence, work_scale=spec.work_scale),
         n_workers=spec.n_workers,
@@ -127,8 +137,13 @@ def _run_sweep_point(spec: _SweepSpec) -> _RawRun:
         seed=spec.seed,
         worker_config=config,
         topology=two_segment_topology(spec.n_workers, spec.lam_multiplier),
+        profiler=profiler,
     )
     stats = result.stats
+    workers = (result.profile or {}).get("workers", {})
+    wall = sum(w["wall_s"] for w in workers.values())
+    frac = (lambda key: sum(w[key] for w in workers.values()) / wall
+            if wall > 0 else 0.0)
     return _RawRun(
         policy=spec.policy,
         lam_multiplier=spec.lam_multiplier,
@@ -137,6 +152,10 @@ def _run_sweep_point(spec: _SweepSpec) -> _RawRun:
         tasks_stolen=stats.tasks_stolen,
         avg_steal_latency_s=stats.avg_steal_latency_s,
         proactive_steals=sum(w.proactive_steals_sent for w in stats.workers),
+        t_inf_s=profiler.t_inf_s,
+        work_frac=frac("working_s"),
+        steal_frac=frac("stealing_s"),
+        idle_frac=frac("idle_s"),
     )
 
 
@@ -151,6 +170,11 @@ class LatencyPoint:
     tasks_stolen: int
     avg_steal_latency_s: float
     proactive_steals: int
+    #: Profile attribution: critical-path span and wall-clock fractions.
+    t_inf_s: float
+    work_frac: float
+    steal_frac: float
+    idle_frac: float
 
 
 @dataclass(frozen=True)
@@ -234,6 +258,10 @@ def run_latency_sweep(
             tasks_stolen=raw.tasks_stolen,
             avg_steal_latency_s=raw.avg_steal_latency_s,
             proactive_steals=raw.proactive_steals,
+            t_inf_s=raw.t_inf_s,
+            work_frac=raw.work_frac,
+            steal_frac=raw.steal_frac,
+            idle_frac=raw.idle_frac,
         )
         for raw in cells
     )
@@ -262,15 +290,21 @@ def format_latency(sweep: LatencySweep) -> str:
             pt.tasks_stolen,
             f"{pt.avg_steal_latency_s * 1e3:.2f}",
             pt.proactive_steals,
+            f"{pt.t_inf_s * 1e3:.1f}",
+            f"{pt.work_frac * 100:.1f}",
+            f"{pt.steal_frac * 100:.1f}",
+            f"{pt.idle_frac * 100:.1f}",
         )
         for pt in sweep.points
     ]
     table = render_table(
         f"Latency sweep data — pfold workload, P={sweep.n_workers}, "
         f"T1={sweep.t1_s:.2f}s, {sweep.n_tasks} tasks "
-        f"(bound = T1/P + {GAST_CONSTANT} * lambda * log2(tasks) + startup)",
+        f"(bound = T1/P + {GAST_CONSTANT} * lambda * log2(tasks) + startup; "
+        f"work/steal/idle from the span profiler's wall attribution)",
         ["lambda (ms)", "policy", "makespan (s)", "bound (s)", "<= bound",
-         "stolen", "avg steal RTT (ms)", "proactive"],
+         "stolen", "avg steal RTT (ms)", "proactive", "T-inf (ms)",
+         "work %", "steal %", "idle %"],
         rows,
     )
     return plot + "\n\n" + table

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 
 def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -57,6 +57,51 @@ def render_ascii_plot(
     lines.append("+" + "-" * width + "+")
     lines.append(f"{xlabel}: {x0:.4g} .. {x1:.4g}   (* measured, . reference)")
     return "\n".join(lines)
+
+
+#: Column order of the per-worker overhead-attribution table — the
+#: profile's wall-clock buckets (see docs/observability.md).
+ATTRIBUTION_COLUMNS: Tuple[str, ...] = (
+    "working", "stealing", "migrating", "protocol", "idle")
+
+
+def attribution_rows(
+    workers: Dict[str, Dict[str, Any]],
+) -> List[Tuple[object, ...]]:
+    """Rows of the overhead-attribution table from a profile summary's
+    ``workers`` dict (one row per worker, name-sorted, plus a totals
+    row): wall seconds, then each bucket as seconds and percent of
+    wall.  Shared by ``repro profile`` and the experiment reports."""
+    rows: List[Tuple[object, ...]] = []
+    totals = {name: 0.0 for name in ATTRIBUTION_COLUMNS}
+    total_wall = 0.0
+    for worker in sorted(workers):
+        row = workers[worker]
+        wall = row.get("wall_s", 0.0)
+        total_wall += wall
+        cells: List[object] = [worker, f"{wall:.4f}"]
+        for name in ATTRIBUTION_COLUMNS:
+            val = row.get(f"{name}_s", 0.0)
+            totals[name] += val
+            pct = 100.0 * val / wall if wall > 0 else 0.0
+            cells.append(f"{val:.4f} ({pct:4.1f}%)")
+        cells.append(row.get("exit", "-"))
+        rows.append(tuple(cells))
+    if len(rows) > 1:
+        cells = ["TOTAL", f"{total_wall:.4f}"]
+        for name in ATTRIBUTION_COLUMNS:
+            pct = 100.0 * totals[name] / total_wall if total_wall > 0 else 0.0
+            cells.append(f"{totals[name]:.4f} ({pct:4.1f}%)")
+        cells.append("-")
+        rows.append(tuple(cells))
+    return rows
+
+
+def render_attribution(title: str, workers: Dict[str, Dict[str, Any]]) -> str:
+    """The overhead-attribution table, rendered."""
+    headers = ["worker", "wall (s)"] + [f"{c} (s)" for c in ATTRIBUTION_COLUMNS]
+    headers.append("exit")
+    return render_table(title, headers, attribution_rows(workers))
 
 
 def fmt(value: float, digits: int = 2) -> str:

@@ -44,6 +44,11 @@ class VictimPolicy:
     def observe_timeout(self, victim: str, timeout_s: float) -> None:
         """A steal request to *victim* got no reply within ``timeout_s``."""
 
+    def profile_snapshot(self) -> Dict[str, float]:
+        """Learned per-victim state for profiling reports ({} when the
+        policy is stateless)."""
+        return {}
+
 
 class RandomVictim(VictimPolicy):
     """Uniformly random victim (the paper's policy)."""
@@ -133,6 +138,9 @@ class LowLatencyVictim(VictimPolicy):
 
     def observe_timeout(self, victim: str, timeout_s: float) -> None:
         self.observe(victim, self.TIMEOUT_PENALTY * timeout_s)
+
+    def profile_snapshot(self) -> Dict[str, float]:
+        return dict(sorted(self._rtt.items()))
 
 
 PolicyFactory = Callable[[random.Random], VictimPolicy]

@@ -142,6 +142,7 @@ class Worker:
         name: Optional[str] = None,
         initial_state: Optional[tuple] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.workstation = workstation
@@ -231,6 +232,12 @@ class Worker:
             self._m_deque_series = None
             self._m_redo = None
             self._m_steals = None
+        #: Critical-path span profiler (repro.obs.prof), same guarded
+        #: discipline as the registry: None costs one attribute load per
+        #: site.  ``_exec_cid`` is the closure whose thread function is
+        #: currently running — the source of every DAG edge it creates.
+        self._prof = profiler
+        self._exec_cid: Optional[ClosureId] = None
         #: Steal-request send times, for request→grant latency (kept even
         #: without a registry: WorkerStats carries the per-worker sums).
         self._steal_sent: Dict[int, float] = {}
@@ -331,6 +338,11 @@ class Worker:
     def new_cid(self) -> ClosureId:
         self._seq += 1
         cid = (self.name, self._seq)
+        if self._prof is not None and self._exec_cid is not None:
+            # Creation edge: the executing task spawned a child or
+            # created a successor (redo copies are minted outside task
+            # execution, so they never land here).
+            self._prof.edge(self._exec_cid, cid)
         if self.trace is not None:
             # Every closure birth on this worker (spawn, successor, root,
             # crash-redo copy) passes through here: the conservation
@@ -383,6 +395,9 @@ class Worker:
                     self._ensure_arg_flusher()
             self._post(self.ch_host, self.config.ch_data_port, (P.RESULT, value, self.name))
             return
+        if self._prof is not None and self._exec_cid is not None:
+            # Dataflow edge: the successor cannot run before this send.
+            self._prof.edge(self._exec_cid, continuation.target)
         if self._fill_local(continuation, value):
             return
         self.stats.non_local_synchs += 1
@@ -530,12 +545,19 @@ class Worker:
 
     def _run(self) -> Generator:
         cfg = self.config
+        prof = self._prof
         try:
+            if prof is not None:
+                prof.worker_begin(self.sim.now, self.name)
+                # Startup + registration handshake: protocol overhead.
+                prof.phase_begin(self.sim.now, self.name, "protocol")
             yield self.sim.timeout(cfg.startup_cost_s)
             reply = yield from rpc_call(
                 self.network, self.host, self.ch_host, self.config.ch_rpc_port,
                 P.RPC_REGISTER, self.name,
             )
+            if prof is not None:
+                prof.phase_end(self.sim.now, self.name, "protocol")
             self.stats.start_time = self.sim.now
             if reply.get("done"):
                 # The job finished before we could join.
@@ -658,6 +680,10 @@ class Worker:
                 threshold=self.config.retire_after_failed_steals,
                 port=self.config.port,
             )
+        if self._prof is not None:
+            # Closes the participation span; any phase the exit
+            # interrupted (crash mid-steal, mid-protocol) is swept shut.
+            self._prof.worker_end(self.sim.now, self.name, reason)
         if self.on_exit:
             self.on_exit(reason)
         self.finished.set(reason)
@@ -710,6 +736,15 @@ class Worker:
                             cid=closure.cid, thread=closure.thread_name)
         frame = Frame(self, self.workstation.profile, closure)
         ref = self.job.program.resolve(closure.thread_name)
+        prof = self._prof
+        if prof is not None:
+            # The thread function runs synchronously here, so every DAG
+            # edge it creates (spawn, successor, send) is recorded under
+            # _exec_cid before exec_end — which is what lets the
+            # profiler finish this node's span immediately.
+            self._exec_cid = closure.cid
+            prof.exec_begin(self.sim.now, self.name, closure.cid,
+                            closure.thread_name, closure.depth)
         ref.fn(frame, *closure.call_args())
         self.stats.tasks_executed += 1
         if self._m_task_grain is not None:
@@ -721,13 +756,35 @@ class Worker:
         # Charge the task's simulated cycles (dispatch + work + spawns +
         # sends); yielding here is also the poll point where concurrent
         # steal requests and arriving arguments interleave.
-        yield self.workstation.execute(frame.cycles)
+        if prof is None:
+            yield self.workstation.execute(frame.cycles)
+            return
+        self._exec_cid = None
+        prof.exec_end(self.sim.now, self.name, closure.cid,
+                      self.workstation.seconds_for(frame.cycles))
+        try:
+            yield self.workstation.execute(frame.cycles)
+        finally:
+            # Also reached by a crash Interrupt landing in the yield:
+            # the working interval and its B/E pair must close before
+            # _finish ends the participation span.
+            prof.exec_done(self.sim.now, self.name, closure.cid)
 
     # ------------------------------------------------------------------
     # Stealing (thief side)
     # ------------------------------------------------------------------
 
     def _steal_once(self) -> Generator:
+        prof = self._prof
+        if prof is None:
+            return (yield from self._steal_attempt())
+        prof.phase_begin(self.sim.now, self.name, "stealing")
+        try:
+            return (yield from self._steal_attempt())
+        finally:
+            prof.phase_end(self.sim.now, self.name, "stealing")
+
+    def _steal_attempt(self) -> Generator:
         cfg = self.config
         if cfg.mode == "central":
             # Central-queue baseline: the only place to fetch work is
@@ -748,6 +805,8 @@ class Worker:
         # stolen work on a *crash*, so a lost grant would hang the job.
         self._steal_seq += 1
         req_id = self._steal_seq
+        if self._prof is not None:
+            self._prof.steal_request(self.sim.now, self.name, victim, req_id)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "steal.request", self.name,
                             victim=victim, req=req_id)
@@ -799,6 +858,8 @@ class Worker:
         req_id = self._steal_seq
         self._proactive = (req_id, victim)
         self._steal_sent[req_id] = self.sim.now
+        if self._prof is not None:
+            self._prof.steal_request(self.sim.now, self.name, victim, req_id)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "steal.request", self.name,
                             victim=victim, req=req_id, proactive=True)
@@ -890,6 +951,9 @@ class Worker:
                     self.trace.emit(self.sim.now, "steal.grant", self.name,
                                     thief=thief, cid=closure.cid, req=req_id)
             self._note_in_use()
+            if self._prof is not None:
+                self._prof.steal_grant(self.sim.now, self.name, thief,
+                                       len(batch), req_id)
             if self._m_deque_series is not None:
                 self._sample_deque()
             if self.config.grant_ack_timeout_s is not None:
@@ -938,6 +1002,9 @@ class Worker:
         copies = [c.redo_copy(self.new_cid()) for c in originals]
         self.stats.tasks_redone += len(copies)
         self.stats.grants_reclaimed += len(copies)
+        if self._prof is not None:
+            self._prof.redo(self.sim.now, self.name,
+                            [(o.cid, c.cid) for o, c in zip(originals, copies)])
         if self._m_redo is not None:
             self._m_redo.inc(len(copies))
         if self.trace is not None:
@@ -1020,6 +1087,9 @@ class Worker:
 
     def _adopt_stolen(self, batch: List[Closure], victim: str, req_id: int) -> None:
         self.stats.tasks_stolen += len(batch)
+        if self._prof is not None:
+            self._prof.steal_adopt(self.sim.now, self.name, victim,
+                                   len(batch), req_id)
         if self._m_steals is not None:
             self._m_steals.inc(len(batch))
         for closure in batch:
@@ -1070,6 +1140,9 @@ class Worker:
             self.suspended[closure.cid] = closure
         self.deque.extend_tail(ready)
         self.stats.tasks_migrated_in += len(ready) + len(suspended)
+        if self._prof is not None:
+            self._prof.migrate_in(self.sim.now, self.name, sender,
+                                  len(ready) + len(suspended))
         self._note_in_use()
         self._post(host, port, (P.MIGRATE_ACK, self.name))
         if self.trace is not None:
@@ -1109,6 +1182,10 @@ class Worker:
             originals = list(stolen.values())
             copies = [c.redo_copy(self.new_cid()) for c in originals]
             self.stats.tasks_redone += len(copies)
+            if self._prof is not None:
+                self._prof.redo(
+                    self.sim.now, self.name,
+                    [(o.cid, c.cid) for o, c in zip(originals, copies)])
             if self._m_redo is not None:
                 self._m_redo.inc(len(copies))
             if self.trace is not None:
@@ -1178,6 +1255,11 @@ class Worker:
                 still_suspended.append(closure)
                 pairs.append((closure.cid, closure.cid))
         self.stats.tasks_redone += len(batch)
+        if self._prof is not None:
+            # Only re-keyed copies transfer pending span state;
+            # suspended closures keep their identity (and their entry).
+            self._prof.redo(self.sim.now, self.name,
+                            [(o, c) for o, c in pairs if o != c])
         if self._m_redo is not None:
             self._m_redo.inc(len(batch))
         if self.trace is not None:
@@ -1261,11 +1343,17 @@ class Worker:
         peer visibility); if the root owner died with no survivors, the
         re-registrant is handed the root again.
         """
+        prof = self._prof
         try:
+            if prof is not None:
+                prof.worker_begin(self.sim.now, self.name)
+                prof.phase_begin(self.sim.now, self.name, "protocol")
             reply = yield from rpc_call(
                 self.network, self.host, self.ch_host, self.config.ch_rpc_port,
                 P.RPC_REGISTER, self.name,
             )
+            if prof is not None:
+                prof.phase_end(self.sim.now, self.name, "protocol")
             if reply.get("done"):
                 self._on_job_done(reply.get("result"))
                 self._finish("done")
@@ -1357,6 +1445,10 @@ class Worker:
                     )
                 except Exception:
                     continue  # Clearinghouse unreachable; try next period
+                if self._prof is not None:
+                    # Counted, not wall-attributed: this loop runs
+                    # concurrently with the run loop's buckets.
+                    self._prof.heartbeat(self.sim.now, self.name)
                 if not self.done and not self.departed:
                     self._set_peers(reply["peers"])
                 # Deaths piggybacked on the (reliable) heartbeat reply:
@@ -1442,6 +1534,8 @@ class Worker:
         # silently-crashed forwarder are dropped forever (no victim would
         # ever redo them) and the job deadlocks.
         self._forwarding = bool(self.forward_map or self.outstanding or self.migrated)
+        if self._prof is not None:
+            self._prof.phase_begin(self.sim.now, self.name, "protocol")
         try:
             yield from rpc_call(
                 self.network, self.host, self.ch_host, self.config.ch_rpc_port,
@@ -1451,6 +1545,9 @@ class Worker:
             )
         except Exception:
             pass  # Clearinghouse will eventually time us out
+        finally:
+            if self._prof is not None:
+                self._prof.phase_end(self.sim.now, self.name, "protocol")
         self._finish(reason)
         if self._forwarding and not self._update_proc.is_alive:
             # The heartbeat loop may have noticed ``departed`` and exited
@@ -1520,6 +1617,20 @@ class Worker:
         # closures we granted to a since-crashed thief still get redone.
 
     def _migrate_with_ack(self, ready: List[Closure], suspended: List[Closure]) -> Generator:
+        prof = self._prof
+        if prof is None:
+            return (yield from self._migrate_attempts(ready, suspended))
+        prof.phase_begin(self.sim.now, self.name, "migrating")
+        try:
+            target = yield from self._migrate_attempts(ready, suspended)
+        finally:
+            prof.phase_end(self.sim.now, self.name, "migrating")
+        if target is not None:
+            prof.migrate_out(self.sim.now, self.name, target,
+                             len(ready) + len(suspended))
+        return target
+
+    def _migrate_attempts(self, ready: List[Closure], suspended: List[Closure]) -> Generator:
         """Hand our closures to a peer, requiring an explicit ack.
 
         Tries peers in random order until one acknowledges (a peer may
@@ -1557,6 +1668,10 @@ class Worker:
             if resilient and i > 0 and ready:
                 copies = [c.redo_copy(self.new_cid()) for c in ready]
                 self.stats.tasks_redone += len(copies)
+                if self._prof is not None:
+                    self._prof.redo(
+                        self.sim.now, self.name,
+                        [(o.cid, c.cid) for o, c in zip(ready, copies)])
                 if self.trace is not None:
                     self.trace.emit(
                         self.sim.now, "migrate.reoffer", self.name,

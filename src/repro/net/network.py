@@ -154,6 +154,8 @@ class Network:
         self._m_msg_latency = None
         self._m_inflight = None
         self._m_sent = None
+        #: Span profiler (repro.obs.prof): wire message/byte counters.
+        self._prof = None
 
     def attach_metrics(self, registry) -> None:
         """Wire a :class:`~repro.obs.metrics.MetricsRegistry` in: message
@@ -162,6 +164,11 @@ class Network:
         self._m_msg_latency = registry.histogram("net.msg.latency_s")
         self._m_inflight = registry.gauge("net.msg.inflight")
         self._m_sent = registry.counter("net.msg.sent.count")
+
+    def attach_profiler(self, profiler) -> None:
+        """Wire a :class:`~repro.obs.prof.SpanProfiler` in (wire-message
+        and byte counters for the protocol-cost side of the profile)."""
+        self._prof = profiler
 
     # -- host / socket management ------------------------------------------
 
@@ -270,6 +277,8 @@ class Network:
             self.trace.emit(sim.now, "net.send", src, dst=dst, port=dst_port, id=msg.msg_id)
         if self._m_sent is not None:
             self._m_sent.inc()
+        if self._prof is not None:
+            self._prof.msg(size_bytes)
 
         charge = self._cpu_charge.get(src)
         if charge:

@@ -9,7 +9,10 @@ Three pieces (see ``docs/observability.md``):
   run's :class:`~repro.util.trace.TraceLog` plus registry, openable in
   ``ui.perfetto.dev``;
 * :mod:`repro.obs.manifest` — attributable run manifests written next
-  to experiment and benchmark outputs.
+  to experiment and benchmark outputs;
+* :mod:`repro.obs.prof` / :mod:`repro.obs.stream` — the critical-path
+  span profiler (T1 / T-inf / overhead attribution) and its streaming
+  bounded-memory JSONL/Perfetto sinks, surfaced as ``repro profile``.
 """
 
 from repro.obs.export import to_perfetto, validate_perfetto, write_perfetto
@@ -31,6 +34,15 @@ from repro.obs.metrics import (
     Series,
     merge_snapshots,
 )
+from repro.obs.prof import PROFILE_SCHEMA, SpanProfiler, merge_profiles
+from repro.obs.stream import (
+    JsonlSpanSink,
+    StreamingPerfettoWriter,
+    TeeSink,
+    iter_profile_jsonl,
+    merge_profile_jsonl,
+    read_profile_summary,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -50,4 +62,13 @@ __all__ = [
     "write_manifest",
     "validate_manifest",
     "load_manifest",
+    "PROFILE_SCHEMA",
+    "SpanProfiler",
+    "merge_profiles",
+    "JsonlSpanSink",
+    "StreamingPerfettoWriter",
+    "TeeSink",
+    "iter_profile_jsonl",
+    "merge_profile_jsonl",
+    "read_profile_summary",
 ]

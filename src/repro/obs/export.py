@@ -168,7 +168,11 @@ def to_perfetto(
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"job": job_name, "trace_events": len(trace),
-                      "trace_dropped": trace.dropped},
+                      "trace_dropped": trace.dropped,
+                      # A truncated log lost its *oldest* events, so the
+                      # rendered timeline starts mid-run; viewers of the
+                      # doc alone must be able to tell.
+                      "trace_truncated": trace.truncated},
     }
 
 
@@ -186,10 +190,14 @@ def write_perfetto(
     return doc
 
 
-#: Phase types emitted by this exporter, with their required keys.
+#: Phase types emitted by this exporter and the streaming profile
+#: writer, with their required keys.  "E" carries no name: it closes
+#: the innermost open "B" on its track.
 _REQUIRED_KEYS: Dict[str, Tuple[str, ...]] = {
     "M": ("name", "pid", "args"),
     "X": ("name", "pid", "tid", "ts", "dur"),
+    "B": ("name", "pid", "tid", "ts"),
+    "E": ("pid", "tid", "ts"),
     "i": ("name", "pid", "tid", "ts", "s"),
     "C": ("name", "pid", "ts", "args"),
 }
@@ -199,8 +207,11 @@ def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
     """Check *doc* against the Chrome trace_event JSON-object format.
 
     Returns a list of problems (empty = valid): structural shape, the
-    per-phase required keys, numeric non-negative timestamps, and
-    monotonically non-decreasing ``ts`` within each (pid, tid) track.
+    per-phase required keys, numeric non-negative timestamps,
+    monotonically non-decreasing ``ts`` within each (pid, tid) track,
+    and properly nested ``B``/``E`` duration pairs per track (every
+    ``E`` closes an open ``B``; a named ``E`` must match the ``B`` it
+    closes; no ``B`` left open at the end of the document).
     """
     problems: List[str] = []
     if not isinstance(doc, dict):
@@ -209,6 +220,7 @@ def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
     if not isinstance(events, list):
         return ["traceEvents missing or not a list"]
     last_ts: Dict[Tuple[Any, Any], float] = {}
+    open_b: Dict[Tuple[Any, Any], List[str]] = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             problems.append(f"event {i} is not an object")
@@ -235,4 +247,23 @@ def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
                     f"event {i} ts {ts} not monotonic on track {key}"
                 )
             last_ts[key] = ts
+            if ph == "B":
+                open_b.setdefault(key, []).append(ev["name"])
+            elif ph == "E":
+                stack = open_b.get(key)
+                if not stack:
+                    problems.append(
+                        f"event {i} E with no open B on track {key}"
+                    )
+                    continue
+                begun = stack.pop()
+                name = ev.get("name")
+                if name is not None and name != begun:
+                    problems.append(
+                        f"event {i} E name {name!r} closes B {begun!r} "
+                        f"on track {key}"
+                    )
+    for key, stack in sorted(open_b.items(), key=lambda kv: str(kv[0])):
+        for name in stack:
+            problems.append(f"unclosed B {name!r} on track {key}")
     return problems

@@ -276,9 +276,13 @@ def _merge_two(name: str, a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any
         out["value"] = a["value"] + b["value"]
         out["peak"] = max(a["peak"], b["peak"])
     elif kind == "histogram":
-        if a["edges"] != b["edges"]:
-            raise ReproError(
-                f"cannot merge histogram {name!r}: bucket edges differ"
+        if list(a["edges"]) != list(b["edges"]):
+            # ValueError, not ReproError: this is a caller bug (two
+            # registries configured differently), and zipping the counts
+            # below would silently produce a corrupt merge.
+            raise ValueError(
+                f"cannot merge histogram {name!r}: bucket edges differ "
+                f"({list(a['edges'])} vs {list(b['edges'])})"
             )
         out["counts"] = [x + y for x, y in zip(a["counts"], b["counts"])]
         out["count"] = a["count"] + b["count"]

@@ -1,0 +1,447 @@
+"""Critical-path span/DAG profiler (``repro profile``).
+
+The paper's evaluation is an accounting argument: execution time
+decomposed into useful work (T1), critical-path span (T-inf), and the
+scheduling overheads in between.  :class:`SpanProfiler` performs that
+accounting *online*: the worker, Clearinghouse, network and simulator
+call into it through optional is-not-None hooks (the TraceLog/metrics
+discipline — a run without a profiler pays one attribute load and a
+pointer compare per site), and it reduces the task-lifecycle span
+stream to
+
+* **T1** — total executed work, including redone tasks;
+* **T-inf** — the longest dependency path through the computation DAG,
+  weighted by per-task charged seconds, plus the matching node-depth
+  (``max_depth``) for closed-form pins;
+* **per-worker wall-clock attribution** — working / stealing /
+  migrating / protocol / idle buckets, the paper's Table-style
+  breakdown of where each participant's time went.
+
+The DAG is never materialised.  Every spawn, successor creation, and
+argument send of a task happens *synchronously* while its thread
+function runs (before the cycle-charging yield), so by ``exec_end`` all
+out-edges of the finishing task are known and its finish-span can be
+pushed forward immediately::
+
+    span(task)  = max over predecessors(pred finish span) + dur(task)
+    depth(task) = max over predecessors(pred depth) + 1
+
+State is therefore O(live closures): pending base spans for
+not-yet-executed closures, popped at their own ``exec_end``.  (The one
+deliberate leak: a *duplicate* send from a redone parent to an
+already-finished target re-creates that target's pending entry, which
+nobody pops — bounded by the run's duplicate-send count, which is zero
+outside fault schedules.)
+
+Raw span events stream to an optional *sink* (see
+:mod:`repro.obs.stream`) so million-task runs profile in O(buffer)
+memory; :func:`merge_profiles` combines per-shard summaries
+deterministically for ``repro.parallel`` sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+PROFILE_SCHEMA = "repro.profile/1"
+
+#: Wall-clock attribution buckets, in report order.  ``idle`` is the
+#: residual: participation wall minus the four measured buckets.
+BUCKETS: Tuple[str, ...] = ("working", "stealing", "migrating", "protocol")
+
+
+class SpanProfiler:
+    """Online critical-path + overhead-attribution profiler.
+
+    One instance observes one simulation (all workers share it — the
+    cluster is a single discrete-event process space, so hook calls
+    arrive in global sim-time order, which is what lets the span stream
+    go straight to a forward-only sink).
+    """
+
+    def __init__(self, sink: Optional[Any] = None) -> None:
+        #: Optional streaming sink (``emit(row)`` / ``close(summary)``).
+        self.sink = sink
+        # -- DAG aggregates ------------------------------------------------
+        self.t1_s = 0.0          #: total executed work (includes redone)
+        self.t_inf_s = 0.0       #: critical-path span, seconds
+        self.nodes = 0           #: tasks executed
+        self.edges = 0           #: spawn/successor/send dependency edges
+        self.max_depth = 0       #: critical-path length in nodes
+        self.redo_copies = 0     #: re-keyed redo copies observed
+        # -- protocol counters ---------------------------------------------
+        self.steal_requests = 0
+        self.tasks_stolen = 0
+        self.tasks_migrated = 0
+        self.heartbeats = 0
+        self.msgs = 0
+        self.msg_bytes = 0
+        self.control_events = 0
+        # -- live DAG state (O(live closures)) -----------------------------
+        self._base: Dict[Any, float] = {}    # cid -> max predecessor span
+        self._bdepth: Dict[Any, int] = {}    # cid -> max predecessor depth
+        self._out: Dict[Any, List[Any]] = {} # executing cid -> out-edges
+        # -- per-worker attribution ----------------------------------------
+        self._buckets: Dict[str, Dict[str, float]] = {}
+        self._open: Dict[Tuple[str, str], float] = {}   # (worker, phase) -> t0
+        self._span_open: Dict[str, float] = {}          # worker -> t0
+        self._wall: Dict[str, float] = {}
+        self._exit: Dict[str, str] = {}
+        # -- kernel pressure samples (bounded, stride-decimated) -----------
+        self._sim: Optional[Any] = None
+        self._kernel: List[Tuple[float, int]] = []
+        self._kernel_cap = 256
+        self._kernel_stride = 1
+        self._kernel_seen = 0
+        self._end = 0.0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Execution spans and DAG edges (worker run loop)
+    # ------------------------------------------------------------------
+
+    def exec_begin(self, t: float, worker: str, cid: Any, thread: str,
+                   depth: int) -> None:
+        """The thread function is about to run (pre-dispatch)."""
+        self._open[(worker, "working")] = t
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "exec.b", "t": t, "w": worker, "cid": cid,
+                    "thread": thread, "depth": depth})
+
+    def edge(self, src: Any, dst: Any) -> None:
+        """Dependency edge recorded while *src* executes (spawn,
+        successor creation, or argument send)."""
+        self.edges += 1
+        out = self._out.get(src)
+        if out is None:
+            self._out[src] = [dst]
+        else:
+            out.append(dst)
+
+    def exec_end(self, t: float, worker: str, cid: Any, dur_s: float) -> None:
+        """The thread function returned; *dur_s* is the task's charged
+        seconds.  All out-edges are known — propagate span and depth."""
+        span = self._base.pop(cid, 0.0) + dur_s
+        depth = self._bdepth.pop(cid, 0) + 1
+        self.t1_s += dur_s
+        self.nodes += 1
+        if span > self.t_inf_s:
+            self.t_inf_s = span
+        if depth > self.max_depth:
+            self.max_depth = depth
+        base, bdepth = self._base, self._bdepth
+        for nxt in self._out.pop(cid, ()):
+            if span > base.get(nxt, -1.0):
+                base[nxt] = span
+            if depth > bdepth.get(nxt, 0):
+                bdepth[nxt] = depth
+
+    def exec_done(self, t: float, worker: str, cid: Any) -> None:
+        """The cycle-charging yield completed (or was crash-interrupted):
+        the exclusive "working" interval ends here."""
+        self.phase_end(t, worker, "working", _emit=False)
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "exec.e", "t": t, "w": worker, "cid": cid})
+
+    def redo(self, t: float, worker: str,
+             pairs: Sequence[Tuple[Any, Any]]) -> None:
+        """Re-keyed redo copies: each copy inherits the original's
+        pending predecessor span/depth, so redone subtrees extend the
+        critical path instead of restarting it at zero."""
+        for orig, copy in pairs:
+            base = self._base.pop(orig, None)
+            if base is not None and base > self._base.get(copy, -1.0):
+                self._base[copy] = base
+            bdepth = self._bdepth.pop(orig, None)
+            if bdepth is not None and bdepth > self._bdepth.get(copy, 0):
+                self._bdepth[copy] = bdepth
+        self.redo_copies += len(pairs)
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "redo", "t": t, "w": worker, "n": len(pairs)})
+
+    # ------------------------------------------------------------------
+    # Wall-clock attribution phases and participation spans
+    # ------------------------------------------------------------------
+
+    def phase_begin(self, t: float, worker: str, phase: str) -> None:
+        self._open[(worker, phase)] = t
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "ph.b", "t": t, "w": worker, "ph": phase})
+
+    def phase_end(self, t: float, worker: str, phase: str,
+                  _emit: bool = True) -> None:
+        t0 = self._open.pop((worker, phase), None)
+        if t0 is None:
+            return
+        buckets = self._buckets.get(worker)
+        if buckets is None:
+            buckets = self._buckets[worker] = dict.fromkeys(BUCKETS, 0.0)
+        buckets[phase] += t - t0
+        if t > self._end:
+            self._end = t
+        if _emit:
+            s = self.sink
+            if s is not None:
+                s.emit({"ev": "ph.e", "t": t, "w": worker, "ph": phase})
+
+    def worker_begin(self, t: float, worker: str) -> None:
+        """A participation span opens (start, or rejoin after retiring)."""
+        self._span_open.setdefault(worker, t)
+        self._buckets.setdefault(worker, dict.fromkeys(BUCKETS, 0.0))
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "wk.b", "t": t, "w": worker})
+
+    def worker_end(self, t: float, worker: str, reason: str) -> None:
+        """The participation span closes; any phase the exit interrupted
+        (a crash mid-protocol, a teardown mid-steal) closes with it."""
+        for key in [k for k in self._open if k[0] == worker]:
+            self.phase_end(t, worker, key[1])
+        t0 = self._span_open.pop(worker, None)
+        if t0 is not None:
+            self._wall[worker] = self._wall.get(worker, 0.0) + (t - t0)
+        self._exit[worker] = reason
+        if t > self._end:
+            self._end = t
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "wk.e", "t": t, "w": worker, "reason": reason})
+
+    # ------------------------------------------------------------------
+    # Steal / migrate lifecycle instants
+    # ------------------------------------------------------------------
+
+    def steal_request(self, t: float, thief: str, victim: str,
+                      req: int) -> None:
+        self.steal_requests += 1
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "steal.req", "t": t, "w": thief, "victim": victim,
+                    "req": req})
+
+    def steal_grant(self, t: float, victim: str, thief: str, n: int,
+                    req: int) -> None:
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "steal.grant", "t": t, "w": victim, "thief": thief,
+                    "n": n, "req": req})
+
+    def steal_adopt(self, t: float, thief: str, victim: str, n: int,
+                    req: int) -> None:
+        self.tasks_stolen += n
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "steal.adopt", "t": t, "w": thief, "victim": victim,
+                    "n": n, "req": req})
+
+    def migrate_out(self, t: float, worker: str, target: str, n: int) -> None:
+        self.tasks_migrated += n
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "migrate.out", "t": t, "w": worker,
+                    "target": target, "n": n})
+
+    def migrate_in(self, t: float, worker: str, sender: str, n: int) -> None:
+        s = self.sink
+        if s is not None:
+            s.emit({"ev": "migrate.in", "t": t, "w": worker,
+                    "sender": sender, "n": n})
+
+    def heartbeat(self, t: float, worker: str) -> None:
+        """Peer-update RPC round-trip (counted, not wall-attributed: the
+        update loop runs concurrently with the run loop, so its time
+        overlaps the run-loop buckets)."""
+        self.heartbeats += 1
+
+    # ------------------------------------------------------------------
+    # Clearinghouse / network / simulator seams
+    # ------------------------------------------------------------------
+
+    def control(self, t: float, kind: str, **detail: Any) -> None:
+        """Clearinghouse lifecycle instant (register, death, result)."""
+        self.control_events += 1
+        s = self.sink
+        if s is not None:
+            row = {"ev": kind, "t": t, "w": "clearinghouse"}
+            row.update(detail)
+            s.emit(row)
+
+    def msg(self, size_bytes: int) -> None:
+        """One wire datagram (the network's send hot path — counter only)."""
+        self.msgs += 1
+        self.msg_bytes += size_bytes
+
+    def attach_sim(self, sim: Any) -> None:
+        """Chain onto the simulator's monitor hook to sample kernel
+        pressure (exact ``events_processed`` at each sample).  Note the
+        monitor forces the kernel's exact stepping path — acceptable,
+        since profiling is opt-in."""
+        self._sim = sim
+        prev = sim.monitor
+
+        def _monitor(s: Any, _prev=prev, _self=self) -> None:
+            if _prev is not None:
+                _prev(s)
+            _self.kernel_sample(s.now, s.events_processed)
+
+        sim.monitor = _monitor
+
+    def kernel_sample(self, t: float, events_processed: int) -> None:
+        """Bounded (time, events) samples: at capacity the series is
+        decimated 2x and the stride doubles — deterministic, O(cap)."""
+        self._kernel_seen += 1
+        if self._kernel_seen % self._kernel_stride:
+            return
+        if len(self._kernel) >= self._kernel_cap:
+            self._kernel = self._kernel[::2]
+            self._kernel_stride *= 2
+            if self._kernel_seen % self._kernel_stride:
+                return
+        self._kernel.append((t, events_processed))
+
+    # ------------------------------------------------------------------
+    # Finalisation and reporting
+    # ------------------------------------------------------------------
+
+    def finalize(self, t_end: Optional[float] = None,
+                 close_sink: bool = True) -> None:
+        """Close open phases/spans at *t_end* and (optionally) close the
+        sink with the summary appended.  Idempotent."""
+        if self._finalized:
+            return
+        if t_end is None:
+            t_end = self._end
+        for worker, _t0 in sorted(self._span_open.items()):
+            self.worker_end(t_end, worker, "running")
+        for worker, phase in sorted(self._open):
+            self.phase_end(t_end, worker, phase)
+        self._finalized = True
+        if close_sink and self.sink is not None:
+            self.sink.close(self.summary())
+
+    def worker_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-worker attribution: wall, the four measured buckets, and
+        the idle residual (clamped at zero — bucket intervals recorded
+        by concurrent processes can marginally overlap on fault paths)."""
+        report: Dict[str, Dict[str, Any]] = {}
+        for worker in sorted(self._buckets):
+            buckets = self._buckets[worker]
+            wall = self._wall.get(worker, 0.0)
+            measured = sum(buckets.values())
+            row: Dict[str, Any] = {"wall_s": wall}
+            for name in BUCKETS:
+                row[f"{name}_s"] = buckets[name]
+            row["idle_s"] = max(0.0, wall - measured)
+            row["exit"] = self._exit.get(worker, "running")
+            report[worker] = row
+        return report
+
+    @property
+    def parallelism(self) -> float:
+        return self.t1_s / self.t_inf_s if self.t_inf_s > 0 else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready profile summary (deterministic key order)."""
+        kernel: Dict[str, Any] = {"samples": len(self._kernel)}
+        if self._kernel:
+            t, events = self._kernel[-1]
+            kernel["events_processed"] = events
+            kernel["sim_end_s"] = t
+        return {
+            "schema": PROFILE_SCHEMA,
+            "t1_s": self.t1_s,
+            "t_inf_s": self.t_inf_s,
+            "parallelism": self.parallelism,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "max_depth": self.max_depth,
+            "redo_copies": self.redo_copies,
+            "steal_requests": self.steal_requests,
+            "tasks_stolen": self.tasks_stolen,
+            "tasks_migrated": self.tasks_migrated,
+            "heartbeats": self.heartbeats,
+            "msgs": self.msgs,
+            "msg_bytes": self.msg_bytes,
+            "control_events": self.control_events,
+            "workers": self.worker_report(),
+            "kernel": kernel,
+        }
+
+    def bound_report(self, makespan_s: float, n_workers: int, lam_s: float,
+                     startup_s: float = 0.0) -> Dict[str, float]:
+        """Efficiency of a finished run against the two analytical
+        references: the greedy bound ``T1/P + T-inf`` and the Gast et
+        al. latency-aware bound (see ``repro.experiments.latency``)."""
+        from repro.experiments.latency import gast_bound_s
+
+        greedy = self.t1_s / n_workers + self.t_inf_s
+        gast = gast_bound_s(self.t1_s, n_workers, lam_s,
+                            max(1, self.nodes), startup_s=startup_s)
+        return {
+            "makespan_s": makespan_s,
+            "greedy_bound_s": greedy,
+            "vs_greedy": makespan_s / greedy if greedy > 0 else float("inf"),
+            "gast_bound_s": gast,
+            "vs_gast": makespan_s / gast if gast > 0 else float("inf"),
+            "efficiency": (self.t1_s / (n_workers * makespan_s)
+                           if makespan_s > 0 else 0.0),
+        }
+
+
+def merge_profiles(
+    summaries: Iterable[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Deterministically merge per-shard :meth:`SpanProfiler.summary`
+    dicts into one profile (the ``repro.parallel`` merge).
+
+    Work totals and counters add; ``t_inf_s``/``max_depth`` take the
+    max (shards are independent runs, so the merged critical path is
+    the longest one observed); same-named workers' buckets and wall
+    add.  Associative, so chunked merges equal one flat merge."""
+    out: Optional[Dict[str, Any]] = None
+    for summary in summaries:
+        if out is None:
+            out = {k: (dict(v) if isinstance(v, dict) else v)
+                   for k, v in summary.items()}
+            out["workers"] = {w: dict(row)
+                              for w, row in summary.get("workers", {}).items()}
+            continue
+        for key in ("t1_s", "nodes", "edges", "redo_copies",
+                    "steal_requests", "tasks_stolen", "tasks_migrated",
+                    "heartbeats", "msgs", "msg_bytes", "control_events"):
+            out[key] = out.get(key, 0) + summary.get(key, 0)
+        for key in ("t_inf_s", "max_depth"):
+            out[key] = max(out.get(key, 0), summary.get(key, 0))
+        workers = out["workers"]
+        for name, row in summary.get("workers", {}).items():
+            mine = workers.get(name)
+            if mine is None:
+                workers[name] = dict(row)
+                continue
+            for field, value in row.items():
+                if field.endswith("_s"):
+                    mine[field] = mine.get(field, 0.0) + value
+                elif field == "exit":
+                    mine[field] = value
+        kernel_a = out.get("kernel", {})
+        kernel_b = summary.get("kernel", {})
+        out["kernel"] = {
+            "samples": kernel_a.get("samples", 0) + kernel_b.get("samples", 0),
+        }
+        if "events_processed" in kernel_a or "events_processed" in kernel_b:
+            out["kernel"]["events_processed"] = (
+                kernel_a.get("events_processed", 0)
+                + kernel_b.get("events_processed", 0)
+            )
+    if out is None:
+        return {"schema": PROFILE_SCHEMA, "t1_s": 0.0, "t_inf_s": 0.0,
+                "parallelism": 0.0, "nodes": 0, "edges": 0, "max_depth": 0,
+                "workers": {}}
+    out["parallelism"] = (out["t1_s"] / out["t_inf_s"]
+                          if out.get("t_inf_s") else 0.0)
+    out["workers"] = dict(sorted(out["workers"].items()))
+    return out

@@ -1,0 +1,324 @@
+"""Streaming, bounded-memory sinks for :class:`repro.obs.prof.SpanProfiler`.
+
+The profiler's span stream is append-only and globally time-ordered
+(all hooks fire at the simulator's current time, which never moves
+backwards), so sinks can be pure forward writers: hold at most
+``buffer_events`` rows, flush, repeat.  A million-task run therefore
+profiles in O(buffer) memory — ROADMAP item 1's streaming/bounded
+requirement — and the memory bound is pinned by
+``tests/obs/test_stream.py``.
+
+Two writers share the row vocabulary documented in ``prof.py``:
+
+* :class:`JsonlSpanSink` — one JSON object per line; first line is a
+  ``profile_meta`` header, last line (written by ``close``) is the
+  ``profile_summary``.  This is the mergeable interchange format.
+* :class:`StreamingPerfettoWriter` — incremental Chrome ``traceEvents``
+  JSON.  Execution/phase/participation intervals are emitted as
+  ``B``/``E`` duration pairs *at their start and end times* rather than
+  as ``X`` complete events: an ``X`` is written when the interval ends
+  but stamped with its start time, which would interleave out of order
+  with instants served mid-interval and break the writer's
+  forward-only contract.  ``B``/``E`` keeps every track monotonic by
+  construction (and is what ``validate_perfetto`` pairing-checks).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs.prof import PROFILE_SCHEMA, merge_profiles
+
+_US = 1e6  # seconds -> trace-event microseconds
+
+#: Track layout shared with repro.obs.export: worker rows live in one
+#: "cluster" process, control-plane rows in another.
+WORKERS_PID = 1
+CONTROL_PID = 2
+
+
+class JsonlSpanSink:
+    """Buffered JSON-lines span writer.
+
+    ``path_or_fh`` may be a filesystem path (opened and owned by the
+    sink) or an already-open text file object (borrowed — ``close``
+    flushes but does not close it).  ``events``, ``peak_buffered`` and
+    ``flushes`` expose the memory-bound contract to tests.
+    """
+
+    def __init__(self, path_or_fh: Any, buffer_events: int = 8192,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        if buffer_events < 1:
+            raise ValueError("buffer_events must be >= 1")
+        self.buffer_events = buffer_events
+        if hasattr(path_or_fh, "write"):
+            self._fh: IO[str] = path_or_fh
+            self._owns_fh = False
+            self.path = getattr(path_or_fh, "name", "<stream>")
+        else:
+            self.path = str(path_or_fh)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._owns_fh = True
+        self.events = 0
+        self.peak_buffered = 0
+        self.flushes = 0
+        self._buf: List[str] = []
+        header = {"profile_meta": {"schema": PROFILE_SCHEMA}}
+        if meta:
+            header["profile_meta"].update(meta)
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        self._closed = False
+
+    def emit(self, row: Dict[str, Any]) -> None:
+        self._buf.append(json.dumps(row))
+        self.events += 1
+        n = len(self._buf)
+        if n > self.peak_buffered:
+            self.peak_buffered = n
+        if n >= self.buffer_events:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buf:
+            self._fh.write("\n".join(self._buf) + "\n")
+            self._buf.clear()
+            self.flushes += 1
+
+    def close(self, summary: Optional[Dict[str, Any]] = None) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._flush()
+        if summary is not None:
+            self._fh.write(json.dumps({"profile_summary": summary},
+                                      sort_keys=True) + "\n")
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+
+class TeeSink:
+    """Fan one span stream out to several sinks (e.g. JSONL + Perfetto)."""
+
+    def __init__(self, sinks: Iterable[Any]) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, row: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(row)
+
+    def close(self, summary: Optional[Dict[str, Any]] = None) -> None:
+        for sink in self.sinks:
+            sink.close(summary)
+
+
+class StreamingPerfettoWriter:
+    """Incremental Chrome/Perfetto ``traceEvents`` writer.
+
+    Rows are translated and appended as they arrive; nothing is kept in
+    memory beyond the JSONL-sized buffer, the per-track open-``B``
+    stacks (bounded by nesting depth, <= 3), and the thread-name table.
+    ``close`` auto-closes any still-open ``B`` at the last seen
+    timestamp (a crash can end the sim mid-interval), writes process/
+    thread metadata and the closing bracket, so the document always
+    passes ``validate_perfetto``.
+    """
+
+    def __init__(self, path: str, job_name: str = "job",
+                 buffer_events: int = 8192) -> None:
+        if buffer_events < 1:
+            raise ValueError("buffer_events must be >= 1")
+        self.path = str(path)
+        self.job_name = job_name
+        self.buffer_events = buffer_events
+        self.events = 0
+        self.peak_buffered = 0
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._buf: List[str] = []
+        self._first = True
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self._next_tid: Dict[int, int] = {WORKERS_PID: 1, CONTROL_PID: 1}
+        self._stacks: Dict[Tuple[int, int], List[str]] = {}
+        self._last_ts = 0.0
+        self._closed = False
+        self._fh.write('{"traceEvents":[\n')
+
+    # -- low-level appends ------------------------------------------------
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        text = json.dumps(event)
+        self._buf.append(text if self._first else "," + text)
+        self._first = False
+        self.events += 1
+        n = len(self._buf)
+        if n > self.peak_buffered:
+            self.peak_buffered = n
+        if n >= self.buffer_events:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buf:
+            self._fh.write("\n".join(self._buf) + "\n")
+            self._buf.clear()
+
+    def _tid(self, pid: int, worker: str) -> int:
+        key = (pid, worker)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._next_tid[pid]
+            self._next_tid[pid] = tid + 1
+            self._tids[key] = tid
+        return tid
+
+    def _begin(self, ts: float, pid: int, tid: int, name: str, cat: str,
+               args: Optional[Dict[str, Any]] = None) -> None:
+        event: Dict[str, Any] = {"name": name, "cat": cat, "ph": "B",
+                                 "pid": pid, "tid": tid,
+                                 "ts": round(ts * _US, 3)}
+        if args:
+            event["args"] = args
+        self._append(event)
+        self._stacks.setdefault((pid, tid), []).append(name)
+
+    def _end(self, ts: float, pid: int, tid: int) -> None:
+        stack = self._stacks.get((pid, tid))
+        if not stack:
+            return  # unmatched E: drop rather than corrupt the doc
+        stack.pop()
+        self._append({"ph": "E", "pid": pid, "tid": tid,
+                      "ts": round(ts * _US, 3)})
+
+    def _instant(self, ts: float, pid: int, tid: int, name: str, cat: str,
+                 scope: str, args: Optional[Dict[str, Any]] = None) -> None:
+        event: Dict[str, Any] = {"name": name, "cat": cat, "ph": "i",
+                                 "pid": pid, "tid": tid,
+                                 "ts": round(ts * _US, 3), "s": scope}
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    # -- sink protocol ----------------------------------------------------
+
+    def emit(self, row: Dict[str, Any]) -> None:
+        ev = row["ev"]
+        t = row["t"]
+        if t > self._last_ts:
+            self._last_ts = t
+        if ev.startswith("ch."):
+            tid = 1
+            self._next_tid[CONTROL_PID] = max(self._next_tid[CONTROL_PID], 2)
+            self._tids.setdefault((CONTROL_PID, "clearinghouse"), 1)
+            args = {k: v for k, v in row.items()
+                    if k not in ("ev", "t", "w")}
+            self._instant(t, CONTROL_PID, tid, ev, "control", "p",
+                          args or None)
+            return
+        tid = self._tid(WORKERS_PID, row["w"])
+        if ev == "exec.b":
+            self._begin(t, WORKERS_PID, tid, row["thread"], "exec",
+                        {"cid": str(row["cid"]), "depth": row["depth"]})
+        elif ev == "exec.e":
+            self._end(t, WORKERS_PID, tid)
+        elif ev == "ph.b":
+            self._begin(t, WORKERS_PID, tid, row["ph"], "phase")
+        elif ev == "ph.e":
+            self._end(t, WORKERS_PID, tid)
+        elif ev == "wk.b":
+            self._begin(t, WORKERS_PID, tid, "participating", "worker")
+        elif ev == "wk.e":
+            self._end(t, WORKERS_PID, tid)
+        else:  # steal.*, migrate.*, redo — lifecycle instants
+            args = {k: v for k, v in row.items()
+                    if k not in ("ev", "t", "w")}
+            self._instant(t, WORKERS_PID, tid, ev, "lifecycle", "t",
+                          args or None)
+
+    def close(self, summary: Optional[Dict[str, Any]] = None) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Close intervals left open by a crash or an abrupt sim end;
+        # deepest frames first so B/E nesting stays well-formed.
+        for (pid, tid), stack in sorted(self._stacks.items()):
+            while stack:
+                stack.pop()
+                self._append({"ph": "E", "pid": pid, "tid": tid,
+                              "ts": round(self._last_ts * _US, 3)})
+        self._append({"name": "process_name", "ph": "M", "pid": WORKERS_PID,
+                      "args": {"name": f"cluster:{self.job_name}"}})
+        self._append({"name": "process_name", "ph": "M", "pid": CONTROL_PID,
+                      "args": {"name": "control"}})
+        for (pid, worker), tid in sorted(self._tids.items(),
+                                         key=lambda kv: (kv[0][0], kv[1])):
+            self._append({"name": "thread_name", "ph": "M", "pid": pid,
+                          "tid": tid, "args": {"name": worker}})
+        self._flush()
+        other: Dict[str, Any] = {"schema": PROFILE_SCHEMA,
+                                 "job": self.job_name}
+        if summary is not None:
+            for key in ("t1_s", "t_inf_s", "parallelism", "nodes", "edges",
+                        "max_depth", "redo_copies"):
+                if key in summary:
+                    other[key] = summary[key]
+        self._fh.write('],"displayTimeUnit":"ms","otherData":'
+                       + json.dumps(other, sort_keys=True) + "}\n")
+        self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# JSONL profile readers / merger
+# ----------------------------------------------------------------------
+
+def iter_profile_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield every line of a profile JSONL file as a parsed object
+    (header and summary included), streaming — O(1) memory."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_profile_summary(path: str) -> Optional[Dict[str, Any]]:
+    """Return the ``profile_summary`` object of a JSONL profile, or
+    ``None`` if the file has no summary line (unclosed sink)."""
+    summary: Optional[Dict[str, Any]] = None
+    for obj in iter_profile_jsonl(path):
+        if "profile_summary" in obj:
+            summary = obj["profile_summary"]
+    return summary
+
+
+def merge_profile_jsonl(paths: Iterable[str], out_path: str) -> Dict[str, Any]:
+    """Merge shard profile JSONL files into one: span lines are
+    concatenated in shard order (shards are independent runs; within a
+    shard, order is already time-sorted), summaries combine via
+    :func:`merge_profiles`.  Line-streaming, deterministic — the same
+    shard files in the same order produce a byte-identical output."""
+    paths = list(paths)
+    summaries: List[Dict[str, Any]] = []
+    with open(out_path, "w", encoding="utf-8") as out:
+        out.write(json.dumps(
+            {"profile_meta": {"schema": PROFILE_SCHEMA,
+                              "merged_shards": len(paths)}},
+            sort_keys=True) + "\n")
+        for shard, path in enumerate(paths):
+            for obj in iter_profile_jsonl(path):
+                if "profile_meta" in obj:
+                    continue
+                if "profile_summary" in obj:
+                    summaries.append(obj["profile_summary"])
+                    continue
+                obj["shard"] = shard
+                out.write(json.dumps(obj) + "\n")
+        merged = merge_profiles(summaries)
+        out.write(json.dumps({"profile_summary": merged},
+                             sort_keys=True) + "\n")
+    return merged
+
+
+def warn_stream(message: str, stream: Optional[IO[str]] = None) -> None:
+    """Small stderr-warning helper (kept here so CLI tests can hook it)."""
+    print(message, file=stream if stream is not None else sys.stderr)

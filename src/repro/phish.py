@@ -47,6 +47,8 @@ class JobResult:
     network: Optional[Network] = field(repr=False, default=None)
     trace: Optional[TraceLog] = field(repr=False, default=None)
     metrics: Optional[MetricsRegistry] = field(repr=False, default=None)
+    #: Finalized :meth:`SpanProfiler.summary` when a profiler was wired.
+    profile: Optional[dict] = field(repr=False, default=None)
 
 
 def build_cluster(
@@ -99,6 +101,7 @@ def run_job(
     drain_s: float = 2.0,
     profiles: Optional[List[PlatformProfile]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Any] = None,
 ) -> JobResult:
     """Run *job* on *n_workers* dedicated workstations and collect stats.
 
@@ -120,6 +123,9 @@ def run_job(
             cluster); overrides *profile* machine-by-machine.
         metrics: optional :class:`MetricsRegistry` wired through the
             network, Clearinghouse, and every worker (``repro.cli obs``).
+        profiler: optional :class:`~repro.obs.prof.SpanProfiler` wired
+            through the same seams (``repro profile``); finalized after
+            the drain, with its summary on ``JobResult.profile``.
     """
     sim = Simulator()
     reg = RngRegistry(seed)
@@ -129,9 +135,12 @@ def run_job(
     )
     if metrics is not None:
         network.attach_metrics(metrics)
+    if profiler is not None:
+        network.attach_profiler(profiler)
+        profiler.attach_sim(sim)
 
     ch = Clearinghouse(sim, network, hosts[0].name, job.name, ch_config, tracelog,
-                       metrics=metrics)
+                       metrics=metrics, profiler=profiler)
 
     base_cfg = worker_config or WorkerConfig()
     jitter_rng = reg.stream("start.jitter")
@@ -150,11 +159,14 @@ def run_job(
                 rng=reg.stream(f"worker.{i}"),
                 trace=tracelog,
                 metrics=metrics,
+                profiler=profiler,
             )
         )
 
     sim.run(ch.done.wait())
     sim.run(until=sim.now + drain_s)  # let the done broadcast land everywhere
+    if profiler is not None:
+        profiler.finalize(sim.now)
 
     stats = JobStats(
         workers=[w.stats for w in workers],
@@ -172,4 +184,5 @@ def run_job(
         network=network,
         trace=tracelog,
         metrics=metrics,
+        profile=profiler.summary() if profiler is not None else None,
     )

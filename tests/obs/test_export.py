@@ -113,3 +113,80 @@ def test_validate_rejects_malformed_documents():
         {"ph": "i", "s": "t", "name": "b", "pid": 1, "tid": 1, "ts": 4.0},
     ]}
     assert any("monotonic" in p for p in validate_perfetto(unordered))
+
+
+def _doc(events):
+    return {"traceEvents": events}
+
+
+def _b(name, ts, pid=1, tid=1):
+    return {"ph": "B", "name": name, "pid": pid, "tid": tid, "ts": ts}
+
+
+def _e(ts, pid=1, tid=1, name=None):
+    ev = {"ph": "E", "pid": pid, "tid": tid, "ts": ts}
+    if name is not None:
+        ev["name"] = name
+    return ev
+
+
+def test_validate_accepts_nested_duration_pairs():
+    doc = _doc([
+        _b("participating", 0.0),
+        _b("working", 1.0),
+        _e(2.0),
+        _b("stealing", 3.0),
+        _e(4.0, name="stealing"),
+        _e(5.0),
+    ])
+    assert validate_perfetto(doc) == []
+
+
+def test_validate_rejects_end_without_begin():
+    problems = validate_perfetto(_doc([_e(1.0)]))
+    assert any("no open B" in p for p in problems)
+
+
+def test_validate_rejects_mismatched_named_end():
+    doc = _doc([_b("working", 0.0), _e(1.0, name="stealing")])
+    problems = validate_perfetto(doc)
+    assert any("'stealing'" in p and "'working'" in p for p in problems)
+
+
+def test_validate_rejects_unclosed_begin():
+    problems = validate_perfetto(_doc([_b("working", 0.0)]))
+    assert problems == ["unclosed B 'working' on track (1, 1)"]
+
+
+def test_validate_pairs_tracks_independently():
+    # An E on a different (pid, tid) must not close another track's B.
+    doc = _doc([_b("working", 0.0, tid=1), _e(1.0, tid=2)])
+    problems = validate_perfetto(doc)
+    assert any("no open B on track (1, 2)" in p for p in problems)
+    assert any("unclosed B 'working' on track (1, 1)" in p for p in problems)
+
+
+def test_validate_requires_b_and_e_keys():
+    problems = validate_perfetto(_doc([{"ph": "B", "pid": 1, "tid": 1,
+                                        "ts": 0.0}]))
+    assert any("missing keys ['name']" in p for p in problems)
+    problems = validate_perfetto(_doc([{"ph": "E", "pid": 1, "ts": 0.0}]))
+    assert any("missing keys ['tid']" in p for p in problems)
+
+
+def test_export_records_truncation_in_metadata():
+    trace = TraceLog(capacity=4)
+    for i in range(8):
+        trace.emit(float(i), "steal.request", "ws00", victim="ws01")
+    assert trace.truncated
+    doc = to_perfetto(trace)
+    assert doc["otherData"]["trace_truncated"] is True
+    assert doc["otherData"]["trace_dropped"] == trace.dropped
+
+
+def test_export_untruncated_metadata_flag_false():
+    trace = TraceLog()
+    trace.emit(0.0, "worker.start", "ws00")
+    doc = to_perfetto(trace)
+    assert doc["otherData"]["trace_truncated"] is False
+    assert doc["otherData"]["trace_dropped"] == 0

@@ -64,8 +64,21 @@ class TestMergeSnapshots:
         reg_a.histogram("h", edges=(1.0, 2.0)).observe(1.5)
         reg_b = MetricsRegistry()
         reg_b.histogram("h", edges=(1.0, 3.0)).observe(1.5)
-        with pytest.raises(ReproError, match="edges differ"):
+        with pytest.raises(ValueError, match="edges differ"):
             merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+
+    def test_mismatched_histogram_error_names_metric_and_edges(self):
+        """Regression: the error must name the offending metric and both
+        edge tuples, and must fire before any counts are combined."""
+        reg_a = MetricsRegistry()
+        reg_a.histogram("micro.steal.latency_s", edges=(1.0, 2.0)).observe(1.5)
+        reg_b = MetricsRegistry()
+        reg_b.histogram("micro.steal.latency_s", edges=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(ValueError) as err:
+            merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+        msg = str(err.value)
+        assert "micro.steal.latency_s" in msg
+        assert "[1.0, 2.0]" in msg and "[1.0, 3.0]" in msg
 
     def test_mismatched_kinds_rejected(self):
         reg_a = MetricsRegistry()

@@ -1,0 +1,199 @@
+"""Streaming profile sinks: bounded memory, Perfetto validity, merging."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.apps.fib import fib_job
+from repro.obs import (
+    JsonlSpanSink,
+    SpanProfiler,
+    StreamingPerfettoWriter,
+    TeeSink,
+    iter_profile_jsonl,
+    merge_profile_jsonl,
+    read_profile_summary,
+)
+from repro.obs.export import validate_perfetto
+from repro.phish import run_job
+
+
+def _stream_fib(n, path, seed=1, n_workers=4, **sink_kwargs):
+    sink = JsonlSpanSink(path, **sink_kwargs)
+    prof = SpanProfiler(sink=sink)
+    res = run_job(fib_job(n), n_workers=n_workers, seed=seed, profiler=prof)
+    return res, prof, sink
+
+
+class TestJsonlSpanSink:
+    def test_header_rows_and_summary_roundtrip(self, tmp_path):
+        path = str(tmp_path / "prof.jsonl")
+        res, prof, sink = _stream_fib(8, path, meta={"app": "fib", "seed": 1})
+        lines = list(iter_profile_jsonl(path))
+        assert "profile_meta" in lines[0]
+        assert lines[0]["profile_meta"]["app"] == "fib"
+        assert "profile_summary" in lines[-1]
+        summary = read_profile_summary(path)
+        assert summary == res.profile
+        assert summary["nodes"] == prof.nodes
+        # every intermediate line is a span row with a time and kind
+        for obj in lines[1:-1]:
+            assert "ev" in obj and "t" in obj
+
+    def test_rows_globally_time_sorted(self, tmp_path):
+        path = str(tmp_path / "prof.jsonl")
+        _stream_fib(10, path)
+        times = [obj["t"] for obj in iter_profile_jsonl(path)
+                 if "ev" in obj]
+        assert times == sorted(times)
+
+    def test_borrowed_fh_not_closed(self):
+        fh = io.StringIO()
+        sink = JsonlSpanSink(fh, buffer_events=2)
+        sink.emit({"ev": "x", "t": 0.0})
+        sink.close({"nodes": 0})
+        assert not fh.closed
+        lines = [json.loads(l) for l in fh.getvalue().splitlines()]
+        assert "profile_meta" in lines[0]
+        assert lines[-1]["profile_summary"]["nodes"] == 0
+
+    def test_close_idempotent(self, tmp_path):
+        path = str(tmp_path / "p.jsonl")
+        sink = JsonlSpanSink(path)
+        sink.close({"nodes": 1})
+        sink.close({"nodes": 2})
+        assert read_profile_summary(path)["nodes"] == 1
+
+    def test_rejects_nonpositive_buffer(self):
+        with pytest.raises(ValueError, match="buffer_events"):
+            JsonlSpanSink(io.StringIO(), buffer_events=0)
+
+
+class TestBoundedMemory:
+    def test_million_events_stay_within_buffer_bound(self):
+        """The acceptance bound: a >= 1M-event stream is held in
+        O(buffer) memory — peak buffered rows never exceed the
+        configured buffer, independent of stream length."""
+        buffer_events = 4096
+        with open(os.devnull, "w", encoding="utf-8") as devnull:
+            sink = JsonlSpanSink(devnull, buffer_events=buffer_events)
+            row = {"ev": "exec.b", "t": 0.0, "w": "ws00", "cid": 1,
+                   "thread": "fib_task", "depth": 0}
+            for i in range(1_000_000):
+                row["t"] = i * 1e-6
+                sink.emit(row)
+            sink.close()
+        assert sink.events == 1_000_000
+        assert sink.peak_buffered <= buffer_events
+        assert sink.flushes >= 1_000_000 // buffer_events
+
+    def test_perfetto_writer_buffer_bound(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        writer = StreamingPerfettoWriter(path, buffer_events=64)
+        for i in range(10_000):
+            t = i * 1e-6
+            writer.emit({"ev": "exec.b", "t": t, "w": "ws00", "cid": i,
+                         "thread": "t", "depth": 0})
+            writer.emit({"ev": "exec.e", "t": t + 5e-7, "w": "ws00",
+                         "cid": i})
+        writer.close()
+        assert writer.peak_buffered <= 64
+        with open(path, encoding="utf-8") as fh:
+            assert validate_perfetto(json.load(fh)) == []
+
+
+class TestStreamingPerfettoWriter:
+    def test_streamed_run_validates(self, tmp_path):
+        perfetto = str(tmp_path / "trace.json")
+        writer = StreamingPerfettoWriter(perfetto, job_name="fib")
+        prof = SpanProfiler(sink=writer)
+        run_job(fib_job(10), n_workers=4, seed=1, profiler=prof)
+        with open(perfetto, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_perfetto(doc) == []
+        other = doc["otherData"]
+        assert other["job"] == "fib"
+        assert other["nodes"] == prof.nodes
+        assert other["t_inf_s"] == prof.t_inf_s
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        assert {"ws00", "ws01", "ws02", "ws03"} <= names
+
+    def test_auto_closes_open_intervals(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        writer = StreamingPerfettoWriter(path)
+        writer.emit({"ev": "wk.b", "t": 0.0, "w": "ws00"})
+        writer.emit({"ev": "ph.b", "t": 1.0, "w": "ws00", "ph": "stealing"})
+        writer.close()  # both B's still open: must be auto-closed
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_perfetto(doc) == []
+        assert sum(e["ph"] == "E" for e in doc["traceEvents"]) == 2
+
+    def test_unmatched_end_dropped(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        writer = StreamingPerfettoWriter(path)
+        writer.emit({"ev": "exec.e", "t": 1.0, "w": "ws00", "cid": 1})
+        writer.close()
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_perfetto(doc) == []
+        assert not any(e["ph"] == "E" for e in doc["traceEvents"])
+
+
+class TestTeeSink:
+    def test_fans_out_and_closes_all(self, tmp_path):
+        fh = io.StringIO()
+        jsonl = JsonlSpanSink(fh)
+        perfetto = StreamingPerfettoWriter(str(tmp_path / "t.json"))
+        tee = TeeSink([jsonl, perfetto])
+        tee.emit({"ev": "wk.b", "t": 0.0, "w": "ws00"})
+        tee.close({"nodes": 1, "t1_s": 0.0})
+        assert jsonl.events == 1 and perfetto.events >= 1
+        with open(perfetto.path, encoding="utf-8") as f:
+            assert validate_perfetto(json.load(f)) == []
+
+
+class TestMergeProfileJsonl:
+    def _shards(self, tmp_path, seeds):
+        paths = []
+        for seed in seeds:
+            path = str(tmp_path / f"shard{seed}.jsonl")
+            _stream_fib(7, path, seed=seed, n_workers=2)
+            paths.append(path)
+        return paths
+
+    def test_merged_summary_matches_merge_profiles(self, tmp_path):
+        from repro.parallel import merge_profiles
+
+        paths = self._shards(tmp_path, (0, 1))
+        out = str(tmp_path / "merged.jsonl")
+        merged = merge_profile_jsonl(paths, out)
+        expected = merge_profiles(
+            [read_profile_summary(p) for p in paths])
+        assert json.dumps(merged, sort_keys=True) == \
+            json.dumps(expected, sort_keys=True)
+        assert read_profile_summary(out) == merged
+
+    def test_merge_is_byte_deterministic(self, tmp_path):
+        paths = self._shards(tmp_path, (0, 1))
+        out_a = str(tmp_path / "a.jsonl")
+        out_b = str(tmp_path / "b.jsonl")
+        merge_profile_jsonl(paths, out_a)
+        merge_profile_jsonl(paths, out_b)
+        with open(out_a, "rb") as fa, open(out_b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_span_lines_tagged_with_shard_and_counts_preserved(self, tmp_path):
+        paths = self._shards(tmp_path, (0, 1))
+        out = str(tmp_path / "merged.jsonl")
+        merge_profile_jsonl(paths, out)
+        span_rows = [o for o in iter_profile_jsonl(out) if "ev" in o]
+        assert {o["shard"] for o in span_rows} == {0, 1}
+        per_shard = [
+            sum(1 for o in iter_profile_jsonl(p) if "ev" in o)
+            for p in paths
+        ]
+        assert len(span_rows) == sum(per_shard)

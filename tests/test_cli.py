@@ -138,3 +138,68 @@ def test_seed_accepted_after_subcommand(capsys):
     out2 = capsys.readouterr().out
     strip = lambda s: "\n".join(l for l in s.splitlines() if "regenerated" not in l)  # noqa: E731
     assert strip(out1) == strip(out2)
+
+
+def test_profile_command_reports_bounds_and_attribution(capsys):
+    assert main(["--seed", "1", "profile", "--scale", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "Critical-path profile" in out
+    assert "T1 (total work)" in out and "T-inf (span)" in out
+    assert "parallelism T1/T-inf" in out
+    assert "greedy  T1/P + T-inf" in out
+    assert "Gast (latency-aware" in out
+    # The per-worker attribution table carries every overhead bucket.
+    assert "Per-worker wall-clock attribution" in out
+    for column in ("working (s)", "stealing (s)", "migrating (s)",
+                   "protocol (s)", "idle (s)"):
+        assert column in out
+    assert "TOTAL" in out
+
+
+def test_profile_command_knary(capsys):
+    assert main(["--seed", "2", "profile", "--app", "knary",
+                 "--scale", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Critical-path profile" in out
+    assert "parallelism T1/T-inf" in out
+
+
+def test_profile_command_streams_both_outputs(capsys, tmp_path):
+    import json
+
+    from repro.apps.fib import task_count
+    from repro.obs import read_profile_summary, validate_perfetto
+
+    jsonl = tmp_path / "prof.jsonl"
+    trace = tmp_path / "prof_trace.json"
+    assert main(["--seed", "1", "profile", "--scale", "10",
+                 "--out", str(jsonl), "--perfetto", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote span stream" in out and "wrote Perfetto profile" in out
+    summary = read_profile_summary(str(jsonl))
+    assert summary["nodes"] == task_count(10)
+    doc = json.loads(trace.read_text())
+    assert validate_perfetto(doc) == []
+    assert doc["otherData"]["nodes"] == task_count(10)
+
+
+def test_warn_truncated_helper(capsys):
+    import io
+
+    from repro.cli import _warn_truncated
+    from repro.util.trace import TraceLog
+
+    quiet = TraceLog()
+    quiet.emit(0.0, "worker.start", "ws00")
+    assert _warn_truncated(quiet) is False
+    assert capsys.readouterr().err == ""
+
+    noisy = TraceLog(capacity=2)
+    for i in range(5):
+        noisy.emit(float(i), "steal.request", "ws00", victim="ws01")
+    stream = io.StringIO()
+    assert _warn_truncated(noisy, stream=stream) is True
+    message = stream.getvalue()
+    assert "truncated" in message
+    assert str(noisy.dropped) in message
+    assert "starts mid-run" in message
