@@ -10,6 +10,7 @@ Usage::
                                    retirement|faults|heterogeneity|all]
     python -m repro.cli macro-demo
     python -m repro.cli latency --jobs 4
+    python -m repro.cli traffic --policies rr,srp,fair,interrupt --jobs 4
     python -m repro.cli check --seeds 100 --app fib --jobs 4
     python -m repro.cli check --seeds 25 --scenario partition
     python -m repro.cli bench --out BENCH_kernel.json
@@ -326,6 +327,34 @@ def _cmd_latency(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_traffic(args: argparse.Namespace) -> str:
+    """Policy × arrival competition under thousand-job synthetic
+    traffic on the real PhishJobQ (see docs/traffic.md)."""
+    from repro.experiments.traffic import format_traffic, run_traffic_matrix
+    from repro.macro.traffic import TrafficConfig
+
+    started = time.time()
+    base = TrafficConfig(
+        rate_per_s=args.rate,
+        owners=args.owners,
+        sizes=args.sizes,
+    )
+    matrix = run_traffic_matrix(
+        policies=[p for p in args.policies.split(",") if p],
+        arrivals=[a for a in args.arrivals.split(",") if a],
+        n_jobs=args.njobs,
+        n_workstations=args.machines,
+        seed=args.seed,
+        jobs=args.jobs,
+        base=base,
+    )
+    return format_traffic(matrix) + _maybe_manifest(
+        args, "traffic", "traffic",
+        {"workers": args.machines, "n_jobs": args.njobs},
+        time.time() - started,
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> str:
     """Benchmark the simulation substrate and record BENCH_kernel.json
     (see docs/performance.md)."""
@@ -515,6 +544,7 @@ COMMANDS = {
     "timeline": _cmd_timeline,
     "harvest": _cmd_harvest,
     "latency": _cmd_latency,
+    "traffic": _cmd_traffic,
     "check": _cmd_check,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
@@ -626,6 +656,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     lat.add_argument("--manifest", default=None, metavar="PATH",
                      help="also write a run-provenance manifest JSON")
     add_jobs(lat)
+    traffic = sub.add_parser(
+        "traffic",
+        help="run the policy x arrival competition under thousand-job "
+             "synthetic traffic on the real PhishJobQ and report "
+             "makespan, throughput and job-latency percentiles",
+    )
+    traffic.add_argument("--policies", default="rr,srp,fair,interrupt",
+                         metavar="LIST",
+                         help="comma-separated assignment policies "
+                              "(default rr,srp,fair,interrupt)")
+    traffic.add_argument("--arrivals", default="poisson,diurnal",
+                         metavar="LIST",
+                         help="comma-separated arrival processes: poisson, "
+                              "diurnal, bursty (default poisson,diurnal)")
+    traffic.add_argument("--njobs", type=int, default=1000,
+                         help="jobs submitted per cell (default 1000)")
+    traffic.add_argument("--machines", type=int, default=16,
+                         help="workstations in the network (default 16)")
+    traffic.add_argument("--rate", type=float, default=0.5,
+                         help="mean arrival rate, jobs per simulated "
+                              "second (default 0.5)")
+    traffic.add_argument("--sizes", default="pareto",
+                         choices=["pareto", "exponential"],
+                         help="job-size distribution (default pareto, "
+                              "heavy-tailed)")
+    traffic.add_argument("--owners", default="idle",
+                         choices=["idle", "workday"],
+                         help="owner model: dedicated idle machines or "
+                              "replayed login/logout logs (default idle)")
+    traffic.add_argument("--manifest", default=None, metavar="PATH",
+                         help="also write a run-provenance manifest JSON")
+    add_jobs(traffic)
     chk = sub.add_parser(
         "check",
         help="fuzz schedules (tie-breaks, jitter, crashes, reclaims) and "

@@ -15,9 +15,13 @@ from repro.macro.jobmanager import JobManagerConfig, PhishJobManager
 from repro.macro.jobq import PhishJobQ
 from repro.macro.policies import (
     AssignmentPolicy,
+    FairShareAssignment,
+    InterruptSharingAssignment,
     LeastWorkersAssignment,
     PriorityAssignment,
     RoundRobinAssignment,
+    ShortestRemainingAssignment,
+    make_policy,
 )
 from repro.macro.system import PhishSystem, PhishSystemConfig
 
@@ -31,6 +35,10 @@ __all__ = [
     "RoundRobinAssignment",
     "LeastWorkersAssignment",
     "PriorityAssignment",
+    "ShortestRemainingAssignment",
+    "FairShareAssignment",
+    "InterruptSharingAssignment",
+    "make_policy",
     "PhishSystem",
     "PhishSystemConfig",
 ]

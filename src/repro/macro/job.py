@@ -34,6 +34,19 @@ class JobRecord:
     #: grant/release notifications).
     participants: Set[str] = field(default_factory=set)
     done: bool = False
+    #: Accounting owner for fair-share scheduling (None: the ch_host).
+    owner: Optional[str] = None
+    #: Estimated total service demand in machine-seconds, when the
+    #: submitter knows it (the traffic engine's synthetic jobs do).
+    size_hint_s: Optional[float] = None
+    #: Remaining service demand, decremented as machines serve the job;
+    #: the SRP policy orders its index by this estimate.
+    remaining_s: Optional[float] = None
+    #: Cap on concurrent participants (None: unbounded, the paper's
+    #: default — every idle machine may join).
+    max_workers: Optional[int] = None
+    #: Simulated time of the first JobQ grant (queue-wait accounting).
+    first_granted_at: Optional[float] = None
 
     @property
     def name(self) -> str:

@@ -5,11 +5,18 @@ pool of parallel jobs.  When a Phish application begins execution, it
 is submitted to the PhishJobQ.  When an idle workstation requests a
 job, the PhishJobQ assigns one of its parallel jobs to the idle
 workstation."
+
+Scale discipline (the production-traffic upgrade): the active pool is
+an insertion-ordered index and every assignment decision goes through
+the policy's own index (:mod:`repro.macro.policies`), so a request
+costs O(log n) — the seed's per-request linear ``pool()`` rebuild is
+gone.  ``list_jobs`` is paginated so one RPC reply stays bounded no
+matter how many thousand jobs the queue has seen.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import JobError
 from repro.macro.job import JobRecord
@@ -17,10 +24,14 @@ from repro.macro.policies import AssignmentPolicy, RoundRobinAssignment
 from repro.micro import protocol as P
 from repro.net.network import Network
 from repro.net.rpc import RpcServer
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import DURATION_BUCKETS_S, MetricsRegistry
 from repro.sim.core import Simulator
 from repro.tasks.program import JobProgram
 from repro.util.trace import TraceLog
+
+#: Most job summaries one ``list_jobs`` reply will carry; pass
+#: ``{"after": last_job_id}`` to page through a bigger queue.
+DEFAULT_LIST_LIMIT = 256
 
 
 class PhishJobQ:
@@ -40,20 +51,31 @@ class PhishJobQ:
         self.host = host
         self.policy = policy or RoundRobinAssignment()
         self.trace = trace
+        #: Every record ever submitted (completion keeps the record for
+        #: latency accounting; assignment never touches this dict).
         self.jobs: Dict[int, JobRecord] = {}
+        #: The live pool: insertion-ordered, completed jobs removed.
+        self._active: Dict[int, JobRecord] = {}
+        #: priority -> {job_id: record} over active jobs, the index
+        #: behind ``check_preempt`` (distinct priority levels are few).
+        self._levels: Dict[int, Dict[int, JobRecord]] = {}
         self._next_job_id = 0
+        #: Callbacks fired when the pool gains assignable work (a submit
+        #: or a release) — the interrupt-driven sharing hook.
+        self._pool_listeners: List[Callable[[], None]] = []
         #: Counters for the macro-level experiments.
         self.requests = 0
         self.grants = 0
         #: Observability: queue wait from submission to first grant.
         if metrics is not None:
-            self._m_queue_wait = metrics.histogram("macro.jobq.wait_s")
+            self._m_queue_wait = metrics.histogram(
+                "macro.jobq.wait_s", DURATION_BUCKETS_S)
             self._m_grants = metrics.counter("macro.jobq.grants.count")
+            self._m_depth = metrics.gauge("macro.jobq.depth")
         else:
             self._m_queue_wait = None
             self._m_grants = None
-        #: Job ids whose queue wait has been observed (first grant only).
-        self._waited: set = set()
+            self._m_depth = None
 
         self.rpc = RpcServer(network, host, P.JOBQ_PORT, name="jobq")
         self.rpc.register("submit", self._rpc_submit)
@@ -65,48 +87,87 @@ class PhishJobQ:
 
     # -- direct (same-process) API, used by PhishSystem -----------------------
 
-    def submit_record(self, program: JobProgram, ch_host: str, priority: int = 0) -> JobRecord:
-        """Create and pool a job record (the submitter starts the CH)."""
+    def submit_record(
+        self,
+        program: JobProgram,
+        ch_host: str,
+        priority: int = 0,
+        owner: Optional[str] = None,
+        size_hint_s: Optional[float] = None,
+        max_workers: Optional[int] = None,
+        register_first_worker: bool = True,
+    ) -> JobRecord:
+        """Create and pool a job record (the submitter starts the CH).
+
+        ``register_first_worker=False`` pools the job without counting
+        the submit host as a participant (no first worker starts there
+        — the traffic engine's mode).
+        """
         record = JobRecord(
             job_id=self._next_job_id,
             program=program,
             ch_host=ch_host,
             priority=priority,
             submitted_at=self.sim.now,
+            owner=owner,
+            size_hint_s=size_hint_s,
+            remaining_s=size_hint_s,
+            max_workers=max_workers,
         )
         self._next_job_id += 1
-        record.participants.add(ch_host)  # the submitter's first worker
+        if register_first_worker:
+            record.participants.add(ch_host)  # the submitter's first worker
         self.jobs[record.job_id] = record
+        self._active[record.job_id] = record
+        self._levels.setdefault(record.priority, {})[record.job_id] = record
+        self.policy.on_submit(record)
+        if self._m_depth is not None:
+            self._m_depth.set(len(self._active))
         if self.trace is not None:
             self.trace.emit(self.sim.now, "jobq.submit", self.host,
                             job=record.name, id=record.job_id)
+        self._notify_pool_change()
         return record
 
     @property
     def pool(self) -> List[JobRecord]:
         """Jobs currently available for assignment (submission order)."""
-        return [rec for rec in self.jobs.values() if not rec.done]
+        return list(self._active.values())
+
+    def add_pool_listener(self, callback: Callable[[], None]) -> None:
+        """Call *callback* whenever a submit or release adds assignable
+        work — interrupt-driven schedulers wake parked machines here."""
+        self._pool_listeners.append(callback)
+
+    def _notify_pool_change(self) -> None:
+        for callback in self._pool_listeners:
+            callback()
 
     # -- RPC handlers -----------------------------------------------------------
 
     def _rpc_submit(self, args: dict, _msg) -> int:
         record = self.submit_record(
-            args["program"], args["ch_host"], args.get("priority", 0)
+            args["program"], args["ch_host"], args.get("priority", 0),
+            owner=args.get("owner"),
+            size_hint_s=args.get("size_hint_s"),
+            max_workers=args.get("max_workers"),
         )
         return record.job_id
 
     def _rpc_request_job(self, workstation: str, _msg) -> Optional[dict]:
         self.requests += 1
-        record = self.policy.choose(self.pool, workstation)
+        record = self.policy.choose(workstation)
         if record is None:
             return None
         record.participants.add(workstation)
+        self.policy.on_grant(record, workstation)
         self.grants += 1
+        if record.first_granted_at is None:
+            record.first_granted_at = self.sim.now
+            if self._m_queue_wait is not None:
+                self._m_queue_wait.observe(self.sim.now - record.submitted_at)
         if self._m_grants is not None:
             self._m_grants.inc()
-            if record.job_id not in self._waited:
-                self._waited.add(record.job_id)
-                self._m_queue_wait.observe(self.sim.now - record.submitted_at)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "jobq.grant", self.host,
                             job=record.name, to=workstation)
@@ -116,8 +177,19 @@ class PhishJobQ:
         record = self.jobs.get(job_id)
         if record is None:
             raise JobError(f"job_done for unknown job {job_id}")
+        if record.done:
+            raise JobError(f"job_done twice for job {job_id}")
         record.done = True
         record.finished_at = self.sim.now
+        self._active.pop(job_id, None)
+        level = self._levels.get(record.priority)
+        if level is not None:
+            level.pop(job_id, None)
+            if not level:
+                del self._levels[record.priority]
+        self.policy.on_done(record)
+        if self._m_depth is not None:
+            self._m_depth.set(len(self._active))
         if self.trace is not None:
             self.trace.emit(self.sim.now, "jobq.done", self.host, id=job_id)
         return True
@@ -125,7 +197,12 @@ class PhishJobQ:
     def _rpc_release(self, args: dict, _msg) -> bool:
         record = self.jobs.get(args["job_id"])
         if record is not None:
-            record.participants.discard(args["workstation"])
+            workstation = args["workstation"]
+            if workstation in record.participants:
+                record.participants.discard(workstation)
+                self.policy.on_release(record, workstation)
+                if not record.done:
+                    self._notify_pool_change()
         return True
 
     def _rpc_check_preempt(self, args: dict, _msg) -> bool:
@@ -134,28 +211,54 @@ class PhishJobQ:
         The paper: "the macro-level scheduler may preempt the process due
         to scheduling priority.  This preemption is the only case in
         which the macro-level scheduler performs time-sharing."
+
+        Indexed per priority level: only jobs at levels strictly above
+        the current one are examined (distinct levels are few, so this
+        stays far from a full pool scan).
         """
         current = self.jobs.get(args["job_id"])
         if current is None or current.done:
             return False
         workstation = args["workstation"]
-        return any(
-            rec.priority > current.priority
-            for rec in self.pool
-            if workstation not in rec.participants
-        )
+        for priority in sorted(self._levels, reverse=True):
+            if priority <= current.priority:
+                break
+            for rec in self._levels[priority].values():
+                if workstation not in rec.participants:
+                    return True
+        return False
 
-    def _rpc_list_jobs(self, _args, _msg) -> List[dict]:
-        return [
-            {
+    def _rpc_list_jobs(self, args, _msg) -> List[dict]:
+        """A bounded page of job summaries, ordered by job id.
+
+        ``args`` may carry ``{"after": job_id, "limit": n}``; the reply
+        holds at most ``limit`` (default :data:`DEFAULT_LIST_LIMIT`)
+        entries, so a thousand-job queue pages instead of shipping one
+        unbounded datagram.  An empty reply means the walk is complete.
+        """
+        after = -1
+        limit = DEFAULT_LIST_LIMIT
+        if isinstance(args, dict):
+            after = args.get("after", -1)
+            limit = min(int(args.get("limit", DEFAULT_LIST_LIMIT)),
+                        DEFAULT_LIST_LIMIT)
+        page: List[dict] = []
+        # Job ids are dense (0..next-1), so the walk costs O(page), not
+        # O(all jobs ever).
+        for job_id in range(after + 1, self._next_job_id):
+            rec = self.jobs.get(job_id)
+            if rec is None:
+                continue
+            page.append({
                 "job_id": rec.job_id,
                 "name": rec.name,
                 "done": rec.done,
                 "participants": sorted(rec.participants),
                 "priority": rec.priority,
-            }
-            for rec in self.jobs.values()
-        ]
+            })
+            if len(page) >= limit:
+                break
+        return page
 
     def stop(self) -> None:
         self.rpc.stop()

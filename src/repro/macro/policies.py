@@ -4,84 +4,434 @@
 round-robin scheduling algorithm to assign jobs.  Future implementations
 of Phish will provide opportunities for using and studying more
 sophisticated job assignment algorithms" — this module is that
-opportunity: round-robin (the paper), least-participants (space-share
-evenly), and strict priority.
+opportunity.  Policies are *indexed*: the JobQ notifies them of pool
+events (submit/grant/release/done) and :meth:`~AssignmentPolicy.choose`
+consults an internal structure instead of scanning the pool, so one
+assignment costs O(log n) (plus one step per job the requester already
+participates in) even with thousands of queued jobs.
+
+Implemented policies:
+
+* **round-robin** — the paper's algorithm, on a circular list.
+* **priority** — strict priority; least-recently-granted within a level.
+* **least-workers** — fewest current participants first (space-share).
+* **srp** — shortest remaining parallelism: the job closest to done
+  (by its remaining-work estimate) gets the next machine, the macro
+  analogue of SRPT.
+* **fair-share** — owners with the least accumulated grants go first;
+  round-robin among one owner's jobs.
+* **interrupt** — round-robin order, but flagged ``interrupt_driven``:
+  the traffic engine parks idle machines and wakes them the moment the
+  pool gains work (the work-sharing discipline of Rokos, Gorman & Kelly)
+  instead of letting them poll on a timer.
+
+Determinism contract (pinned by ``tests/macro/test_properties.py``):
+every tie on a policy's primary criterion breaks on explicitly ordered
+secondary keys ending in the job id, never on incidental list or hash
+order, so the same seed always yields the same assignment sequence.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Optional
 
 from repro.macro.job import JobRecord
+from repro.macro.jobindex import CycleList, LazyMinHeap
+
+#: Remaining-work stand-in for jobs that never declared a size: they
+#: sort after every estimated job (SRP serves known-short work first).
+_UNSIZED = float("inf")
 
 
 class AssignmentPolicy:
-    """Chooses which pool job to hand an idle workstation."""
+    """Chooses which pool job to hand an idle workstation.
+
+    The JobQ drives the lifecycle: :meth:`on_submit` when a job enters
+    the pool, :meth:`on_grant`/:meth:`on_release` as participation
+    changes (these refresh any participation-derived index keys), and
+    :meth:`on_done` when it completes.  :meth:`choose` may advance
+    policy-internal rotation state (cursor, usage counters): the JobQ
+    always grants what ``choose`` returns.
+
+    ``scanned`` counts candidate records examined across all ``choose``
+    calls — the regression tests pin it to stay within a small constant
+    factor of the grant count, which is what "indexed, not O(n) scans"
+    means operationally.
+    """
 
     name = "abstract"
+    #: True for policies that want idle machines notified (interrupted)
+    #: when the pool gains work, rather than polling on a timer.
+    interrupt_driven = False
 
-    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
-        """Pick a job for *requester*, or None if nothing is eligible.
-
-        A job is ineligible if the requester already participates in it
-        (a workstation runs at most one worker per job).
-        """
-        raise NotImplementedError
+    def __init__(self) -> None:
+        self.scanned = 0
 
     @staticmethod
-    def eligible(pool: List[JobRecord], requester: str) -> List[JobRecord]:
-        return [
-            rec for rec in pool if not rec.done and requester not in rec.participants
-        ]
+    def eligible(record: JobRecord, requester: str) -> bool:
+        """May *record* be assigned to *requester*?
+
+        Ineligible when done, when the requester already participates
+        (a workstation runs at most one worker per job), or when the
+        job's ``max_workers`` cap is already met.
+        """
+        return (
+            not record.done
+            and requester not in record.participants
+            and (record.max_workers is None
+                 or len(record.participants) < record.max_workers)
+        )
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def on_submit(self, record: JobRecord) -> None:
+        raise NotImplementedError
+
+    def on_done(self, record: JobRecord) -> None:
+        raise NotImplementedError
+
+    def on_grant(self, record: JobRecord, workstation: str) -> None:
+        pass
+
+    def on_release(self, record: JobRecord, workstation: str) -> None:
+        pass
+
+    # -- assignment ----------------------------------------------------
+
+    def choose(self, requester: str) -> Optional[JobRecord]:
+        """Pick a job for *requester*, or None if nothing is eligible."""
+        raise NotImplementedError
 
 
 class RoundRobinAssignment(AssignmentPolicy):
-    """The paper's policy: cycle through the pool, one job per request."""
+    """The paper's policy: cycle through the pool, one job per request.
+
+    Deterministic ordering: jobs rotate in submission order; after a
+    grant the cursor advances to the granted job's successor, so equal
+    candidates are served least-recently-first.  New submissions join
+    at the tail of the cycle (served after the jobs already waiting).
+    """
 
     name = "round-robin"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        super().__init__()
+        self._ring = CycleList()
+        self._records: Dict[int, JobRecord] = {}
 
-    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
-        eligible = self.eligible(pool, requester)
-        if not eligible:
-            return None
-        record = eligible[self._cursor % len(eligible)]
-        self._cursor += 1
-        return record
+    def on_submit(self, record: JobRecord) -> None:
+        self._records[record.job_id] = record
+        self._ring.append(record.job_id)
+
+    def on_done(self, record: JobRecord) -> None:
+        self._ring.remove(record.job_id)
+        self._records.pop(record.job_id, None)
+
+    def choose(self, requester: str) -> Optional[JobRecord]:
+        for job_id in self._ring.from_cursor():
+            self.scanned += 1
+            record = self._records[job_id]
+            if self.eligible(record, requester):
+                self._ring.advance_past(job_id)
+                return record
+        return None
+
+
+class InterruptSharingAssignment(RoundRobinAssignment):
+    """Round-robin order with interrupt-driven work *sharing*.
+
+    Modeled on the interrupt-driven work sharing of Rokos, Gorman &
+    Kelly (PAPERS.md): instead of idle machines rediscovering work on a
+    retry timer (the paper's 30-second poll), the scheduler interrupts
+    parked idle machines the moment a submission or release makes work
+    available.  Assignment order is unchanged — the win is the removed
+    rediscovery latency, which the traffic sweeps measure as job-latency
+    percentiles.  Honoured by :class:`repro.macro.traffic.TrafficSystem`
+    (the JobQ exposes the pool-change hook; pull-mode daemons ignore it).
+    """
+
+    name = "interrupt-sharing"
+    interrupt_driven = True
+
+
+class PriorityAssignment(AssignmentPolicy):
+    """Highest priority wins; least-recently-granted within a level.
+
+    Deterministic ordering, pinned: the key is ``(-priority, serve_seq,
+    job_id)`` where ``serve_seq`` is a monotone counter stamped at
+    submission and re-stamped on every grant — so equal-priority jobs
+    rotate round-robin by last grant, with submission order (and
+    finally the job id) breaking residual ties.
+    """
+
+    name = "priority"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap = LazyMinHeap()
+        self._records: Dict[int, JobRecord] = {}
+        self._seq = 0
+
+    def _key(self, record: JobRecord):
+        return (-record.priority, self._seq, record.job_id)
+
+    def on_submit(self, record: JobRecord) -> None:
+        self._seq += 1
+        self._records[record.job_id] = record
+        self._heap.push(record.job_id, self._key(record))
+
+    def on_done(self, record: JobRecord) -> None:
+        self._heap.discard(record.job_id)
+        self._records.pop(record.job_id, None)
+
+    def choose(self, requester: str) -> Optional[JobRecord]:
+        skipped = []
+        picked: Optional[JobRecord] = None
+        while True:
+            entry = self._heap.pop_min()
+            if entry is None:
+                break
+            key, job_id = entry
+            record = self._records[job_id]
+            self.scanned += 1
+            if self.eligible(record, requester):
+                picked = record
+                break
+            skipped.append((job_id, key))
+        for job_id, key in skipped:
+            self._heap.push(job_id, key)
+        if picked is not None:
+            # Re-stamp: the granted job goes to the back of its level.
+            self._seq += 1
+            self._heap.push(picked.job_id, self._key(picked))
+        self._heap.compact()
+        return picked
 
 
 class LeastWorkersAssignment(AssignmentPolicy):
     """Send the workstation to the job with the fewest participants.
 
-    Equalises space shares, so a freshly-submitted job catches up fast;
-    ties break by submission order.
+    Equalises space shares, so a freshly-submitted job catches up fast.
+    Deterministic ordering, pinned: ``(participants, job_id)`` — ties
+    on participant count break by submission order.
     """
 
     name = "least-workers"
 
-    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
-        eligible = self.eligible(pool, requester)
-        if not eligible:
-            return None
-        return min(eligible, key=lambda rec: (len(rec.participants), rec.job_id))
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap = LazyMinHeap()
+        self._records: Dict[int, JobRecord] = {}
+
+    def _key(self, record: JobRecord):
+        return (len(record.participants), record.job_id)
+
+    def _refresh(self, record: JobRecord, _ws: str = "") -> None:
+        if record.job_id in self._records and not record.done:
+            self._heap.push(record.job_id, self._key(record))
+
+    on_grant = _refresh
+    on_release = _refresh
+
+    def on_submit(self, record: JobRecord) -> None:
+        self._records[record.job_id] = record
+        self._heap.push(record.job_id, self._key(record))
+
+    def on_done(self, record: JobRecord) -> None:
+        self._heap.discard(record.job_id)
+        self._records.pop(record.job_id, None)
+
+    def choose(self, requester: str) -> Optional[JobRecord]:
+        skipped = []
+        picked: Optional[JobRecord] = None
+        while True:
+            entry = self._heap.pop_min()
+            if entry is None:
+                break
+            key, job_id = entry
+            record = self._records[job_id]
+            self.scanned += 1
+            if self.eligible(record, requester):
+                picked = record
+                break
+            skipped.append((job_id, key))
+        for job_id, key in skipped:
+            self._heap.push(job_id, key)
+        if picked is not None:
+            # on_grant will re-key with the updated participant count.
+            self._heap.push(picked.job_id, self._key(picked))
+        self._heap.compact()
+        return picked
 
 
-class PriorityAssignment(AssignmentPolicy):
-    """Highest priority wins; round-robin within a priority level."""
+class ShortestRemainingAssignment(AssignmentPolicy):
+    """Shortest remaining parallelism first — macro-level SRPT.
 
-    name = "priority"
+    The job with the least remaining work estimate (``remaining_s``,
+    falling back to the static ``size_hint_s``; unsized jobs sort last)
+    gets the next idle machine, finishing nearly-done jobs fast and
+    keeping mean/percentile job latency low under heavy-tailed sizes.
+    Keys refresh on every grant/release of the job; between refreshes
+    the ordering uses the last refreshed estimate, which keeps the
+    index O(log n) and the decision sequence deterministic.
+    Deterministic ordering, pinned: ``(remaining, job_id)``.
+    """
+
+    name = "srp"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        super().__init__()
+        self._heap = LazyMinHeap()
+        self._records: Dict[int, JobRecord] = {}
 
-    def choose(self, pool: List[JobRecord], requester: str) -> Optional[JobRecord]:
-        eligible = self.eligible(pool, requester)
-        if not eligible:
-            return None
-        top = max(rec.priority for rec in eligible)
-        level = [rec for rec in eligible if rec.priority == top]
-        record = level[self._cursor % len(level)]
-        self._cursor += 1
-        return record
+    def _key(self, record: JobRecord):
+        remaining = record.remaining_s
+        if remaining is None:
+            remaining = record.size_hint_s
+        if remaining is None:
+            remaining = _UNSIZED
+        return (remaining, record.job_id)
+
+    def _refresh(self, record: JobRecord, _ws: str = "") -> None:
+        if record.job_id in self._records and not record.done:
+            self._heap.push(record.job_id, self._key(record))
+
+    on_grant = _refresh
+    on_release = _refresh
+
+    def on_submit(self, record: JobRecord) -> None:
+        self._records[record.job_id] = record
+        self._heap.push(record.job_id, self._key(record))
+
+    def on_done(self, record: JobRecord) -> None:
+        self._heap.discard(record.job_id)
+        self._records.pop(record.job_id, None)
+
+    def choose(self, requester: str) -> Optional[JobRecord]:
+        skipped = []
+        picked: Optional[JobRecord] = None
+        while True:
+            entry = self._heap.pop_min()
+            if entry is None:
+                break
+            _key, job_id = entry
+            record = self._records[job_id]
+            self.scanned += 1
+            if self.eligible(record, requester):
+                picked = record
+                break
+            skipped.append((job_id, _key))
+        for job_id, key in skipped:
+            self._heap.push(job_id, key)
+        if picked is not None:
+            self._heap.push(picked.job_id, self._key(picked))
+        self._heap.compact()
+        return picked
+
+
+class FairShareAssignment(AssignmentPolicy):
+    """Equalise machine grants across job *owners*.
+
+    The owner (submitting user/host) with the fewest accumulated grants
+    is served first; within one owner, jobs rotate round-robin in
+    submission order.  This is the classic fair-share answer to one
+    user flooding the JobQ with a thousand jobs: they get 1/k of the
+    machines, not all of them.  Usage survives job completion (history
+    matters), but an owner with no queued jobs costs nothing.
+    Deterministic ordering, pinned: ``(grants, owner)`` across owners,
+    submission-order rotation within an owner.
+    """
+
+    name = "fair-share"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._usage: Dict[str, int] = {}
+        self._owner_heap = LazyMinHeap()
+        self._owner_jobs: Dict[str, CycleList] = {}
+        self._records: Dict[int, JobRecord] = {}
+
+    @staticmethod
+    def owner_of(record: JobRecord) -> str:
+        return record.owner if record.owner is not None else record.ch_host
+
+    def on_submit(self, record: JobRecord) -> None:
+        owner = self.owner_of(record)
+        self._records[record.job_id] = record
+        ring = self._owner_jobs.get(owner)
+        if ring is None:
+            ring = self._owner_jobs[owner] = CycleList()
+        ring.append(record.job_id)
+        usage = self._usage.setdefault(owner, 0)
+        if owner not in self._owner_heap:
+            self._owner_heap.push(owner, (usage, owner))
+
+    def on_done(self, record: JobRecord) -> None:
+        owner = self.owner_of(record)
+        ring = self._owner_jobs.get(owner)
+        if ring is not None:
+            ring.remove(record.job_id)
+            if not ring:
+                del self._owner_jobs[owner]
+                self._owner_heap.discard(owner)
+        self._records.pop(record.job_id, None)
+
+    def choose(self, requester: str) -> Optional[JobRecord]:
+        skipped = []
+        picked: Optional[JobRecord] = None
+        picked_owner: Optional[str] = None
+        while True:
+            entry = self._owner_heap.pop_min()
+            if entry is None:
+                break
+            key, owner = entry
+            ring = self._owner_jobs.get(owner)
+            if ring is None:
+                continue  # stale owner entry
+            for job_id in ring.from_cursor():
+                self.scanned += 1
+                record = self._records[job_id]
+                if self.eligible(record, requester):
+                    ring.advance_past(job_id)
+                    picked = record
+                    picked_owner = owner
+                    break
+            if picked is not None:
+                break
+            skipped.append((owner, key))
+        for owner, key in skipped:
+            self._owner_heap.push(owner, key)
+        if picked is not None and picked_owner is not None:
+            self._usage[picked_owner] += 1
+            self._owner_heap.push(
+                picked_owner, (self._usage[picked_owner], picked_owner))
+        self._owner_heap.compact()
+        return picked
+
+
+#: Name -> factory for every assignment policy (the traffic sweeps and
+#: CLI select by these keys; short aliases for the common ones).
+POLICY_FACTORIES = {
+    "rr": RoundRobinAssignment,
+    "round-robin": RoundRobinAssignment,
+    "priority": PriorityAssignment,
+    "least": LeastWorkersAssignment,
+    "least-workers": LeastWorkersAssignment,
+    "srp": ShortestRemainingAssignment,
+    "fair": FairShareAssignment,
+    "fair-share": FairShareAssignment,
+    "interrupt": InterruptSharingAssignment,
+    "interrupt-sharing": InterruptSharingAssignment,
+}
+
+
+def make_policy(name: str) -> AssignmentPolicy:
+    """Build a fresh policy instance by (alias) name."""
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown assignment policy {name!r}; "
+            f"known: {sorted(set(POLICY_FACTORIES))}"
+        ) from None
+    return factory()

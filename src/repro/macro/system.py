@@ -135,7 +135,9 @@ class PhishSystem:
         """
         host = from_host or self.workstations[0].name
         self.workstation(host)  # validates
-        record = self.jobq.submit_record(program, host, priority)
+        record = self.jobq.submit_record(
+            program, host, priority, register_first_worker=start_first_worker,
+        )
         worker_port, ch_rpc, ch_data = record.ports()
         ch = Clearinghouse(
             self.sim,
@@ -168,8 +170,6 @@ class PhishSystem:
                 trace=self.trace,
                 metrics=self.metrics,
             )
-        else:
-            record.participants.discard(host)
         self.sim.process(
             self._job_watcher(record, ch, first_worker),
             name=f"job-watcher:{record.job_id}",

@@ -48,6 +48,17 @@ GRAIN_BUCKETS_S: Tuple[float, ...] = (
     1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
 )
 
+#: Job-duration histogram edges (seconds): geometric 1 s .. 50000 s,
+#: spanning a short job's sojourn to a starved job's queue wait under
+#: production traffic (the macro traffic engine's scale).
+DURATION_BUCKETS_S: Tuple[float, ...] = (
+    1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+    10000.0, 20000.0, 50000.0,
+)
+
 
 class Counter:
     """Monotonically increasing count."""

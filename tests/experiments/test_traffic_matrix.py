@@ -1,0 +1,63 @@
+"""The traffic sweep shards deterministically and renders one table."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.traffic import (
+    TRAFFIC_ARRIVALS,
+    TRAFFIC_POLICIES,
+    format_traffic,
+    run_traffic_matrix,
+)
+from repro.macro.traffic import TrafficConfig
+
+#: Tiny cells so the 2x2 matrix stays a sub-second test.
+BASE = TrafficConfig(n_workstations=4, sizes="exponential",
+                     size_mean_s=8.0, rate_per_s=1.0)
+
+
+def run_matrix(jobs):
+    return run_traffic_matrix(
+        policies=("rr", "srp"), arrivals=("poisson",),
+        n_jobs=30, n_workstations=4, seed=3, jobs=jobs, base=BASE)
+
+
+def test_sharded_matrix_is_byte_identical_to_serial():
+    serial = run_matrix(jobs=1)
+    sharded = run_matrix(jobs=2)
+    assert serial == sharded
+    assert format_traffic(serial) == format_traffic(sharded)
+
+
+def test_matrix_is_policy_major_arrival_minor():
+    matrix = run_traffic_matrix(
+        policies=("rr", "srp"), arrivals=("poisson", "bursty"),
+        n_jobs=12, n_workstations=4, seed=0, base=BASE)
+    cells = [(r.policy, r.arrival) for r in matrix.reports]
+    assert cells == [("round-robin", "poisson"), ("round-robin", "bursty"),
+                     ("srp", "poisson"), ("srp", "bursty")]
+
+
+def test_every_default_cell_completes_a_tiny_workload():
+    matrix = run_traffic_matrix(
+        policies=TRAFFIC_POLICIES, arrivals=TRAFFIC_ARRIVALS,
+        n_jobs=8, n_workstations=4, seed=0, base=BASE)
+    assert len(matrix.reports) == \
+        len(TRAFFIC_POLICIES) * len(TRAFFIC_ARRIVALS)
+    assert all(r.n_completed == 8 for r in matrix.reports)
+
+
+def test_format_traffic_carries_the_comparison_columns():
+    table = format_traffic(run_matrix(jobs=1))
+    for header in ("policy", "arrival", "makespan", "jobs/s",
+                   "lat p99", "wait p99", "scanned"):
+        assert header in table
+    assert "round-robin" in table
+    assert "srp" in table
+
+
+def test_unknown_policy_and_arrival_are_rejected():
+    with pytest.raises(ReproError):
+        run_traffic_matrix(policies=("lottery",), arrivals=("poisson",))
+    with pytest.raises(ReproError):
+        run_traffic_matrix(policies=("rr",), arrivals=("tides",))

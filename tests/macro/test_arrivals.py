@@ -1,0 +1,231 @@
+"""Statistical and determinism tests for the traffic generators.
+
+Every test uses a fixed seed, so the "statistical" assertions are
+deterministic regressions: the tolerances are wide enough to be
+robust to any RNG reseeding, tight enough to catch a broken inverse
+CDF or thinning loop.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.macro.traffic import (
+    BoundedParetoSizes,
+    BurstyArrivals,
+    DiurnalArrivals,
+    ExponentialSizes,
+    PoissonArrivals,
+    ReplayOwnerTrace,
+    make_arrivals,
+    workday_events,
+)
+
+
+def rng(seed=1):
+    return random.Random(seed)
+
+
+# -- Poisson ------------------------------------------------------------
+
+
+def test_poisson_mean_rate():
+    times = PoissonArrivals(2.0).times(rng(), 4000)
+    assert len(times) == 4000
+    assert times == sorted(times)
+    mean_gap = times[-1] / len(times)
+    assert mean_gap == pytest.approx(0.5, rel=0.05)
+
+
+def test_poisson_dispersion_near_one():
+    """Counts per unit window have variance ~= mean (index of
+    dispersion 1) — the Poisson signature a bursty stream violates."""
+    times = PoissonArrivals(5.0).times(rng(2), 5000)
+    horizon = times[-1]
+    n_windows = int(horizon)
+    counts = [0] * (n_windows + 1)
+    for t in times:
+        counts[int(t)] += 1
+    counts = counts[:n_windows]
+    mean = sum(counts) / len(counts)
+    var = sum((c - mean) ** 2 for c in counts) / len(counts)
+    assert 0.7 < var / mean < 1.3
+
+
+def test_poisson_deterministic_given_seed():
+    assert PoissonArrivals(1.0).times(rng(7), 100) == \
+        PoissonArrivals(1.0).times(rng(7), 100)
+
+
+# -- diurnal (thinned sinusoid) -----------------------------------------
+
+
+def test_diurnal_long_run_mean_preserved():
+    arr = DiurnalArrivals(2.0, period_s=100.0)
+    times = arr.times(rng(3), 6000)
+    # Truncate to whole periods so the phase profile does not bias the
+    # mean-rate estimate.
+    horizon = 100.0 * math.floor(times[-1] / 100.0)
+    n = sum(1 for t in times if t < horizon)
+    assert n / horizon == pytest.approx(2.0, rel=0.08)
+
+
+def test_diurnal_profile_tracks_the_sinusoid():
+    """First half-period runs hot (1 + depth*sin), second half cold —
+    the arrival counts must reflect it (expected ratio ~3 at depth 0.8)."""
+    arr = DiurnalArrivals(2.0, period_s=100.0, depth=0.8)
+    times = arr.times(rng(4), 8000)
+    first = sum(1 for t in times if (t % 100.0) < 50.0)
+    second = len(times) - first
+    assert 2.0 < first / second < 4.5
+
+
+def test_diurnal_parameter_validation():
+    with pytest.raises(ReproError):
+        DiurnalArrivals(1.0, depth=1.5)
+    with pytest.raises(ReproError):
+        DiurnalArrivals(1.0, period_s=0.0)
+
+
+# -- bursty (square-wave thinning) --------------------------------------
+
+
+def test_bursty_burst_rate_dominates_quiet_rate():
+    """In-burst per-second rate is 16x the quiet rate (4x vs 0.25x)."""
+    arr = BurstyArrivals(2.0, period_s=100.0)
+    times = arr.times(rng(5), 8000)
+    burst_span = 20.0  # duty 0.2 of each 100 s period
+    in_burst = sum(1 for t in times if (t % 100.0) < burst_span)
+    quiet = len(times) - in_burst
+    burst_rate = in_burst / burst_span
+    quiet_rate = quiet / (100.0 - burst_span)
+    assert burst_rate / quiet_rate > 8.0
+
+
+def test_bursty_long_run_mean_preserved():
+    times = BurstyArrivals(2.0, period_s=100.0).times(rng(6), 6000)
+    horizon = 100.0 * math.floor(times[-1] / 100.0)
+    n = sum(1 for t in times if t < horizon)
+    assert n / horizon == pytest.approx(2.0, rel=0.08)
+
+
+def test_make_arrivals_factory():
+    assert make_arrivals("poisson", 1.0).name == "poisson"
+    assert make_arrivals("diurnal", 1.0).name == "diurnal"
+    assert make_arrivals("bursty", 1.0).name == "bursty"
+    with pytest.raises(ValueError):
+        make_arrivals("tides", 1.0)
+
+
+# -- job sizes ----------------------------------------------------------
+
+
+def test_exponential_sizes_mean():
+    dist = ExponentialSizes(20.0)
+    assert dist.mean_s == 20.0
+    r = rng(8)
+    samples = [dist.sample(r) for _ in range(20000)]
+    assert sum(samples) / len(samples) == pytest.approx(20.0, rel=0.05)
+
+
+def test_bounded_pareto_support_and_mean():
+    dist = BoundedParetoSizes(alpha=1.3, lo_s=5.0, hi_s=5000.0)
+    r = rng(9)
+    samples = [dist.sample(r) for _ in range(20000)]
+    assert all(5.0 <= s <= 5000.0 for s in samples)
+    # The analytic mean (~18.9 s) must match both the closed form and
+    # the sample mean (the heavy tail makes this a 15% assertion).
+    assert dist.mean_s == pytest.approx(18.92, rel=0.01)
+    assert sum(samples) / len(samples) == pytest.approx(dist.mean_s, rel=0.15)
+
+
+def test_bounded_pareto_median_matches_inverse_cdf():
+    dist = BoundedParetoSizes(alpha=1.3, lo_s=5.0, hi_s=5000.0)
+    a, lo, hi = 1.3, 5.0, 5000.0
+    la, ha = lo ** a, hi ** a
+    u = 0.5
+    analytic_median = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / a)
+    r = rng(10)
+    samples = sorted(dist.sample(r) for _ in range(10001))
+    assert samples[5000] == pytest.approx(analytic_median, rel=0.05)
+
+
+def test_bounded_pareto_tail_heavier_than_exponential():
+    """At equal means, the Pareto tail must carry far more mass above
+    5x the mean — the property that makes SRP-style policies matter."""
+    pareto = BoundedParetoSizes(alpha=1.3, lo_s=5.0, hi_s=5000.0)
+    expo = ExponentialSizes(pareto.mean_s)
+    r1, r2 = rng(11), rng(11)
+    threshold = 5.0 * pareto.mean_s
+    p_tail = sum(pareto.sample(r1) > threshold for _ in range(20000))
+    e_tail = sum(expo.sample(r2) > threshold for _ in range(20000))
+    assert p_tail > 2 * max(1, e_tail)
+
+
+def test_size_distribution_validation():
+    with pytest.raises(ReproError):
+        ExponentialSizes(0.0)
+    with pytest.raises(ReproError):
+        BoundedParetoSizes(alpha=1.0)
+    with pytest.raises(ReproError):
+        BoundedParetoSizes(lo_s=10.0, hi_s=5.0)
+
+
+# -- owner login/logout replay ------------------------------------------
+
+
+def test_replay_trace_from_events():
+    trace = ReplayOwnerTrace.from_events(
+        [(10.0, "login"), (25.0, "logout"), (40.0, "login")])
+    assert list(trace.periods()) == [
+        ("idle", 10.0), ("busy", 15.0), ("idle", 15.0),
+        ("busy", float("inf")),
+    ]
+
+
+def test_replay_trace_duplicate_events_collapse():
+    trace = ReplayOwnerTrace.from_events(
+        [(5.0, "login"), (7.0, "login"), (9.0, "logout")])
+    assert list(trace.periods()) == [
+        ("idle", 5.0), ("busy", 4.0), ("idle", float("inf"))]
+
+
+def test_replay_trace_rejects_bad_input():
+    with pytest.raises(ReproError):
+        ReplayOwnerTrace.from_events([(5.0, "reboot")])
+    with pytest.raises(ReproError):
+        ReplayOwnerTrace.from_events([(5.0, "login"), (2.0, "logout")])
+
+
+def test_replay_trace_drives_owner_state():
+    """End to end: replayed events toggle the workstation's owner flag
+    at the event times."""
+    from repro.cluster.owner import Owner
+    from repro.cluster.platform import SPARCSTATION_1
+    from repro.cluster.workstation import Workstation
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    ws = Workstation(sim, "ws00", SPARCSTATION_1)
+    Owner(ws, ReplayOwnerTrace.from_events([(10.0, "login"), (20.0, "logout")]))
+    sim.run(until=5.0)
+    assert ws.user_logged_in is False
+    sim.run(until=15.0)
+    assert ws.user_logged_in is True
+    sim.run(until=25.0)
+    assert ws.user_logged_in is False
+
+
+def test_workday_events_alternate_and_replay():
+    events = workday_events(rng(12), horizon_s=5000.0,
+                            busy_mean_s=240.0, idle_mean_s=720.0)
+    kinds = [k for _t, k in events]
+    assert kinds[0] == "login"
+    assert all(a != b for a, b in zip(kinds, kinds[1:]))  # strict alternation
+    times = [t for t, _k in events]
+    assert times == sorted(times)
+    trace = ReplayOwnerTrace.from_events(events)
+    periods = list(trace.periods())
+    assert periods[-1][1] == float("inf")

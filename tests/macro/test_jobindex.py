@@ -1,0 +1,105 @@
+"""Unit tests for the policy index structures."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.macro.jobindex import CycleList, LazyMinHeap
+
+
+# -- CycleList ----------------------------------------------------------
+
+
+def test_cycle_list_one_revolution_from_cursor():
+    ring = CycleList()
+    for x in "abc":
+        ring.append(x)
+    assert list(ring.from_cursor()) == ["a", "b", "c"]
+    ring.advance_past("b")
+    assert list(ring.from_cursor()) == ["c", "a", "b"]
+
+
+def test_cycle_list_remove_slides_cursor_to_successor():
+    ring = CycleList()
+    for x in "abcd":
+        ring.append(x)
+    ring.advance_past("a")  # cursor at b
+    ring.remove("b")
+    assert list(ring.from_cursor()) == ["c", "d", "a"]
+
+
+def test_cycle_list_remove_during_iteration_is_safe():
+    ring = CycleList()
+    for x in "abc":
+        ring.append(x)
+    seen = []
+    for x in ring.from_cursor():
+        seen.append(x)
+        ring.remove(x)
+    assert seen == ["a", "b", "c"]
+    assert len(ring) == 0
+    assert list(ring.from_cursor()) == []
+
+
+def test_cycle_list_append_inserts_at_tail():
+    ring = CycleList()
+    for x in "ab":
+        ring.append(x)
+    ring.advance_past("a")  # cursor at b
+    ring.append("c")  # tail insert: just before the cursor's revolution end
+    assert list(ring.from_cursor()) == ["b", "c", "a"]
+
+
+def test_cycle_list_contains_and_duplicate_append_rejected():
+    ring = CycleList()
+    ring.append("a")
+    assert "a" in ring and "b" not in ring
+    with pytest.raises(ReproError):
+        ring.append("a")
+
+
+# -- LazyMinHeap --------------------------------------------------------
+
+
+def test_heap_pops_in_key_order():
+    heap = LazyMinHeap()
+    for item, key in (("a", 3), ("b", 1), ("c", 2)):
+        heap.push(item, key)
+    assert [heap.pop_min() for _ in range(3)] == [
+        (1, "b"), (2, "c"), (3, "a")]
+    assert heap.pop_min() is None
+
+
+def test_heap_push_supersedes_previous_key():
+    heap = LazyMinHeap()
+    heap.push("a", 1)
+    heap.push("b", 2)
+    heap.push("a", 3)  # re-key: the old entry goes stale
+    assert heap.pop_min() == (2, "b")
+    assert heap.pop_min() == (3, "a")
+    assert len(heap) == 0
+
+
+def test_heap_discard_hides_item():
+    heap = LazyMinHeap()
+    heap.push("a", 1)
+    heap.push("b", 2)
+    heap.discard("a")
+    assert "a" not in heap and "b" in heap
+    assert heap.pop_min() == (2, "b")
+    assert heap.pop_min() is None
+
+
+def test_heap_compacts_away_stale_entries():
+    heap = LazyMinHeap()
+    for i in range(200):
+        heap.push("x", i)  # 199 stale entries pile up
+    assert len(heap) == 1
+    assert len(heap._heap) == 200
+    heap.compact()
+    assert len(heap._heap) == 1  # storage shrinks to the live set
+    assert heap.pop_min() == (199, "x")
+    # Below the 4x-live threshold compact leaves the heap alone.
+    heap.push("y", 0)
+    heap.push("y", 1)
+    heap.compact()
+    assert len(heap._heap) == 2

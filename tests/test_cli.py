@@ -203,3 +203,23 @@ def test_warn_truncated_helper(capsys):
     assert "truncated" in message
     assert str(noisy.dropped) in message
     assert "starts mid-run" in message
+
+
+def test_traffic_command(capsys):
+    assert main(["--seed", "2", "traffic", "--njobs", "30",
+                 "--machines", "4", "--policies", "rr,srp",
+                 "--arrivals", "poisson", "--sizes", "exponential"]) == 0
+    out = capsys.readouterr().out
+    assert "Macro policy competition" in out
+    for header in ("policy", "arrival", "makespan", "jobs/s",
+                   "lat p99", "wait p99"):
+        assert header in out
+    assert "round-robin" in out and "srp" in out
+    assert "30/30" in out  # every job completed
+
+
+def test_traffic_command_rejects_unknown_policy(capsys):
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        main(["traffic", "--njobs", "5", "--policies", "lottery"])
