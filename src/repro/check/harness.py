@@ -336,6 +336,7 @@ def run_checked(
     drain_s: float = 2.0,
     trace_capacity: Optional[int] = None,
     bug: Optional[str] = None,
+    metrics: Optional[Any] = None,
 ) -> CheckedRun:
     """Run *job* under full invariant checking.
 
@@ -355,6 +356,10 @@ def run_checked(
             graceful degradation on truncated history.
         bug: name from :data:`BUGS` to deliberately break every worker
             with (checker validation).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given it is threaded into the network, Clearinghouse,
+            and every Worker (this is how ``repro diagnose`` attaches a
+            :class:`~repro.obs.health.HealthMonitor` to checked runs).
     """
     pert = perturbation if perturbation is not None else Perturbation()
     for _t, idx in pert.crashes:
@@ -400,9 +405,11 @@ def run_checked(
         )
     network, hosts = build_cluster(sim, n_workers, profile, reg, topology, trace)
     install_network_accounting(network, trace)
+    if metrics is not None:
+        network.attach_metrics(metrics)
 
     ch = Clearinghouse(sim, network, hosts[0].name, job.name,
-                       ch_config or CHECK_CH, trace)
+                       ch_config or CHECK_CH, trace, metrics=metrics)
 
     base_cfg = worker_config or CHECK_WORKER
     if pert.spikes or pert.partitions:
@@ -417,6 +424,7 @@ def run_checked(
         workers.append(Worker(
             sim, ws, network, job, clearinghouse_host=hosts[0].name,
             config=cfg, rng=reg.stream(f"worker.{i}"), trace=trace,
+            metrics=metrics,
         ))
 
     auditor = DequeAuditor()

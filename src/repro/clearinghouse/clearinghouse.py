@@ -123,6 +123,11 @@ class Clearinghouse:
             self._m_heartbeat_gap = None
             self._m_participants = None
             self._m_deaths = None
+        #: Online diagnosis (repro.obs.health), resolved off the
+        #: registry like the worker's seam: heartbeat-gap/false-death
+        #: detection and the liveness watchdog ride the death detector's
+        #: existing scan — no extra processes, purely observational.
+        self._health = metrics.health if metrics is not None else None
         #: Span profiler (repro.obs.prof): control-plane instants on the
         #: profile's control track, same is-not-None discipline.
         self._prof = profiler
@@ -177,6 +182,12 @@ class Clearinghouse:
             # Departed but still forwarding/holding redo state: keep it
             # on heartbeat watch (it reports until JOB_DONE).
             self.forwarders[name] = self.sim.now
+        else:
+            # A re-sent unregister may downgrade forwarding: the duties
+            # the first one announced (e.g. an unanswered steal request)
+            # have all resolved, and the worker is about to fall silent
+            # legitimately — stop watching its heartbeat.
+            self.forwarders.pop(name, None)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "ch.unregister", self.host, worker=name)
         if self._m_participants is not None:
@@ -186,13 +197,25 @@ class Clearinghouse:
 
     def _rpc_update(self, name: str, _msg) -> Dict[str, Any]:
         if name in self.workers:
+            gap = self.sim.now - self.workers[name]
             if self._m_heartbeat_gap is not None:
-                self._m_heartbeat_gap.observe(self.sim.now - self.workers[name])
+                self._m_heartbeat_gap.observe(gap)
+            if self._health is not None:
+                self._health.heartbeat(self.sim.now, name, gap)
             self.workers[name] = self.sim.now  # heartbeat (no membership change)
         elif name in self.forwarders:
+            gap = self.sim.now - self.forwarders[name]
             if self._m_heartbeat_gap is not None:
-                self._m_heartbeat_gap.observe(self.sim.now - self.forwarders[name])
+                self._m_heartbeat_gap.observe(gap)
+            if self._health is not None:
+                self._health.heartbeat(self.sim.now, name, gap)
             self.forwarders[name] = self.sim.now  # forwarder heartbeat
+        elif name in self.dead and self._health is not None:
+            # The failure detector was wrong: a declared-dead worker is
+            # still heartbeating (e.g. a partition outlasted the death
+            # timeout).  The protocol absorbs this (redo duplicates are
+            # rejected slot-wise); the diagnosis layer records it.
+            self._health.false_death(self.sim.now, name)
         # Deaths piggyback on the (reliable, retried) RPC reply: the
         # WORKER_DIED broadcast is a lone datagram, and a victim behind a
         # partition at announcement time would otherwise never learn of
@@ -253,6 +276,14 @@ class Clearinghouse:
                 if self.done.is_set:
                     return
                 now = self.sim.now
+                last_seen: Dict[str, float] = {}
+                if self._health is not None:
+                    # Heartbeat-gap warnings and the liveness watchdog
+                    # ride this scan (read-only over the same tables).
+                    self._health.pulse(now, self.workers, self.forwarders,
+                                       cfg.death_timeout_s, self.done.is_set)
+                    last_seen = dict(self.workers)
+                    last_seen.update(self.forwarders)
                 dead = [
                     name
                     for name, last in self.workers.items()
@@ -274,6 +305,8 @@ class Clearinghouse:
                     del self.forwarders[name]
                 for name in dead + dead_forwarders:
                     self.dead.add(name)
+                    if self._health is not None:
+                        self._health.death(now, name, last_seen[name])
                     if self._prof is not None:
                         self._prof.control(now, "ch.death", worker=name)
                     if self.trace is not None:

@@ -534,6 +534,128 @@ def _cmd_timeline(args: argparse.Namespace) -> str:
     return out
 
 
+def _fmt_evidence(evidence: dict) -> str:
+    """Compact k=v rendering of an incident's evidence columns."""
+    parts = []
+    for key in sorted(evidence):
+        val = evidence[key]
+        parts.append(f"{key}={val:.4g}" if isinstance(val, float)
+                     else f"{key}={val}")
+    return " ".join(parts)
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> str:
+    """Online health diagnosis: run seeds with the streaming anomaly
+    detectors attached and print the incident timeline — or, with
+    ``--diff A B``, a forensic comparison of two run manifests."""
+    from repro.experiments.report import render_run_diff, render_table
+
+    if args.diff:
+        from repro.obs.manifest import diff_manifests, load_manifest
+
+        path_a, path_b = args.diff
+        diff = diff_manifests(load_manifest(path_a), load_manifest(path_b))
+        return render_run_diff(f"{path_a} vs {path_b}", diff)
+
+    from repro.obs import build_manifest, write_manifest
+    from repro.obs.diagnose import diagnose_sweep
+
+    started = time.time()
+    sweep = diagnose_sweep(
+        app=args.app,
+        n_seeds=args.seeds,
+        start_seed=args.seed,
+        n_workers=args.workers,
+        scenario=args.scenario,
+        jobs=args.jobs,
+        traffic_jobs=args.njobs,
+        slo_s=args.slo,
+    )
+    wall = time.time() - started
+
+    timeline_rows = [
+        (seed, f"{row['t_start']:.4f}", f"{row['t_end']:.4f}", row["kind"],
+         row["severity"], row["subject"], _fmt_evidence(row["evidence"]))
+        for seed, row in sweep.incidents
+    ]
+    sections = [render_table(
+        f"Incident timeline — {args.app} scenario={args.scenario} "
+        f"seeds={args.seed}..{args.seed + args.seeds - 1}",
+        ["seed", "t_start", "t_end", "kind", "severity", "subject",
+         "evidence"],
+        timeline_rows,
+    )]
+    incomplete = [r["seed"] for r in sweep.runs if not r["completed"]]
+    summary_rows = [("runs", len(sweep.runs)),
+                    ("incidents", len(sweep.incidents)),
+                    ("incomplete runs", incomplete or "none")]
+    summary_rows += sorted(sweep.kind_counts.items())
+    sections.append(render_table("Diagnosis summary", ["what", "count"],
+                                 summary_rows))
+
+    if args.incidents:
+        from repro.obs.health import Incident
+        from repro.obs.stream import write_incidents_jsonl
+
+        n = write_incidents_jsonl(
+            (Incident.from_row(row) for _seed, row in sweep.incidents),
+            args.incidents,
+        )
+        sections.append(f"wrote {n} incidents to {args.incidents}")
+    if args.perfetto:
+        sections.append(_diagnose_perfetto(args))
+    if args.manifest:
+        manifest = build_manifest(
+            command="diagnose",
+            seed=args.seed,
+            app=args.app,
+            cluster={"workers": args.workers, "profile": "SparcStation-1"},
+            wall_s=wall,
+            metrics_snapshot=sweep.metrics,
+            extra={"diagnose": {
+                "scenario": args.scenario,
+                "seeds": len(sweep.runs),
+                "incidents": len(sweep.incidents),
+                "kinds": sweep.kind_counts,
+            }},
+        )
+        write_manifest(manifest, args.manifest)
+        sections.append(f"wrote manifest {args.manifest}")
+
+    out = "\n\n".join(sections)
+    if args.fail_on_incident and sweep.incidents:
+        print(out)
+        raise SystemExit(1)
+    return out
+
+
+def _diagnose_perfetto(args: argparse.Namespace) -> str:
+    """Re-run the first seed inline to capture its TraceLog and export
+    it with the health incidents on the worker tracks."""
+    if args.app == "traffic":
+        return "(--perfetto skipped: the traffic engine keeps no TraceLog)"
+    from repro.check.fuzzer import APPS
+    from repro.check.harness import Perturbation, run_checked
+    from repro.obs import HealthMonitor, MetricsRegistry, write_perfetto
+
+    spec = APPS[args.app]
+    registry = MetricsRegistry()
+    HealthMonitor(registry)
+    pert = None
+    if args.scenario != "clean":
+        pert = Perturbation.generate(args.seed, args.workers,
+                                     scenario=args.scenario)
+    run = run_checked(
+        spec.make(), n_workers=args.workers, seed=args.seed,
+        perturbation=pert, expected=spec.expected,
+        worker_config=spec.worker_config, metrics=registry,
+    )
+    write_perfetto(run.trace, args.perfetto, registry,
+                   job_name=f"diagnose-{args.app}")
+    return (f"wrote Perfetto trace {args.perfetto} for seed {args.seed} "
+            f"(open at ui.perfetto.dev)")
+
+
 COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -549,6 +671,7 @@ COMMANDS = {
     "bench": _cmd_bench,
     "obs": _cmd_obs,
     "profile": _cmd_profile,
+    "diagnose": _cmd_diagnose,
 }
 
 
@@ -713,6 +836,48 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="write a run manifest with merged per-shard "
                           "metrics and the fan-out speedup")
     add_jobs(chk)
+    diag = sub.add_parser(
+        "diagnose",
+        help="run seeds with the streaming health detectors attached "
+             "(steal storms, heartbeat gaps, partition stalls, "
+             "starvation, stragglers, liveness stalls, SLO breaches) "
+             "and print the incident timeline; --diff compares two run "
+             "manifests",
+    )
+    diag.add_argument("--app", default="fib",
+                      choices=["fib", "knary", "shrink", "traffic"],
+                      help="application to diagnose (default fib)")
+    diag.add_argument("--workers", type=int, default=4,
+                      help="cluster size (default 4)")
+    diag.add_argument("--seeds", type=int, default=1,
+                      help="number of consecutive seeds (default 1)")
+    diag.add_argument("--scenario", default="clean",
+                      choices=["clean", "mixed", "partition", "spike",
+                               "faults-only"],
+                      help="perturbation scenario: 'clean' runs no "
+                           "faults (the false-positive gate); the rest "
+                           "match `check --scenario` (default clean)")
+    diag.add_argument("--slo", type=float, default=None, metavar="S",
+                      help="per-job sojourn SLO in simulated seconds "
+                           "(traffic app only)")
+    diag.add_argument("--njobs", type=int, default=200,
+                      help="jobs per traffic run (default 200)")
+    diag.add_argument("--incidents", default=None, metavar="PATH",
+                      help="also write the incident stream as JSONL")
+    diag.add_argument("--perfetto", default=None, metavar="PATH",
+                      help="re-run the first seed and export its trace "
+                           "with incidents as Perfetto instants")
+    diag.add_argument("--manifest", default=None, metavar="PATH",
+                      help="write a run manifest with the merged metric "
+                           "snapshot and incident counts")
+    diag.add_argument("--fail-on-incident", action="store_true",
+                      help="exit 1 if any incident fired (CI gate for "
+                           "clean runs)")
+    diag.add_argument("--diff", nargs=2, default=None,
+                      metavar=("A", "B"),
+                      help="compare two run manifests (provenance drift "
+                           "+ metric deltas) instead of running")
+    add_jobs(diag)
     # --seed works both before and after the subcommand; SUPPRESS keeps a
     # pre-subcommand value from being clobbered by a subparser default.
     for cmd in sub.choices.values():

@@ -104,6 +104,44 @@ def render_attribution(title: str, workers: Dict[str, Dict[str, Any]]) -> str:
     return render_table(title, headers, attribution_rows(workers))
 
 
+def render_run_diff(title: str, diff: Dict[str, List]) -> str:
+    """Render a :func:`~repro.obs.manifest.diff_manifests` result.
+
+    Two tables — provenance drift first (the usual explanation for a
+    metrics delta), then the changed metric paths with signed deltas.
+    Identical runs render a single "no differences" line.
+    """
+    sections: List[str] = []
+    if diff["provenance"]:
+        sections.append(render_table(
+            f"{title} — provenance drift",
+            ["field", "run A", "run B"],
+            [(f, _cell(va), _cell(vb)) for f, va, vb in diff["provenance"]],
+        ))
+    if diff["metrics"]:
+        sections.append(render_table(
+            f"{title} — metric deltas",
+            ["metric", "run A", "run B", "delta"],
+            [
+                (path, _cell(va), _cell(vb),
+                 f"{delta:+g}" if delta is not None else "-")
+                for path, va, vb, delta in diff["metrics"]
+            ],
+        ))
+    if not sections:
+        sections.append(f"{title}: no differences")
+    return "\n\n".join(sections)
+
+
+def _cell(value: Any) -> str:
+    """One diff cell: compact numbers, '-' for a side with no value."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
 def fmt(value: float, digits: int = 2) -> str:
     """Format a number compactly (thousands separators for big ints)."""
     if isinstance(value, int) or (isinstance(value, float) and value.is_integer() and abs(value) >= 1000):

@@ -372,6 +372,10 @@ class TrafficConfig:
     n_owners: int = 4
     #: Hard cap on simulated time; the run reports what completed.
     horizon_s: float = 100_000.0
+    #: Per-job sojourn SLO (seconds); jobs finishing later raise an
+    #: ``slo-breach`` incident when a HealthMonitor is attached.  None
+    #: disables the check entirely.
+    slo_s: Optional[float] = None
 
     def validate(self) -> None:
         if self.n_workstations < 1:
@@ -386,6 +390,8 @@ class TrafficConfig:
             raise JobError("quantum_s and retry_s must be positive")
         if self.owners not in ("idle", "workday"):
             raise JobError(f"unknown owner model {self.owners!r}")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise JobError("slo_s must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -438,12 +444,19 @@ class TrafficSystem:
     worker processes.
     """
 
-    def __init__(self, config: Optional[TrafficConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[TrafficConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = cfg = config or TrafficConfig()
         cfg.validate()
         self.sim = Simulator()
         self.rng = RngRegistry(cfg.seed)
-        self.metrics = MetricsRegistry()
+        #: Callers that want health diagnosis pass a registry with a
+        #: HealthMonitor already attached (``repro diagnose --app traffic``).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._health = self.metrics.health
         self.network = Network(
             self.sim,
             UniformTopology(SPARCSTATION_1.net),
@@ -595,8 +608,11 @@ class TrafficSystem:
             )
             self.completed += 1
             self._last_done_at = record.finished_at or self.sim.now
-            self._m_sojourn.observe(
-                (record.finished_at or self.sim.now) - record.submitted_at)
+            sojourn_s = (record.finished_at or self.sim.now) - record.submitted_at
+            self._m_sojourn.observe(sojourn_s)
+            if self._health is not None and cfg.slo_s is not None:
+                self._health.job_sojourn(
+                    self.sim.now, job_id, sojourn_s, cfg.slo_s)
         else:
             yield from rpc_call(
                 self.network, ws.name, self.jobq.host, P.JOBQ_PORT,
@@ -648,9 +664,12 @@ class TrafficSystem:
         )
 
 
-def run_traffic(config: Optional[TrafficConfig] = None) -> TrafficReport:
+def run_traffic(
+    config: Optional[TrafficConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> TrafficReport:
     """Build, run, and tear down one traffic simulation."""
-    system = TrafficSystem(config)
+    system = TrafficSystem(config, metrics=metrics)
     try:
         return system.run()
     finally:

@@ -232,6 +232,11 @@ class Worker:
             self._m_deque_series = None
             self._m_redo = None
             self._m_steals = None
+        #: Online diagnosis (repro.obs.health): resolved off the
+        #: registry — a HealthMonitor installs itself as
+        #: ``registry.health`` before the cluster is built — and guarded
+        #: by the same single ``is not None`` check per hook site.
+        self._health = metrics.health if metrics is not None else None
         #: Critical-path span profiler (repro.obs.prof), same guarded
         #: discipline as the registry: None costs one attribute load per
         #: site.  ``_exec_cid`` is the closure whose thread function is
@@ -241,6 +246,17 @@ class Worker:
         #: Steal-request send times, for request→grant latency (kept even
         #: without a registry: WorkerStats carries the per-worker sums).
         self._steal_sent: Dict[int, float] = {}
+        #: Steal requests with no reply yet, req_id -> victim.  Unlike
+        #: ``_steal_sent`` (dropped as soon as the thief stops waiting),
+        #: an entry lives until the victim replies or dies: a request can
+        #: still be answered by a grant after this worker departed, and a
+        #: thief that *crashes* in that window silently drops the grant.
+        #: The victim only regenerates stolen work when the thief is
+        #: declared dead, so a departing thief with an open request must
+        #: unregister as a forwarder and stay under Clearinghouse death
+        #: surveillance (bug 12: a crash racing a reclaim, shrink seed
+        #: 36291, lost the grant's redo obligation and deadlocked).
+        self._steal_open: Dict[int, str] = {}
         #: Suspension times of parked closures, for fill latency.
         self._suspended_at: Dict[ClosureId, float] = {}
 
@@ -530,6 +546,9 @@ class Worker:
                     if self.trace is not None:
                         self.trace.emit(self.sim.now, "arg.retry", self.name,
                                         cid=cont.target, slot=cont.slot, seq=seq)
+                    if self._health is not None:
+                        self._health.retransmission(self.sim.now, self.name,
+                                                    "arg", seq)
                     self._post(dest, cfg.port, (P.ARG, cont, value, self.name, seq))
                 for value in self._pending_results:
                     self._post(self.ch_host, cfg.ch_data_port,
@@ -747,9 +766,13 @@ class Worker:
                             closure.thread_name, closure.depth)
         ref.fn(frame, *closure.call_args())
         self.stats.tasks_executed += 1
-        if self._m_task_grain is not None:
-            self._m_task_grain.observe(self.workstation.seconds_for(frame.cycles))
-            self._sample_deque()
+        if self._m_task_grain is not None or self._health is not None:
+            service_s = self.workstation.seconds_for(frame.cycles)
+            if self._m_task_grain is not None:
+                self._m_task_grain.observe(service_s)
+                self._sample_deque()
+            if self._health is not None:
+                self._health.task_done(self.sim.now, self.name, service_s)
         if self.config.track_completed and closure.join_counter == 0:
             self.completed.add(closure.cid)
         self.executing = False
@@ -813,6 +836,7 @@ class Worker:
         waiter = Event(self.sim)
         self._steal_waiters[req_id] = waiter
         self._steal_sent[req_id] = self.sim.now
+        self._steal_open[req_id] = victim
         try:
             self._post(victim, cfg.port, (P.STEAL_REQ, self.name, req_id))
             deadline = self.sim.timeout(cfg.steal_timeout_s)
@@ -828,6 +852,10 @@ class Worker:
             # latency-aware thief de-prioritizes unresponsive victims
             # (stragglers, partitioned or congested links).
             self.victim_policy.observe_timeout(victim, cfg.steal_timeout_s)
+            if self._health is not None:
+                self._health.steal_timeout(self.sim.now, self.name, victim)
+        elif self._health is not None:
+            self._health.steal_refused(self.sim.now, self.name, victim)
         return False
 
     def _proactive_steal(self) -> None:
@@ -848,6 +876,8 @@ class Worker:
             self._steal_sent.pop(req, None)
             self._proactive = None
             self.victim_policy.observe_timeout(victim, cfg.steal_timeout_s)
+            if self._health is not None:
+                self._health.steal_timeout(self.sim.now, self.name, victim)
         victims = sorted(p for p in self.peers if p != self.name)
         if not victims:
             return
@@ -858,6 +888,7 @@ class Worker:
         req_id = self._steal_seq
         self._proactive = (req_id, victim)
         self._steal_sent[req_id] = self.sim.now
+        self._steal_open[req_id] = victim
         if self._prof is not None:
             self._prof.steal_request(self.sim.now, self.name, victim, req_id)
         if self.trace is not None:
@@ -1026,6 +1057,7 @@ class Worker:
     def _on_steal_reply(self, batch: Optional[List[Closure]], victim: str, req_id: int) -> Generator:
         """A steal reply (possibly late) arrived at the main socket."""
         waiter = self._steal_waiters.pop(req_id, None)
+        self._steal_open.pop(req_id, None)
         if self._proactive is not None and self._proactive[0] == req_id:
             self._proactive = None
         # Request→grant latency (the quantity the latency-aware
@@ -1092,6 +1124,8 @@ class Worker:
                                    len(batch), req_id)
         if self._m_steals is not None:
             self._m_steals.inc(len(batch))
+        if self._health is not None:
+            self._health.steal_ok(self.sim.now, self.name)
         for closure in batch:
             self.enqueue_ready(closure, local=True)
             if self.trace is not None:
@@ -1173,6 +1207,10 @@ class Worker:
         if dead in self._seen_deaths:
             return
         self._seen_deaths.add(dead)
+        # A dead victim will never answer an open steal request (a grant
+        # it sent before crashing is covered by its own victims' redo).
+        for req in [r for r, v in self._steal_open.items() if v == dead]:
+            del self._steal_open[req]
         # Grants to the dead thief pending an ack are covered by the
         # death redo below; disarm their reclaim bookkeeping.
         for key in [k for k in self._pending_grants if k[0] == dead]:
@@ -1532,8 +1570,12 @@ class Worker:
         # Relay/redo duties outlive the departure: the Clearinghouse must
         # keep watching our heartbeat, because fills routed through a
         # silently-crashed forwarder are dropped forever (no victim would
-        # ever redo them) and the job deadlocks.
-        self._forwarding = bool(self.forward_map or self.outstanding or self.migrated)
+        # ever redo them) and the job deadlocks.  An unanswered steal
+        # request counts as a duty: the grant it may yet draw is only
+        # regenerated if our crash is *detected*, so the crash window
+        # between departure and the reply must stay under surveillance.
+        self._forwarding = bool(self.forward_map or self.outstanding
+                                or self.migrated or self._steal_open)
         if self._prof is not None:
             self._prof.phase_begin(self.sim.now, self.name, "protocol")
         try:
@@ -1549,7 +1591,8 @@ class Worker:
             if self._prof is not None:
                 self._prof.phase_end(self.sim.now, self.name, "protocol")
         self._finish(reason)
-        if self._forwarding and not self._update_proc.is_alive:
+        if self._forwarding and not self._update_proc.is_alive \
+                and not self.workstation.crashed:
             # The heartbeat loop may have noticed ``departed`` and exited
             # during the migration handshake; forwarders need it back.
             self._update_proc = self.sim.process(
@@ -1603,12 +1646,37 @@ class Worker:
                     )
                 except Exception:
                     pass
-                if not self._update_proc.is_alive:
+                if not self._update_proc.is_alive \
+                        and not self.workstation.crashed:
                     self._update_proc = self.sim.process(
                         self._updates(), name=f"worker-upd@{self.name}"
                     )
                     self.workstation.register_process(self._update_proc)
                 return
+            if self._steal_open:
+                # Open steal requests outlived the full linger window.
+                # Stop waiting and fall silent *while still flagged as a
+                # forwarder*: the Clearinghouse times our heartbeat out,
+                # and if any reply was a grant lost in flight, the
+                # WORKER_DIED it broadcasts makes the victim redo the
+                # closures (a lost refusal just yields a harmless false
+                # death — our outstanding tables are empty).
+                self._steal_open.clear()
+            elif self._forwarding:
+                # We unregistered as a forwarder only for steal requests
+                # that have since all been answered; amend so the
+                # Clearinghouse stops watching a heartbeat that is about
+                # to stop on purpose.
+                self._forwarding = False
+                try:
+                    yield from rpc_call(
+                        self.network, self.host, self.ch_host,
+                        self.config.ch_rpc_port, P.RPC_UNREGISTER,
+                        {"name": self.name, "graceful": True,
+                         "forwarding": False},
+                    )
+                except Exception:
+                    pass
             self._net_proc.interrupt("departed-no-forwarding")
             self._update_proc.interrupt("departed")
             self.socket.close()
@@ -1689,7 +1757,11 @@ class Worker:
                 batch = (P.MIGRATE, ready, suspended, self.name,
                          self._migrate_seq)
                 acked = received = False
-                for _ in range(attempts):
+                for attempt in range(attempts):
+                    if attempt and self._health is not None:
+                        self._health.retransmission(
+                            self.sim.now, self.name, "migrate",
+                            self._migrate_seq)
                     yield sock.sendto(
                         batch, target, self.config.port,
                         size_bytes=P.estimate_size(batch),
@@ -1748,6 +1820,8 @@ class Worker:
         depth = len(self.deque)
         self._m_deque_series.record(self.sim.now, depth)
         self._m_deque_depth.observe(depth)
+        if self._health is not None:
+            self._health.deque_sample(self.sim.now, self.name, depth)
 
     def stop(self) -> None:
         """Forcibly stop all of this worker's processes (test teardown)."""

@@ -154,6 +154,8 @@ class Network:
         self._m_msg_latency = None
         self._m_inflight = None
         self._m_sent = None
+        #: Health monitor (repro.obs.health): partition-drop detector.
+        self._health = None
         #: Span profiler (repro.obs.prof): wire message/byte counters.
         self._prof = None
 
@@ -164,6 +166,7 @@ class Network:
         self._m_msg_latency = registry.histogram("net.msg.latency_s")
         self._m_inflight = registry.gauge("net.msg.inflight")
         self._m_sent = registry.counter("net.msg.sent.count")
+        self._health = getattr(registry, "health", None)
 
     def attach_profiler(self, profiler) -> None:
         """Wire a :class:`~repro.obs.prof.SpanProfiler` in (wire-message
@@ -293,6 +296,8 @@ class Network:
                                 id=msg.msg_id)
             if self.on_drop is not None:
                 self.on_drop(msg, "partition")
+            if self._health is not None:
+                self._health.link_drop(sim.now, src, dst)
             return params
 
         if params.loss_prob > 0.0 and self.rng.random() < params.loss_prob:

@@ -12,10 +12,21 @@ Three pieces (see ``docs/observability.md``):
   to experiment and benchmark outputs;
 * :mod:`repro.obs.prof` / :mod:`repro.obs.stream` — the critical-path
   span profiler (T1 / T-inf / overhead attribution) and its streaming
-  bounded-memory JSONL/Perfetto sinks, surfaced as ``repro profile``.
+  bounded-memory JSONL/Perfetto sinks, surfaced as ``repro profile``;
+* :mod:`repro.obs.health` — the online diagnosis engine: streaming
+  anomaly detectors (steal storms, heartbeat gaps, partition stalls,
+  starvation, stragglers, liveness stalls, SLO breaches) emitting
+  bounded :class:`Incident` rings, surfaced as ``repro diagnose``.
 """
 
 from repro.obs.export import to_perfetto, validate_perfetto, write_perfetto
+from repro.obs.health import (
+    INCIDENT_KINDS,
+    HealthConfig,
+    HealthMonitor,
+    Incident,
+    IncidentRing,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
@@ -39,9 +50,11 @@ from repro.obs.stream import (
     JsonlSpanSink,
     StreamingPerfettoWriter,
     TeeSink,
+    iter_incidents_jsonl,
     iter_profile_jsonl,
     merge_profile_jsonl,
     read_profile_summary,
+    write_incidents_jsonl,
 )
 
 __all__ = [
@@ -54,6 +67,11 @@ __all__ = [
     "DEPTH_BUCKETS",
     "GRAIN_BUCKETS_S",
     "merge_snapshots",
+    "INCIDENT_KINDS",
+    "HealthConfig",
+    "HealthMonitor",
+    "Incident",
+    "IncidentRing",
     "to_perfetto",
     "write_perfetto",
     "validate_perfetto",
@@ -71,4 +89,6 @@ __all__ = [
     "iter_profile_jsonl",
     "merge_profile_jsonl",
     "read_profile_summary",
+    "write_incidents_jsonl",
+    "iter_incidents_jsonl",
 ]

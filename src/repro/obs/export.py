@@ -11,7 +11,11 @@ The output follows the Chrome ``trace_event`` JSON-array format that
 * **counter tracks** built from registry :class:`~repro.obs.metrics.Series`
   instruments — per-worker deque depth (``micro.deque.depth.<host>``)
   and the live-participant count (``macro.participants``);
-* Clearinghouse events (deaths, result delivery) on their own track.
+* Clearinghouse events (deaths, result delivery) on their own track;
+* health :class:`~repro.obs.health.Incident` records (when the registry
+  carries a :class:`~repro.obs.health.HealthMonitor`) as instant events
+  on the offending worker's track, or on a dedicated ``health`` track
+  for cluster-scoped incidents (stalls, SLO breaches).
 
 Simulated seconds map to trace microseconds (the format's native unit).
 """
@@ -52,6 +56,8 @@ CH_KINDS: Tuple[str, ...] = (
 #: pid of the per-worker tracks / of the control+counter tracks.
 WORKERS_PID = 1
 CONTROL_PID = 2
+#: tid (under CONTROL_PID) of the health-incident track.
+HEALTH_TID = 2
 
 _US = 1e6  # seconds -> trace microseconds
 
@@ -147,6 +153,34 @@ def to_perfetto(
                 "args": {k: _jsonable(v) for k, v in ev.detail.items()},
             })
 
+    health = getattr(registry, "health", None) if registry is not None else None
+    if health is not None and health.ring.incidents:
+        events.append({
+            "ph": "M", "pid": CONTROL_PID, "tid": HEALTH_TID, "ts": 0,
+            "name": "thread_name", "args": {"name": "health"},
+        })
+        for inc in health.ring.incidents:
+            tid = tids.get(inc.subject)
+            # Instants must land inside the trace's time range (the
+            # validator rejects strays); a detector that fires at a
+            # pulse after the last traced event is clamped to it.
+            ts = min(max(inc.t_start, 0.0), last_t) * _US
+            ev: Dict[str, Any] = {
+                "ph": "i", "ts": ts, "name": f"health.{inc.kind}",
+                "cat": "health",
+                "args": {
+                    "severity": inc.severity,
+                    "subject": inc.subject,
+                    "t_end": inc.t_end,
+                    **{k: _jsonable(v) for k, v in inc.evidence},
+                },
+            }
+            if tid is not None:
+                ev.update({"s": "t", "pid": WORKERS_PID, "tid": tid})
+            else:
+                ev.update({"s": "p", "pid": CONTROL_PID, "tid": HEALTH_TID})
+            events.append(ev)
+
     if registry is not None:
         for name in registry.names():
             inst = registry.get(name)
@@ -209,9 +243,13 @@ def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
     Returns a list of problems (empty = valid): structural shape, the
     per-phase required keys, numeric non-negative timestamps,
     monotonically non-decreasing ``ts`` within each (pid, tid) track,
-    and properly nested ``B``/``E`` duration pairs per track (every
-    ``E`` closes an open ``B``; a named ``E`` must match the ``B`` it
-    closes; no ``B`` left open at the end of the document).
+    properly nested ``B``/``E`` duration pairs per track (every ``E``
+    closes an open ``B``; a named ``E`` must match the ``B`` it closes;
+    no ``B`` left open at the end of the document), and instant (``i``)
+    events landing inside the trace's time range — no later than the
+    last non-instant event ends (a stray instant past the end usually
+    means a timestamp-unit bug in the producer; negative ``ts`` is
+    already rejected for every phase).
     """
     problems: List[str] = []
     if not isinstance(doc, dict):
@@ -219,6 +257,20 @@ def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents missing or not a list"]
+    # End of the substantive (non-instant, non-metadata) events;
+    # instants are checked against it below.  A doc with no such events
+    # has no range to enforce.
+    t_hi = None
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") in ("M", "i"):
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        end = ts + ev["dur"] if (
+            ev.get("ph") == "X" and isinstance(ev.get("dur"), (int, float))
+        ) else ts
+        t_hi = end if t_hi is None else max(t_hi, end)
     last_ts: Dict[Tuple[Any, Any], float] = {}
     open_b: Dict[Tuple[Any, Any], List[str]] = {}
     for i, ev in enumerate(events):
@@ -240,6 +292,14 @@ def validate_perfetto(doc: Dict[str, Any]) -> List[str]:
             continue
         if ph == "X" and (not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0):
             problems.append(f"event {i} has bad dur {ev['dur']!r}")
+        if ph == "i":
+            if ev["s"] not in ("t", "p", "g"):
+                problems.append(f"event {i} has bad instant scope {ev['s']!r}")
+            if t_hi is not None and ts > t_hi:
+                problems.append(
+                    f"event {i} instant ts {ts} outside trace range "
+                    f"[0, {t_hi}]"
+                )
         if ph != "M":
             key = (ev.get("pid"), ev.get("tid"))
             if ts < last_ts.get(key, 0.0):

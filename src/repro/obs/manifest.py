@@ -163,3 +163,73 @@ def load_manifest(path: str) -> Dict[str, Any]:
     """Read a manifest back (no validation; callers validate as needed)."""
     with open(path) as fh:
         return json.load(fh)
+
+
+# ---------------------------------------------------------------------------
+# Run-diff forensics (``repro diagnose --diff A B``)
+# ---------------------------------------------------------------------------
+
+#: Provenance fields compared (in report order) by :func:`diff_manifests`.
+PROVENANCE_FIELDS = (
+    "command", "app", "seed", "cluster", "git", "python", "platform",
+    "kernel_events_per_s", "wall_s",
+)
+
+#: Scalar list keys are flattened by index; these list-valued keys hold
+#: structured rows whose contents would drown the diff — their *length*
+#: is compared instead.
+_SUMMARIZED_LISTS = ("rows", "samples")
+
+
+def _flatten(prefix: str, value: Any, out: Dict[str, Any]) -> None:
+    """Flatten *value* into dotted-path scalar leaves (diffable)."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+    elif isinstance(value, list):
+        leaf = prefix.rsplit(".", 1)[-1]
+        if leaf in _SUMMARIZED_LISTS:
+            out[f"{prefix}.len"] = len(value)
+        else:
+            for i, item in enumerate(value):
+                _flatten(f"{prefix}[{i}]", item, out)
+    else:
+        out[prefix] = value
+
+
+def diff_manifests(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, List]:
+    """Compare two run manifests for forensics.
+
+    Returns ``{"provenance": [...], "metrics": [...]}``:
+
+    * ``provenance`` rows are ``(field, a_value, b_value)`` for every
+      :data:`PROVENANCE_FIELDS` entry that differs (environment drift —
+      different git revision, machine, cluster shape — is the first
+      thing to rule out when two runs disagree);
+    * ``metrics`` rows are ``(path, a_value, b_value, delta)`` over the
+      flattened metric snapshots, including the extra payload fields
+      (``makespan_s`` etc.); ``delta`` is numeric when both sides are,
+      else ``None``.  Paths present on only one side appear with the
+      other side as ``None``.
+    """
+    provenance = [
+        (field, a.get(field), b.get(field))
+        for field in PROVENANCE_FIELDS
+        if a.get(field) != b.get(field)
+    ]
+    flat_a: Dict[str, Any] = {}
+    flat_b: Dict[str, Any] = {}
+    skip = set(MANIFEST_FIELDS) - {"metrics"}
+    _flatten("", {k: v for k, v in a.items() if k not in skip}, flat_a)
+    _flatten("", {k: v for k, v in b.items() if k not in skip}, flat_b)
+    metrics: List[tuple] = []
+    for path in sorted(set(flat_a) | set(flat_b)):
+        va, vb = flat_a.get(path), flat_b.get(path)
+        if va == vb:
+            continue
+        delta = None
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)) \
+                and not isinstance(va, bool) and not isinstance(vb, bool):
+            delta = vb - va
+        metrics.append((path, va, vb, delta))
+    return {"provenance": provenance, "metrics": metrics}

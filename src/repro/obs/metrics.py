@@ -259,6 +259,9 @@ class _NullInstrument:
     def record(self, time: float, value: float) -> None:
         pass
 
+    def push(self, incident: Any) -> None:
+        pass
+
     def percentile(self, q: float) -> Optional[float]:
         return None
 
@@ -323,6 +326,13 @@ def _merge_two(name: str, a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any
         peaks = [v for v in (a.get("peak"), b.get("peak")) if v is not None]
         out["peak"] = max(peaks) if peaks else None
         out["last"] = b.get("last") if b.get("last") is not None else a.get("last")
+    elif kind == "incidents":
+        # Incident rings: rows concatenate and re-sort under the total
+        # incident order, so the sharded merge is byte-identical to one
+        # ring that saw every shard's incidents (repro.obs.health).
+        from repro.obs.health import merge_incident_snapshots
+
+        out = merge_incident_snapshots(name, a, b)
     # "null" and unknown kinds merge to the first snapshot unchanged.
     return out
 
@@ -362,6 +372,11 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._instruments: Dict[str, Any] = {}
+        #: The run's :class:`~repro.obs.health.HealthMonitor`, or None.
+        #: Installed by the monitor's constructor; components resolve it
+        #: once (``metrics.health``) under the usual guarded-seam
+        #: discipline, so runs without diagnosis pay nothing.
+        self.health: Optional[Any] = None
 
     def _get_or_make(self, name: str, cls, *args: Any):
         if not self.enabled:
@@ -387,6 +402,13 @@ class MetricsRegistry:
 
     def series(self, name: str, capacity: Optional[int] = 100_000) -> Series:
         return self._get_or_make(name, Series, capacity)
+
+    def incidents(self, name: str, capacity: int = 512):
+        """A bounded :class:`~repro.obs.health.IncidentRing` instrument
+        (create-on-first-use like every other kind)."""
+        from repro.obs.health import IncidentRing
+
+        return self._get_or_make(name, IncidentRing, capacity)
 
     def get(self, name: str) -> Optional[Any]:
         """The instrument registered under *name*, or None."""

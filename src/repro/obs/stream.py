@@ -319,6 +319,32 @@ def merge_profile_jsonl(paths: Iterable[str], out_path: str) -> Dict[str, Any]:
     return merged
 
 
+def write_incidents_jsonl(incidents: Iterable[Any], path: str) -> int:
+    """Write health :class:`~repro.obs.health.Incident` records as JSON
+    lines (one ``Incident.row()`` object per line, in the order given —
+    rings hand them over already sorted).  Returns the line count.
+    Streaming and deterministic: the same incidents produce a
+    byte-identical file."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for inc in incidents:
+            fh.write(json.dumps(inc.row(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def iter_incidents_jsonl(path: str) -> Iterator[Any]:
+    """Yield :class:`~repro.obs.health.Incident` records back from a
+    :func:`write_incidents_jsonl` file, streaming — O(1) memory."""
+    from repro.obs.health import Incident
+
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield Incident.from_row(json.loads(line))
+
+
 def warn_stream(message: str, stream: Optional[IO[str]] = None) -> None:
     """Small stderr-warning helper (kept here so CLI tests can hook it)."""
     print(message, file=stream if stream is not None else sys.stderr)

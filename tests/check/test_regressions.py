@@ -64,6 +64,39 @@ def test_knary_seed_835_forwarder_death_is_detected():
     run.require_ok()
 
 
+def test_shrink_seed_36291_crash_racing_reclaim_redoes_inflight_grant():
+    """Regression (bug 12): a crash racing a reclaim lost a grant's redo.
+
+    Seed 36291 at n_workers=4 (found by hypothesis) reclaims ws03 at
+    t=0.0164 and crashes its host at t=0.0169.  ws03 had a steal request
+    in flight to ws00; its reclaim departure found nothing to migrate,
+    so it unregistered with ``forwarding=False`` — leaving Clearinghouse
+    death surveillance — just before the crash.  ws00's grant (already
+    moved into ``outstanding[ws03]``) then died at the downed NIC, and
+    because ws03's death was never declared, ``_on_worker_died`` never
+    fired at ws00: the redo obligation was lost and the job deadlocked.
+
+    A departing worker with an unanswered steal request now unregisters
+    as a forwarder, so the crash window stays under death surveillance
+    and the victim's crash redo regenerates the dropped grant.
+    """
+    pert = Perturbation.generate(36291, 4)
+    assert pert.crashes and pert.reclaims
+    assert pert.reclaims[0][0] < pert.crashes[0][0]  # reclaim, then die
+    assert pert.crashes[0][1] == pert.reclaims[0][1]  # same machine
+    spec = APPS["shrink"]
+    run = run_checked(
+        spec.make(),
+        n_workers=4,
+        seed=36291,
+        perturbation=pert,
+        expected=spec.expected,
+        worker_config=spec.worker_config,
+    )
+    assert run.completed, run.report.summary()
+    run.require_ok()
+
+
 def test_knary_seed_13307_cluster_is_never_emptied():
     """Regression: perturbation generation removed every worker.
 

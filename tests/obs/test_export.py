@@ -190,3 +190,85 @@ def test_export_untruncated_metadata_flag_false():
     doc = to_perfetto(trace)
     assert doc["otherData"]["trace_truncated"] is False
     assert doc["otherData"]["trace_dropped"] == 0
+
+
+# ------------------------------------------------ instant range checking
+
+
+def test_validate_rejects_instant_past_trace_end():
+    doc = _doc([
+        _b("working", 0.0), _e(10.0),
+        {"ph": "i", "s": "t", "name": "stray", "pid": 1, "tid": 2,
+         "ts": 99.0},
+    ])
+    problems = validate_perfetto(doc)
+    assert any("outside trace range" in p for p in problems)
+
+
+def test_validate_accepts_instant_inside_x_span():
+    doc = _doc([
+        {"ph": "X", "name": "participating", "pid": 1, "tid": 1,
+         "ts": 0.0, "dur": 10.0},
+        {"ph": "i", "s": "t", "name": "steal.request", "pid": 1, "tid": 1,
+         "ts": 7.0},
+    ])
+    assert validate_perfetto(doc) == []
+
+
+def test_validate_instants_unconstrained_without_other_events():
+    # A doc of only instants (e.g. a bare incident stream) has no
+    # substantive range to enforce.
+    doc = _doc([{"ph": "i", "s": "p", "name": "a", "pid": 1, "tid": 1,
+                 "ts": 5.0}])
+    assert validate_perfetto(doc) == []
+
+
+def test_validate_rejects_bad_instant_scope():
+    doc = _doc([{"ph": "i", "s": "z", "name": "a", "pid": 1, "tid": 1,
+                 "ts": 0.0}])
+    assert any("bad instant scope" in p for p in validate_perfetto(doc))
+
+
+# ------------------------------------------------------- health instants
+
+
+def test_export_health_incidents_on_worker_tracks():
+    from repro.obs.health import HealthMonitor
+
+    reg = MetricsRegistry()
+    monitor = HealthMonitor(reg)
+    trace = TraceLog()
+    trace.emit(0.0, "worker.start", "ws00")
+    trace.emit(0.0, "worker.start", "ws01")
+    trace.emit(2.0, "worker.exit.retired", "ws00")
+    trace.emit(2.0, "worker.exit.retired", "ws01")
+    for i in range(10):
+        monitor.steal_timeout(1.0 + i * 0.01, "ws01", "ws00")
+    monitor.job_sojourn(1.5, 7, sojourn_s=1.4, slo_s=0.5)
+    doc = to_perfetto(trace, reg, "diag")
+    assert validate_perfetto(doc) == []
+    health = [e for e in doc["traceEvents"] if e.get("cat") == "health"]
+    by_name = {e["name"]: e for e in health}
+    # Worker-scoped incident rides the worker's track under WORKERS_PID…
+    storm = by_name["health.steal-storm"]
+    assert storm["pid"] == WORKERS_PID and storm["s"] == "t"
+    assert storm["args"]["severity"] == "warn"
+    # …while job-scoped incidents go to the dedicated health track.
+    breach = by_name["health.slo-breach"]
+    assert breach["pid"] == CONTROL_PID and breach["s"] == "p"
+    names = [e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert "health" in names
+
+
+def test_export_clamps_late_incident_into_range():
+    from repro.obs.health import HealthMonitor
+
+    reg = MetricsRegistry()
+    monitor = HealthMonitor(reg)
+    trace = TraceLog()
+    trace.emit(0.0, "worker.start", "ws00")
+    trace.emit(1.0, "worker.exit.retired", "ws00")
+    monitor.death(5.0, "ws00", last_seen=4.0)  # past the last trace event
+    doc = to_perfetto(trace, reg, "diag")
+    assert validate_perfetto(doc) == []

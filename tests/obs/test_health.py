@@ -1,0 +1,258 @@
+"""Unit and property tests for the online health-diagnosis engine."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.health import (
+    INCIDENT_KINDS,
+    HealthConfig,
+    HealthMonitor,
+    Incident,
+    IncidentRing,
+    incident_sort_key,
+    merge_incident_snapshots,
+)
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+
+def _incident(kind="steal-storm", t=1.0, subject="ws01", **evidence):
+    return Incident(kind=kind, severity="warn", t_start=t, t_end=t + 0.1,
+                    subject=subject,
+                    evidence=tuple(sorted(evidence.items())))
+
+
+# ------------------------------------------------------------- incidents
+
+
+def test_incident_row_roundtrip_and_pickle():
+    inc = _incident(timeouts=10, window_s=0.25)
+    assert Incident.from_row(inc.row()) == inc
+    assert pickle.loads(pickle.dumps(inc)) == inc
+    assert inc.kind in INCIDENT_KINDS
+
+
+def test_ring_sorts_and_bounds():
+    ring = IncidentRing("x", capacity=3)
+    ring.push(_incident(t=2.0))
+    ring.push(_incident(t=1.0, subject="ws02"))
+    ring.push(_incident(t=1.0, subject="ws00"))
+    assert [i.t_start for i in ring.incidents] == [1.0, 1.0, 2.0]
+    assert [i.subject for i in ring.incidents][:2] == ["ws00", "ws02"]
+    # Full ring drops *new* incidents, counting them.
+    ring.push(_incident(t=9.9))
+    assert len(ring) == 3
+    assert ring.dropped == 1
+    snap = ring.snapshot()
+    assert snap["count"] == 3 and snap["dropped"] == 1
+    assert [r["t_start"] for r in snap["rows"]] == [1.0, 1.0, 2.0]
+
+
+def test_ring_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        IncidentRing("x", capacity=0)
+
+
+def test_merge_is_order_insensitive_and_deterministic():
+    a = IncidentRing("x")
+    b = IncidentRing("x")
+    rows = [_incident(t=3.0), _incident(t=1.0), _incident(t=2.0, subject="a")]
+    for inc in rows[:2]:
+        a.push(inc)
+    b.push(rows[2])
+    ab = merge_incident_snapshots("x", a.snapshot(), b.snapshot())
+    ba = merge_incident_snapshots("x", b.snapshot(), a.snapshot())
+    assert json.dumps(ab, sort_keys=True) == json.dumps(ba, sort_keys=True)
+    assert [r["t_start"] for r in ab["rows"]] == [1.0, 2.0, 3.0]
+
+
+def test_merge_overflow_counts_dropped():
+    a = IncidentRing("x", capacity=2)
+    b = IncidentRing("x", capacity=2)
+    for t in (1.0, 2.0):
+        a.push(_incident(t=t))
+    for t in (0.5, 3.0):
+        b.push(_incident(t=t))
+    merged = merge_incident_snapshots("x", a.snapshot(), b.snapshot())
+    assert merged["count"] == 2
+    assert merged["dropped"] == 2
+    # The *earliest* incidents survive a truncating merge.
+    assert [r["t_start"] for r in merged["rows"]] == [0.5, 1.0]
+
+
+def test_registry_merges_incident_rings():
+    regs = []
+    for t in (2.0, 1.0):
+        reg = MetricsRegistry()
+        HealthMonitor(reg).ring.push(_incident(t=t))
+        regs.append(reg)
+    merged = merge_snapshots([r.snapshot() for r in regs])
+    rows = merged["health.incidents"]["rows"]
+    assert [r["t_start"] for r in rows] == [1.0, 2.0]
+
+
+def test_sort_key_total_order_on_ties():
+    r1 = _incident(t=1.0, subject="ws01", a=1).row()
+    r2 = _incident(t=1.0, subject="ws01", a=2).row()
+    assert incident_sort_key(r1) != incident_sort_key(r2)
+    assert incident_sort_key(r1) < incident_sort_key(r2)
+
+
+# ------------------------------------------------------------- detectors
+
+
+def test_steal_storm_counts_timeouts_not_refusals():
+    hm = HealthMonitor(config=HealthConfig(storm_timeouts=5, window_s=0.25))
+    for i in range(20):
+        hm.steal_refused(i * 0.01, "ws01", "ws02")
+    assert not hm.incidents  # refusals never storm
+    for i in range(5):
+        hm.steal_timeout(0.5 + i * 0.01, "ws01", "ws02")
+    kinds = [i.kind for i in hm.incidents]
+    assert kinds.count("steal-storm") == 1
+    # Debounced: staying above threshold re-fires nothing.
+    for i in range(5):
+        hm.steal_timeout(0.6 + i * 0.01, "ws01", "ws02")
+    assert [i.kind for i in hm.incidents].count("steal-storm") == 1
+
+
+def test_steal_storm_rearms_after_abating():
+    hm = HealthMonitor(config=HealthConfig(storm_timeouts=4, window_s=0.1))
+    for i in range(4):
+        hm.steal_timeout(i * 0.01, "ws01", "ws02")
+    # Quiet period: the window empties, the detector re-arms.
+    hm.steal_timeout(10.0, "ws01", "ws02")
+    for i in range(4):
+        hm.steal_timeout(10.01 + i * 0.01, "ws01", "ws02")
+    assert [i.kind for i in hm.incidents].count("steal-storm") == 2
+
+
+def test_starvation_needs_a_holder():
+    cfg = HealthConfig(starve_fails=3, starve_min_depth=4)
+    hm = HealthMonitor(config=cfg)
+    for i in range(10):
+        hm.steal_refused(i * 0.01, "ws01", "ws02")
+    assert not hm.incidents  # nobody demonstrably holds work
+    hm.deque_sample(0.2, "ws02", 6)
+    hm.steal_refused(0.21, "ws01", "ws02")
+    starved = [i for i in hm.incidents if i.kind == "starvation"]
+    assert len(starved) == 1
+    assert dict(starved[0].evidence)["holder"] == "ws02"
+    # A successful steal clears the streak and the episode.
+    hm.steal_ok(0.3, "ws01")
+    for i in range(2):
+        hm.steal_refused(0.31 + i * 0.01, "ws01", "ws02")
+    assert len([i for i in hm.incidents if i.kind == "starvation"]) == 1
+
+
+def test_straggler_fires_on_ewma_outlier():
+    cfg = HealthConfig(straggler_factor=4.0, straggler_min_tasks=5)
+    hm = HealthMonitor(config=cfg)
+    for i in range(20):
+        hm.task_done(i * 0.01, f"ws0{i % 3}", 0.001)
+    assert not hm.incidents
+    # One slow machine among busy fast ones: its EWMA is a large
+    # multiple of the cluster's (which its own rare samples barely move).
+    for i in range(50):
+        hm.task_done(1.0 + i * 0.01, f"ws0{i % 3}", 0.001)
+        if i % 10 == 0:
+            hm.task_done(1.0 + i * 0.01, "ws09", 0.5)
+    stragglers = [i for i in hm.incidents if i.kind == "straggler"]
+    assert [i.subject for i in stragglers] == ["ws09"]
+
+
+def test_retransmission_fires_at_retry_limit_once():
+    hm = HealthMonitor(config=HealthConfig(retry_limit=3))
+    for i in range(3):
+        hm.retransmission(i * 0.1, "ws01", "arg", 7)
+    stalls = [i for i in hm.incidents if i.kind == "partition-stall"]
+    assert len(stalls) == 1
+    ev = dict(stalls[0].evidence)
+    assert ev["retries"] == 3 and ev["what"] == "arg"
+    assert stalls[0].t_start == 0.0 and stalls[0].t_end == pytest.approx(0.2)
+
+
+def test_link_drop_window():
+    hm = HealthMonitor(config=HealthConfig(link_drops=3, window_s=0.1))
+    hm.link_drop(0.0, "ws00", "ws01")
+    hm.link_drop(0.5, "ws00", "ws01")  # outside the window of the first
+    hm.link_drop(0.55, "ws00", "ws01")
+    assert not hm.incidents
+    hm.link_drop(0.58, "ws00", "ws01")
+    stalls = [i for i in hm.incidents if i.kind == "partition-stall"]
+    assert [i.subject for i in stalls] == ["ws00->ws01"]
+
+
+def test_pulse_heartbeat_gap_and_recovery():
+    hm = HealthMonitor()
+    hm.pulse(1.0, {"ws01": 0.95}, {}, 1.5, done=False)
+    assert not hm.incidents
+    hm.pulse(2.0, {"ws01": 0.95}, {}, 1.5, done=False)
+    gaps = [i for i in hm.incidents if i.kind == "heartbeat-gap"]
+    assert len(gaps) == 1 and gaps[0].severity == "warn"
+    # Still silent: episode dedup holds.
+    hm.pulse(2.2, {"ws01": 0.95}, {}, 1.5, done=False)
+    assert len([i for i in hm.incidents if i.kind == "heartbeat-gap"]) == 1
+    # A heartbeat ends the episode; renewed silence is a new incident.
+    hm.heartbeat(2.3, "ws01", 1.35)
+    hm.pulse(4.0, {"ws01": 2.3}, {}, 1.5, done=False)
+    assert len([i for i in hm.incidents if i.kind == "heartbeat-gap"]) == 2
+
+
+def test_death_and_false_death():
+    hm = HealthMonitor()
+    hm.death(1.7, "ws02", last_seen=0.1)
+    hm.false_death(1.8, "ws02")
+    kinds = {(i.kind, i.severity) for i in hm.incidents}
+    assert ("heartbeat-gap", "crit") in kinds
+    assert ("false-death", "crit") in kinds
+
+
+def test_watchdog_stall_respects_done_and_progress():
+    hm = HealthMonitor(config=HealthConfig(watchdog_s=1.0))
+    hm.pulse(0.0, {"ws01": 0.0}, {}, 1.5, done=False)  # arms the watchdog
+    hm.task_done(0.5, "ws01", 0.01)
+    hm.pulse(1.2, {"ws01": 1.2}, {}, 1.5, done=False)
+    assert not [i for i in hm.incidents if i.kind == "stall"]
+    hm.pulse(1.6, {"ws01": 1.6}, {}, 1.5, done=True)  # done: never a stall
+    assert not [i for i in hm.incidents if i.kind == "stall"]
+    hm2 = HealthMonitor(config=HealthConfig(watchdog_s=1.0))
+    hm2.pulse(0.0, {"ws01": 0.0}, {}, 1.5, done=False)
+    hm2.task_done(0.5, "ws01", 0.01)
+    hm2.pulse(1.6, {"ws01": 1.6}, {}, 1.5, done=False)
+    stalls = [i for i in hm2.incidents if i.kind == "stall"]
+    assert len(stalls) == 1 and stalls[0].t_start == 0.5
+
+
+def test_slo_breach_dedups_per_job():
+    hm = HealthMonitor()
+    hm.job_sojourn(10.0, 7, sojourn_s=9.0, slo_s=5.0)
+    hm.job_sojourn(11.0, 7, sojourn_s=10.0, slo_s=5.0)
+    hm.job_sojourn(12.0, 8, sojourn_s=1.0, slo_s=5.0)
+    breaches = [i for i in hm.incidents if i.kind == "slo-breach"]
+    assert [i.subject for i in breaches] == ["job7"]
+
+
+# ------------------------------------------------------- memory bounding
+
+
+def test_state_stays_bounded_under_flood():
+    cfg = HealthConfig(max_tracked=64, ring_capacity=32)
+    hm = HealthMonitor(config=cfg)
+    for i in range(20_000):
+        t = i * 1e-4
+        hm.steal_timeout(t, f"ws{i % 8:02d}", "ws00")
+        hm.retransmission(t, f"ws{i % 8:02d}", "arg", i)  # unique seqs
+        hm.link_drop(t, f"ws{i % 100:02d}", "ws00")       # many links
+        hm.job_sojourn(t, i, sojourn_s=10.0, slo_s=1.0)   # many jobs
+    # Every rolling structure obeys its cap: total state is O(window),
+    # not O(events).  (8 workers' scalars + capped deques/dicts/sets.)
+    assert hm.state_size() < 10 * cfg.max_tracked
+    assert hm.ring.dropped > 0  # the ring bounded itself too
+    assert len(hm.ring) == cfg.ring_capacity
+
+
+def test_clean_run_has_zero_state_growth_before_any_hook():
+    hm = HealthMonitor()
+    assert hm.state_size() == 0

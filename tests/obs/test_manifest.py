@@ -5,10 +5,12 @@ import pytest
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
+    diff_manifests,
     load_manifest,
     validate_manifest,
     write_manifest,
 )
+from repro.experiments.report import render_run_diff
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -81,3 +83,62 @@ def test_write_refuses_invalid_manifest(tmp_path):
     del m["app"]
     with pytest.raises(ValueError):
         write_manifest(m, str(tmp_path / "m.json"))
+
+
+# ------------------------------------------------------------ run diffs
+
+
+def _metric_manifest(**metrics):
+    reg = MetricsRegistry()
+    for name, value in metrics.items():
+        reg.counter(name).inc(value)
+    return _build(registry=reg)
+
+
+def test_diff_identical_manifests_is_empty():
+    m = _build()
+    d = diff_manifests(m, m)
+    assert d == {"provenance": [], "metrics": []}
+    assert "no differences" in render_run_diff("diff", d)
+
+
+def test_diff_reports_provenance_drift():
+    a = _build(seed=1)
+    b = _build(seed=2, cluster={"workers": 8, "profile": "SparcStation-1"})
+    d = diff_manifests(a, b)
+    changed = {f for f, _, _ in d["provenance"]}
+    assert {"seed", "cluster"} <= changed
+    out = render_run_diff("runs", d)
+    assert "provenance drift" in out and "seed" in out
+
+
+def test_diff_reports_metric_deltas_and_one_sided_paths():
+    a = _metric_manifest(steals=3)
+    b = _metric_manifest(steals=5, crashes=1)
+    d = diff_manifests(a, b)
+    rows = {path: (va, vb, delta) for path, va, vb, delta in d["metrics"]}
+    assert rows["metrics.steals.value"] == (3, 5, 2)
+    # crashes exists only in b: a-side None, no numeric delta.
+    va, vb, delta = rows["metrics.crashes.value"]
+    assert va is None and vb == 1 and delta is None
+    out = render_run_diff("runs", d)
+    assert "+2" in out and "metric deltas" in out
+
+
+def test_diff_summarizes_row_lists_by_length_only():
+    from repro.obs.health import HealthMonitor, Incident
+
+    def snap(n):
+        reg = MetricsRegistry()
+        hm = HealthMonitor(reg)
+        for i in range(n):
+            hm.ring.push(Incident(
+                kind="stall", severity="crit", t_start=float(i),
+                t_end=float(i), subject="job", evidence=()))
+        return _build(registry=reg)
+
+    d = diff_manifests(snap(1), snap(3))
+    paths = [path for path, *_ in d["metrics"]]
+    # The rows themselves are summarized (len), not exploded per-row.
+    assert "metrics.health.incidents.rows.len" in paths
+    assert not any(".rows[" in p for p in paths)

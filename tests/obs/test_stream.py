@@ -197,3 +197,37 @@ class TestMergeProfileJsonl:
             for p in paths
         ]
         assert len(span_rows) == sum(per_shard)
+
+
+class TestIncidentJsonl:
+    def _incidents(self):
+        from repro.obs.health import Incident
+
+        return [
+            Incident(kind="steal-storm", severity="warn", t_start=0.5,
+                     t_end=0.6, subject="ws01",
+                     evidence=(("timeouts", 10), ("window_s", 0.25))),
+            Incident(kind="stall", severity="crit", t_start=1.0, t_end=2.0,
+                     subject="job", evidence=(("idle_s", 1.0),)),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        from repro.obs import iter_incidents_jsonl, write_incidents_jsonl
+
+        path = str(tmp_path / "incidents.jsonl")
+        incidents = self._incidents()
+        assert write_incidents_jsonl(incidents, path) == 2
+        assert list(iter_incidents_jsonl(path)) == incidents
+
+    def test_lines_are_sorted_json_objects(self, tmp_path):
+        from repro.obs import write_incidents_jsonl
+
+        path = str(tmp_path / "incidents.jsonl")
+        write_incidents_jsonl(self._incidents(), path)
+        with open(path) as fh:
+            lines = [line.rstrip("\n") for line in fh]
+        assert len(lines) == 2
+        for line in lines:
+            obj = json.loads(line)
+            assert json.dumps(obj, sort_keys=True) == line
+            assert obj["kind"] in ("steal-storm", "stall")

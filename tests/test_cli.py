@@ -223,3 +223,62 @@ def test_traffic_command_rejects_unknown_policy(capsys):
 
     with pytest.raises(ReproError):
         main(["traffic", "--njobs", "5", "--policies", "lottery"])
+
+
+def test_diagnose_command_spike_timeline(capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_manifest, validate_perfetto
+
+    manifest_path = tmp_path / "diag_manifest.json"
+    trace_path = tmp_path / "diag.json"
+    incidents_path = tmp_path / "incidents.jsonl"
+    assert main(["diagnose", "--app", "fib", "--scenario", "spike",
+                 "--seed", "2", "--seeds", "1",
+                 "--incidents", str(incidents_path),
+                 "--perfetto", str(trace_path),
+                 "--manifest", str(manifest_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Incident timeline" in out and "Diagnosis summary" in out
+    assert "steal-storm" in out
+    lines = [json.loads(x) for x in incidents_path.read_text().splitlines()]
+    assert lines and all(line["kind"] for line in lines)
+    doc = json.loads(trace_path.read_text())
+    assert validate_perfetto(doc) == []
+    assert any(e.get("cat") == "health" for e in doc["traceEvents"])
+    manifest = json.loads(manifest_path.read_text())
+    assert validate_manifest(manifest) == []
+    assert manifest["diagnose"]["scenario"] == "spike"
+    assert manifest["diagnose"]["incidents"] > 0
+
+
+def test_diagnose_command_clean_seed_silent(capsys):
+    import re
+
+    assert main(["diagnose", "--app", "fib", "--seed", "0",
+                 "--fail-on-incident"]) == 0
+    out = capsys.readouterr().out
+    assert re.search(r"incidents\s+0", out)
+    assert "incomplete runs" in out
+
+
+def test_diagnose_command_fail_on_incident_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["diagnose", "--app", "fib", "--scenario", "spike",
+              "--seed", "2", "--fail-on-incident"])
+    assert exc.value.code == 1
+    assert "steal-storm" in capsys.readouterr().out
+
+
+def test_diagnose_command_diff(capsys, tmp_path):
+    import json
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    for path, seed in ((a, 0), (b, 1)):
+        assert main(["diagnose", "--app", "fib", "--seed", str(seed),
+                     "--manifest", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["diagnose", "--diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "provenance drift" in out and "seed" in out
