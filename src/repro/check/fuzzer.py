@@ -147,6 +147,7 @@ def fuzz(
     seeds: Optional[Sequence[int]] = None,
     metrics: Optional["MetricsRegistry"] = None,
     scenario: str = "mixed",
+    queue: str = "auto",
 ) -> FuzzResult:
     """Fuzz *n_seeds* schedules of one registered application.
 
@@ -166,6 +167,11 @@ def fuzz(
         scenario: perturbation scenario class (see
             :attr:`Perturbation.SCENARIOS`) — "partition" and "spike"
             force that network dynamic into every seed.
+        queue: event-queue backend for every run's Simulator
+            ("auto"/"heap"/"calendar"); the backend must be
+            unobservable, so any sweep can be replayed on the other
+            backend and must reproduce byte-identical traces (see
+            :func:`verify_queue_backends`).
     """
     spec = APPS.get(app)
     if spec is None:
@@ -189,6 +195,7 @@ def fuzz(
                 worker_config=spec.worker_config,
                 horizon_s=horizon_s,
                 bug=bug,
+                queue=queue,
             )
         except Exception as exc:
             # Attach the owning seed: in a sharded run this crosses the
@@ -211,6 +218,7 @@ def fuzz(
                 worker_config=spec.worker_config,
                 horizon_s=horizon_s,
                 bug=bug,
+                queue=queue,
             )
         if metrics is not None:
             metrics.counter("check.seeds_run").inc()
@@ -250,6 +258,7 @@ class FuzzShardSpec:
     shrink: bool
     horizon_s: float
     scenario: str = "mixed"
+    queue: str = "auto"
 
     def describe(self) -> str:
         if not self.seeds:
@@ -276,6 +285,7 @@ def _run_fuzz_shard(spec: FuzzShardSpec) -> Tuple[FuzzResult, Dict[str, Any]]:
         horizon_s=spec.horizon_s,
         metrics=registry,
         scenario=spec.scenario,
+        queue=spec.queue,
     )
     return result, registry.snapshot()
 
@@ -302,6 +312,7 @@ def fuzz_sharded(
     progress: Optional[Callable[[int, bool], None]] = None,
     shards_per_job: int = 4,
     scenario: str = "mixed",
+    queue: str = "auto",
 ) -> ShardedFuzz:
     """Shard a fuzz sweep's seed range across worker processes.
 
@@ -320,6 +331,7 @@ def fuzz_sharded(
             balance load when one shard hits a slow shrink cycle.
         scenario: perturbation scenario class, forwarded to every shard
             (see :attr:`Perturbation.SCENARIOS`).
+        queue: event-queue backend, forwarded to every shard.
     """
     from repro.obs.metrics import merge_snapshots
     from repro.parallel import ShardedRunner, resolve_jobs, split_evenly
@@ -332,7 +344,7 @@ def fuzz_sharded(
     specs = [
         FuzzShardSpec(app=app, seeds=tuple(chunk), n_workers=n_workers,
                       bug=bug, shrink=shrink, horizon_s=horizon_s,
-                      scenario=scenario)
+                      scenario=scenario, queue=queue)
         for chunk in chunks
     ]
 
@@ -360,3 +372,79 @@ def fuzz_sharded(
         stats=stats,
         metrics=merge_snapshots([snap for _res, snap in payloads]),
     )
+
+
+# ---------------------------------------------------------------------------
+# Queue-backend equivalence (the byte-identical-trace contract)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackendVerifyResult:
+    """Outcome of one :func:`verify_queue_backends` sweep."""
+
+    app: str
+    n_workers: int
+    seeds: Tuple[int, ...]
+    #: Seeds whose heap- and calendar-backend traces differed.
+    mismatched: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatched
+
+    def summary(self) -> str:
+        head = (f"verify-queue {self.app}: {len(self.seeds)} seeds x "
+                f"{self.n_workers} workers, heap vs calendar")
+        if self.ok:
+            return f"{head}\n  all traces byte-identical"
+        return (f"{head}\n  {len(self.mismatched)} diverging seed(s): "
+                f"{self.mismatched}")
+
+
+def verify_queue_backends(
+    app: str = "fib",
+    n_seeds: int = 50,
+    start_seed: int = 0,
+    n_workers: int = 4,
+    horizon_s: float = 60.0,
+    scenario: str = "mixed",
+    progress: Optional[Callable[[int, bool], None]] = None,
+) -> BackendVerifyResult:
+    """Prove the queue backends equivalent on full cluster runs.
+
+    For every seed, the same checked run (same job, same perturbation)
+    executes once on the reference heap backend and once on the
+    calendar backend; the two :class:`~repro.util.trace.TraceLog` dumps
+    must match byte for byte.  This is the contract that lets the
+    accelerated backend be the default: any divergence — one message
+    reordered, one timer fired in a different order — shows up as a
+    trace diff on some seed (``repro check --verify-queue``; CI runs
+    this on every push).
+    """
+    spec = APPS.get(app)
+    if spec is None:
+        raise ReproError(f"unknown app {app!r}; known: {sorted(APPS)}")
+    seed_window = tuple(range(start_seed, start_seed + n_seeds))
+    result = BackendVerifyResult(app=app, n_workers=n_workers, seeds=seed_window)
+    for seed in seed_window:
+        pert = Perturbation.generate(seed, n_workers, scenario=scenario)
+        dumps = []
+        for backend in ("heap", "calendar"):
+            run = run_checked(
+                spec.make(),
+                n_workers=n_workers,
+                seed=seed,
+                perturbation=pert,
+                expected=spec.expected,
+                worker_config=spec.worker_config,
+                horizon_s=horizon_s,
+                queue=backend,
+            )
+            dumps.append(run.trace.dump())
+        ok = dumps[0] == dumps[1]
+        if not ok:
+            result.mismatched.append(seed)
+        if progress is not None:
+            progress(seed, ok)
+    return result

@@ -94,15 +94,26 @@ class NetCounters:
 
 
 class _DeliveryEvent(Event):
-    """Internal event carrying one in-flight datagram.
+    """Internal event carrying one in-flight datagram (or several).
 
     Never exposed outside the network: its ``callbacks`` is a shared
     per-network tuple (the kernel only iterates callbacks and replaces
     the attribute with None), so constructing one allocates no list and
-    no closure.
+    no closure — and, because no caller can ever hold a reference, the
+    object is recycled through a per-network free list after delivery.
+
+    ``t`` is the absolute delivery time and ``more`` an optional list of
+    extra ``(msg, params)`` pairs coalesced onto this event: sends that
+    land at the same (time, destination) while this event is still the
+    tail of its same-time queue position share one kernel event and are
+    drained in send order (see :meth:`Network._send_wire`).
     """
 
-    __slots__ = ("msg", "params")
+    __slots__ = ("msg", "params", "more", "t")
+
+
+#: Upper bound on the per-network delivery-event free list.
+_EV_POOL_MAX = 256
 
 
 class Network:
@@ -149,6 +160,12 @@ class Network:
         #: Shared callback tuples for delivery events (see _DeliveryEvent).
         self._deliver_cbs = (self._on_delivery,)
         self._deliver_local_cbs = (self._on_delivery_local,)
+        #: Free list of recycled _DeliveryEvent objects.
+        self._ev_pool: list = []
+        #: Most recently enqueued delivery event + the queue-tail token
+        #: taken right after its enqueue — the coalescing candidate.
+        self._last_delivery: Optional[_DeliveryEvent] = None
+        self._last_token = None
         #: Observability instruments (attach_metrics); None keeps the hot
         #: path at a single identity check per send/delivery.
         self._m_msg_latency = None
@@ -313,15 +330,41 @@ class Network:
             flight += self.rng.random() * params.jitter_s
         if self._m_inflight is not None:
             self._m_inflight.inc()
-        deliver = _DeliveryEvent.__new__(_DeliveryEvent)
-        deliver.sim = sim
-        deliver.callbacks = self._deliver_cbs
-        deliver._value = None
-        deliver._ok = True
-        deliver.defused = False
+        t = sim.now + flight
+        last = self._last_delivery
+        if (last is not None and last.callbacks is self._deliver_cbs
+                and last.t == t and last.msg.dst == dst
+                and sim._at_tail(last, self._last_token)):
+            # Same delivery tick, same destination, and the previous
+            # delivery event is still the tail of its same-time queue
+            # position: a separate event would drain immediately after
+            # it anyway, so ride along and save one kernel event.  The
+            # batch drains in send order (see _on_delivery).
+            more = last.more
+            if more is None:
+                last.more = [(msg, params)]
+            else:
+                more.append((msg, params))
+            return params
+        pool = self._ev_pool
+        if pool:
+            deliver = pool.pop()
+            deliver.callbacks = self._deliver_cbs
+            deliver.defused = False
+        else:
+            deliver = _DeliveryEvent.__new__(_DeliveryEvent)
+            deliver.sim = sim
+            deliver.callbacks = self._deliver_cbs
+            deliver._value = None
+            deliver._ok = True
+            deliver.defused = False
         deliver.msg = msg
         deliver.params = params
+        deliver.more = None
+        deliver.t = t
         sim._enqueue(deliver, flight, NORMAL)
+        self._last_delivery = deliver
+        self._last_token = sim._tail_token(deliver)
         return params
 
     #: Cost of a same-host (loopback) datagram: no wire, just a kernel copy.
@@ -338,21 +381,69 @@ class Network:
         charge = self._cpu_charge.get(host)
         if charge:
             charge(self.LOOPBACK_S)
-        deliver = _DeliveryEvent.__new__(_DeliveryEvent)
-        deliver.sim = sim
+        t = sim.now + self.LOOPBACK_S
+        last = self._last_delivery
+        if (last is not None and last.callbacks is self._deliver_local_cbs
+                and last.t == t and last.msg.dst == host
+                and sim._at_tail(last, self._last_token)):
+            more = last.more
+            if more is None:
+                last.more = [(msg, None)]
+            else:
+                more.append((msg, None))
+            return
+        pool = self._ev_pool
+        if pool:
+            deliver = pool.pop()
+            deliver.defused = False
+        else:
+            deliver = _DeliveryEvent.__new__(_DeliveryEvent)
+            deliver.sim = sim
+            deliver._value = None
+            deliver._ok = True
+            deliver.defused = False
         deliver.callbacks = self._deliver_local_cbs
-        deliver._value = None
-        deliver._ok = True
-        deliver.defused = False
         deliver.msg = msg
         deliver.params = None
+        deliver.more = None
+        deliver.t = t
         sim._enqueue(deliver, self.LOOPBACK_S, NORMAL)
+        self._last_delivery = deliver
+        self._last_token = sim._tail_token(deliver)
+
+    def _recycle(self, ev: "_DeliveryEvent") -> None:
+        """Return a drained delivery event to the free list.  Safe even
+        though the kernel has not finished with the object (its fields
+        are reinitialised on reuse before it can be observed again), and
+        callers never see these events, so no outside reference exists.
+        """
+        if self._last_delivery is ev:
+            self._last_delivery = None
+        ev.msg = None
+        ev.params = None
+        ev.more = None
+        pool = self._ev_pool
+        if len(pool) < _EV_POOL_MAX:
+            pool.append(ev)
 
     def _on_delivery(self, ev: "_DeliveryEvent") -> None:
-        self._deliver(ev.msg, ev.params)
+        msg = ev.msg
+        params = ev.params
+        more = ev.more
+        self._recycle(ev)
+        self._deliver(msg, params)
+        if more is not None:
+            for m, p in more:
+                self._deliver(m, p)
 
     def _on_delivery_local(self, ev: "_DeliveryEvent") -> None:
-        self._deliver_local(ev.msg)
+        msg = ev.msg
+        more = ev.more
+        self._recycle(ev)
+        self._deliver_local(msg)
+        if more is not None:
+            for m, _p in more:
+                self._deliver_local(m)
 
     def _deliver_local(self, msg: Message) -> None:
         if self.is_down(msg.dst):

@@ -18,34 +18,65 @@ but still reproducible — interleaving per seed.  The schedule fuzzer in
 events keep strict insertion order because the kernel relies on it for
 its own bookkeeping.
 
-Performance notes (this module is the hottest code in the repository —
+Queue backends (this module is the hottest code in the repository —
 every message, timeout, and task execution passes through it):
 
-* Queue entries are plain tuples ``(time, priority, seq, event)``; the
-  constant ``0.0`` fuzzing sub-key of earlier versions is only
-  materialised when a ``tiebreak_rng`` is installed (entries then are
-  ``(time, priority, sub, seq, event)``).  Both shapes can coexist:
-  a comparison only reaches index 2 when time *and* priority are equal,
-  and priority determines the shape, so mismatched-shape tuples are
-  always decided by index 0 or 1.
-* The queue runs in one of three modes.  While events are only being
-  scheduled (``_MODE_LAZY``) it is an unsorted append-only list.  The
-  first pop sorts it once, descending, and switches to ``_MODE_DRAIN``
-  where each pop is an O(1) ``list.pop()`` from the end.  A push while
-  draining heapifies the remainder and falls back to a classic binary
-  heap (``_MODE_HEAP``).  All three modes pop in exactly the same total
-  order as a plain heap — entries are totally ordered by their unique
-  sequence numbers — so determinism is unaffected; the mode machinery
-  only removes per-event sift costs for the common schedule-then-drain
-  pattern.
+``Simulator(queue=...)`` selects the event-queue implementation:
+
+* ``"heap"`` — the reference implementation: one priority queue of
+  ``(time, priority, seq, event)`` tuples (``(time, priority, sub, seq,
+  event)`` when a ``tiebreak_rng`` is installed) running in one of three
+  modes.  While events are only being scheduled (``_MODE_LAZY``) it is
+  an unsorted append-only list.  The first pop sorts it once, descending,
+  and switches to ``_MODE_DRAIN`` where each pop is an O(1) ``list.pop()``
+  from the end.  A push while draining heapifies the remainder and falls
+  back to a classic binary heap (``_MODE_HEAP``).
+* ``"calendar"`` — the accelerated backend: a calendar/bucket queue that
+  exploits the timeout quantization of the scheduled workload (steal
+  backoffs, heartbeats, and retry timers recur at a handful of deltas, so
+  many events share exact trigger times).  Events are bucketed by exact
+  float timestamp in a dict; a small heap of *distinct* times orders the
+  buckets.  Within a bucket, URGENT events drain FIFO first, then NORMAL
+  events FIFO — which *is* (priority, seq) order, so no per-event tuples
+  or comparisons are needed at all.  With a ``tiebreak_rng`` the NORMAL
+  half of each bucket stores ``(sub, seq, event)`` tuples and is sorted
+  once when the bucket is first drained (mid-drain arrivals are bisected
+  into the remaining tail), reproducing the heap's shuffled order key
+  for key.  A bucket holding a single NORMAL event is represented by the
+  bare event (no list allocations), the common case when trigger times
+  are mostly unique.
+* ``"auto"`` (default) — currently the calendar queue.
+
+Both backends pop events in exactly the same total order — the property
+tests in ``tests/sim/test_queue_equivalence.py`` drive both against a
+plain-heapq oracle, and the schedule fuzzer asserts byte-identical
+traces for full cluster runs (see docs/performance.md, "Queue
+backends").
+
+Other hot-path machinery:
+
 * :class:`Timeout` events start with a shared immutable empty-callbacks
   marker instead of a fresh list; :meth:`Event.subscribe` materialises a
   real list on first use.  ``processed`` remains ``callbacks is None``.
+* The calendar backend recycles :class:`Timeout` objects through a
+  per-simulator free list: after a waited-on timeout has fired and its
+  callbacks have run, ``sys.getrefcount`` proves no caller still holds a
+  reference, and the object is reused by a later :meth:`Simulator.timeout`
+  call instead of allocating a fresh one.
+* :meth:`Simulator.call_soon` and the already-processed branch of
+  :meth:`Event.subscribe` ride pooled slotted one-shot events
+  (:class:`_SoonEvent`) — no per-call lambda, list, or garbage event.
+* ``run()`` — in all of its forms (to exhaustion, to a horizon, to an
+  awaited event) — uses a batched drain loop that writes the clock and
+  the processed-events counter back only when user code can observe
+  them, instead of dispatching ``peek()``/``step()`` per event.
 """
 
 from __future__ import annotations
 
+import sys
 from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
+from bisect import insort as _insort
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
@@ -62,12 +93,42 @@ _PENDING = object()
 #: ``subscribe`` swaps in a real list the first time one is needed.
 _NO_CALLBACKS: tuple = ()
 
-#: Event-queue modes (see module docstring).
+#: Event-queue modes of the reference ("heap") backend (see module
+#: docstring).
 _MODE_LAZY = 0   # append-only; nothing popped yet
 _MODE_DRAIN = 1  # sorted descending; pop from the end
 _MODE_HEAP = 2   # classic heapq
 
 _INF = float("inf")
+
+#: Recognised queue-backend names for ``Simulator(queue=...)``.
+QUEUE_BACKENDS = ("auto", "heap", "calendar")
+
+#: Free-list bounds: per-simulator pools never grow past these, so a
+#: burst of events cannot pin memory forever.
+_TIMEOUT_POOL_MAX = 1024
+_SOON_POOL_MAX = 64
+
+#: ``sys.getrefcount`` where available (CPython); the fallback returns a
+#: count that never matches, disabling event recycling rather than
+#: risking a live object in the pool.
+_refcount = getattr(sys, "getrefcount", lambda _obj: -1)
+
+_DEADLOCK_MSG = (
+    "simulation ran out of events before the awaited event triggered "
+    "(deadlock?)"
+)
+
+
+def _resolve_queue(queue: str) -> str:
+    """Map a ``Simulator(queue=...)`` argument to a concrete backend."""
+    if queue == "auto":
+        return "calendar"
+    if queue in ("heap", "calendar"):
+        return queue
+    raise SimulationError(
+        f"unknown queue backend {queue!r}; expected one of {QUEUE_BACKENDS}"
+    )
 
 
 class Interrupt(Exception):
@@ -157,7 +218,7 @@ class Event:
         """
         callbacks = self.callbacks
         if callbacks is None:
-            self.sim.call_soon(lambda: callback(self))
+            self.sim.call_soon(callback, self)
         elif callbacks is _NO_CALLBACKS:
             self.callbacks = [callback]
         else:
@@ -193,6 +254,55 @@ class Timeout(Event):
         self._ok = True
         self.defused = False
         sim._enqueue(self, delay, NORMAL)
+
+
+_NO_ARG = object()
+
+
+def _run_soon(ev: "_SoonEvent") -> None:
+    """Shared callback of every :class:`_SoonEvent`: invoke the stored
+    function, then return the event to its simulator's pool (a reuse
+    mid-callback reinitialises every field before the kernel looks at
+    the event again, so recycling here is safe)."""
+    fn = ev.fn
+    arg = ev.arg
+    ev.fn = ev.arg = None
+    pool = ev.sim._soon_pool
+    if len(pool) < _SOON_POOL_MAX:
+        pool.append(ev)
+    if arg is _NO_ARG:
+        fn()
+    else:
+        fn(arg)
+
+
+class _SoonEvent(Event):
+    """Pooled one-shot carrier behind :meth:`Simulator.call_soon`.
+
+    Never exposed outside the kernel: its ``callbacks`` is the shared
+    :data:`_SOON_CBS` tuple (the kernel only iterates callbacks and
+    replaces the attribute with None), so scheduling a callback
+    allocates no list and no closure — and usually no event either,
+    thanks to the per-simulator free list.
+    """
+
+    __slots__ = ("fn", "arg")
+
+
+_SOON_CBS = (_run_soon,)
+
+
+class _Flag:
+    """Slotted done-marker for ``run(until=event)`` — replaces the old
+    per-call ``[False]`` list plus closure."""
+
+    __slots__ = ("fired",)
+
+    def __init__(self) -> None:
+        self.fired = False
+
+    def __call__(self, _ev: Event) -> None:
+        self.fired = True
 
 
 class Process(Event):
@@ -310,9 +420,27 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of triggered events."""
+    """The event loop: a clock plus a priority queue of triggered events.
 
-    def __init__(self, tiebreak_rng: Optional[Any] = None) -> None:
+    Args:
+        tiebreak_rng: optional seeded RNG perturbing same-time
+            NORMAL-event order (schedule fuzzing); install it at
+            construction time, before scheduling anything.
+        queue: event-queue backend — ``"heap"`` (the reference
+            three-mode queue), ``"calendar"`` (the accelerated bucket
+            queue), or ``"auto"`` (currently the calendar queue).  Both
+            backends process events in exactly the same total order; see
+            the module docstring and docs/performance.md.
+    """
+
+    def __new__(cls, tiebreak_rng: Optional[Any] = None, queue: str = "auto") -> "Simulator":
+        if cls is Simulator and _resolve_queue(queue) == "calendar":
+            cls = CalendarSimulator
+        return object.__new__(cls)
+
+    def __init__(self, tiebreak_rng: Optional[Any] = None, queue: str = "auto") -> None:
+        #: Resolved backend name ("heap" or "calendar").
+        self.queue_backend = "heap"
         #: Current simulated time in seconds.
         self.now: float = 0.0
         self._heap: List = []
@@ -332,6 +460,8 @@ class Simulator:
         #: invariant checker for online (mid-run) assertions.
         self.monitor: Optional[Callable[["Simulator"], None]] = None
         self.monitor_interval: int = 4096
+        #: Free list of :class:`_SoonEvent` carriers (see call_soon).
+        self._soon_pool: List[_SoonEvent] = []
 
     # -- construction helpers ---------------------------------------------
 
@@ -377,11 +507,25 @@ class Simulator:
         """Start a new process from a generator; returns the Process event."""
         return Process(self, gen, name)
 
-    def call_soon(self, fn: Callable[[], None]) -> None:
-        """Run *fn* from the event loop at the current time (zero delay)."""
-        ev = Event(self)
-        ev.callbacks.append(lambda _ev: fn())  # type: ignore[union-attr]
-        ev.succeed(None, priority=URGENT)
+    def call_soon(self, fn: Callable[..., None], arg: Any = _NO_ARG) -> None:
+        """Run *fn* (or *fn(arg)*) from the event loop at the current time.
+
+        Rides a pooled slotted one-shot event: no per-call lambda, list,
+        or garbage event object (see :class:`_SoonEvent`).
+        """
+        pool = self._soon_pool
+        if pool:
+            ev = pool.pop()
+        else:
+            ev = _SoonEvent.__new__(_SoonEvent)
+            ev.sim = self
+        ev.callbacks = _SOON_CBS
+        ev._value = None
+        ev._ok = True
+        ev.defused = False
+        ev.fn = fn
+        ev.arg = arg
+        self._enqueue(ev, 0.0, URGENT)
 
     # -- scheduling & execution -------------------------------------------
 
@@ -407,6 +551,26 @@ class Simulator:
             self._heap.append(entry)
             _heapify(self._heap)
             self._mode = _MODE_HEAP
+
+    def _tail_token(self, event: Event) -> Any:
+        """Opaque token for :meth:`_at_tail` (delivery coalescing)."""
+        return self._seq
+
+    def _at_tail(self, event: Event, token: Any) -> bool:
+        """True iff *event* is still the queue tail among entries sharing
+        its (time, NORMAL) key — i.e. a new enqueue at that key would
+        land directly after it, so batching the two preserves the exact
+        total order.  The reference backend proves it conservatively: no
+        event of any kind has been enqueued since the token was taken.
+        """
+        return self.tiebreak_rng is None and self._seq == token
+
+    def _has_work(self) -> bool:
+        """True while at least one scheduled event remains."""
+        return bool(self._heap)
+
+    def _queue_len(self) -> int:
+        return len(self._heap)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -461,20 +625,29 @@ class Simulator:
                 set to it); an :class:`Event` runs until that event has
                 been processed and returns its value (re-raising its
                 failure, if any).
+
+        All three forms take a batched drain loop when no monitor hook
+        is installed: identical event order and semantics to ``step()``
+        in a loop, with the per-event clock/counter writes deferred to
+        the points where user code can observe them.  A monitor needs an
+        exact per-event counter, so its presence selects the plain
+        stepping path.
         """
         if until is not None:
             if isinstance(until, Event):
                 target = until
                 if not target.processed:
-                    done = [False]
-                    target.subscribe(lambda _ev: done.__setitem__(0, True))
-                    while not done[0]:
-                        if not self._heap:
-                            raise SimulationError(
-                                "simulation ran out of events before the awaited "
-                                "event triggered (deadlock?)"
-                            )
-                        self.step()
+                    flag = _Flag()
+                    target.subscribe(flag)
+                    if self.monitor is not None:
+                        while not flag.fired:
+                            if not self._has_work():
+                                raise SimulationError(_DEADLOCK_MSG)
+                            self.step()
+                    else:
+                        self._drain(_INF, flag)
+                        if not flag.fired:
+                            raise SimulationError(_DEADLOCK_MSG)
                 if target._ok is False:
                     target.defused = True
                     raise target._value
@@ -482,22 +655,31 @@ class Simulator:
             horizon = float(until)
             if horizon < self.now:
                 raise SimulationError(f"run(until={horizon}) is in the past (now={self.now})")
-            while self._heap and self.peek() <= horizon:
-                self.step()
+            if self.monitor is not None:
+                while self._has_work() and self.peek() <= horizon:
+                    self.step()
+            else:
+                self._drain(horizon, None)
             self.now = horizon
             return None
         if self.monitor is not None:
             # The monitor hook needs an exact per-event counter; take the
             # plain stepping path.
-            while self._heap:
+            while self._has_work():
                 self.step()
             return None
-        # Drain-to-empty fast path.  Identical event order and semantics
-        # to step() in a loop, with the per-event costs batched: the
-        # clock and the processed-events counter are written back only
-        # when user code can observe them (callbacks, exceptions, exit),
-        # and the pop mode is kept in a local that is refreshed whenever
-        # callbacks ran (only user code can flip it).
+        self._drain(_INF, None)
+        return None
+
+    def _drain(self, limit: float, stop: Optional[_Flag]) -> None:
+        """Batched event loop: process events with time <= *limit* until
+        the queue empties or *stop* fires (checked after callbacks, the
+        only place it can flip).  Identical event order and semantics to
+        ``step()`` in a loop: the clock and the processed-events counter
+        are written back only when user code can observe them (callbacks,
+        exceptions, exit), and the pop mode is kept in a local that is
+        refreshed whenever callbacks ran (only user code can flip it).
+        """
         heap = self._heap
         mode = self._mode
         now = self.now
@@ -505,13 +687,17 @@ class Simulator:
         try:
             while heap:
                 if mode == _MODE_HEAP:
+                    if heap[0][0] > limit:
+                        break
                     entry = _heappop(heap)
                 elif mode == _MODE_DRAIN:
+                    if heap[-1][0] > limit:
+                        break
                     entry = heap.pop()
                 else:
                     heap.sort(reverse=True)
                     mode = self._mode = _MODE_DRAIN
-                    entry = heap.pop()
+                    continue
                 now = entry[0]
                 event = entry[-1]
                 n += 1
@@ -525,13 +711,363 @@ class Simulator:
                         callback(event)
                     if event._ok is False and not event.defused:
                         raise event._value
+                    if stop is not None and stop.fired:
+                        return
                     mode = self._mode
                 elif event._ok is False and not event.defused:
                     raise event._value
         finally:
             self.now = now
             self.events_processed += n
-        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.6f} queued={len(self._heap)}>"
+        return (f"<{type(self).__name__} now={self.now:.6f} "
+                f"queued={self._queue_len()}>")
+
+
+class CalendarSimulator(Simulator):
+    """Calendar/bucket-queue backend (``Simulator(queue="calendar")``).
+
+    Events are bucketed by exact trigger time in ``_buckets``; a heap of
+    distinct times (``_times``) orders the buckets.  Bucket shapes:
+
+    * a bare :class:`Event` — a single NORMAL event, no ``tiebreak_rng``
+      (the dominant case when trigger times are mostly unique); promoted
+      to a full bucket if a second event lands on the same time;
+    * a list ``[urgent, normal, u_i, n_i, sorted]`` — ``urgent`` (a list
+      or None) drains FIFO first, then ``normal``; ``u_i``/``n_i`` are
+      drain cursors so mid-drain arrivals at the same time are picked up
+      in exactly the (priority, seq) order the reference backend would
+      produce.  With a ``tiebreak_rng``, ``normal`` holds ``(sub, seq,
+      event)`` tuples, is sorted when first drained (``sorted`` flag),
+      and mid-drain arrivals are bisected into the remaining tail.
+
+    A drained bucket is deleted only once exhausted, so same-time
+    arrivals during its callbacks always join the live bucket; the
+    one-bucket-at-a-time invariant (``_cur``) holds because the clock
+    never moves backwards.
+    """
+
+    def __init__(self, tiebreak_rng: Optional[Any] = None, queue: str = "calendar") -> None:
+        super().__init__(tiebreak_rng, queue="heap")
+        self.queue_backend = "calendar"
+        self._buckets: dict = {}
+        self._times: List[float] = []
+        #: Bucket currently being drained (list shape), or None.
+        self._cur: Optional[list] = None
+        self._cur_time = 0.0
+        #: Free list of recycled Timeout objects (see module docstring).
+        self._timeout_pool: List[Timeout] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """See :meth:`Simulator.timeout`; calendar fast path."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        if self.tiebreak_rng is not None:
+            ev = Timeout.__new__(Timeout)
+            ev.sim = self
+            ev.callbacks = _NO_CALLBACKS
+            ev._value = value
+            ev._ok = True
+            ev.defused = False
+            self._enqueue(ev, delay, NORMAL)
+            return ev
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = _NO_CALLBACKS
+            ev._value = value
+            ev.defused = False
+        else:
+            ev = Timeout.__new__(Timeout)
+            ev.sim = self
+            ev.callbacks = _NO_CALLBACKS
+            ev._value = value
+            ev._ok = True
+            ev.defused = False
+        t = self.now + delay
+        buckets = self._buckets
+        b = buckets.get(t)
+        if b is None:
+            buckets[t] = ev
+            _heappush(self._times, t)
+        elif type(b) is list:
+            b[1].append(ev)
+        else:
+            buckets[t] = [None, [b, ev], 0, 0, False]
+        return ev
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        t = self.now + delay
+        buckets = self._buckets
+        b = buckets.get(t)
+        rng = self.tiebreak_rng
+        if rng is None:
+            if b is None:
+                if priority == NORMAL:
+                    buckets[t] = event
+                else:
+                    buckets[t] = [[event], [], 0, 0, False]
+                _heappush(self._times, t)
+            elif type(b) is list:
+                if priority == NORMAL:
+                    b[1].append(event)
+                else:
+                    u = b[0]
+                    if u is None:
+                        b[0] = [event]
+                    else:
+                        u.append(event)
+            elif priority == NORMAL:
+                buckets[t] = [None, [b, event], 0, 0, False]
+            else:
+                buckets[t] = [[event], [b], 0, 0, False]
+            return
+        # Fuzzing mode: NORMAL entries carry a (sub, seq) shuffle key.
+        seq = self._seq = self._seq + 1
+        if b is None:
+            b = buckets[t] = [None, [], 0, 0, False]
+            _heappush(self._times, t)
+        elif type(b) is not list:
+            # A bare pre-rng singleton (tiebreak_rng installed after
+            # scheduling — unsupported but tolerated): keep it first.
+            b = buckets[t] = [None, [(-1.0, 0, b)], 0, 0, False]
+        if priority == NORMAL:
+            sub = rng.random()
+            normal = b[1]
+            if b[4]:
+                # The bucket is mid-drain: keep the remaining tail sorted.
+                _insort(normal, (sub, seq, event), b[3])
+            else:
+                normal.append((sub, seq, event))
+        else:
+            u = b[0]
+            if u is None:
+                b[0] = [event]
+            else:
+                u.append(event)
+
+    def _tail_token(self, event: Event) -> Any:
+        return None
+
+    def _at_tail(self, event: Event, token: Any) -> bool:
+        # Structural check: the event must still be the last NORMAL entry
+        # of a live bucket (rng mode stores tuples, so the identity test
+        # fails there and coalescing is off — as it must be, because a
+        # new entry would draw its own shuffle key).
+        try:
+            b = self._buckets.get(event.t)
+        except AttributeError:  # pragma: no cover - defensive
+            return False
+        if b is event:
+            return True
+        if type(b) is list:
+            normal = b[1]
+            return bool(normal) and normal[-1] is event
+        return False
+
+    # -- queue state -------------------------------------------------------
+
+    def _bucket_live(self, b: list) -> bool:
+        """True if the bucket still has undrained events; a dead current
+        bucket is retired (deleted) on the spot."""
+        u = b[0]
+        if (u is not None and b[2] < len(u)) or b[3] < len(b[1]):
+            return True
+        del self._buckets[self._cur_time]
+        self._cur = None
+        return False
+
+    def _has_work(self) -> bool:
+        b = self._cur
+        if b is not None and self._bucket_live(b):
+            return True
+        return bool(self._times)
+
+    def _queue_len(self) -> int:
+        n = 0
+        for b in self._buckets.values():
+            if type(b) is not list:
+                n += 1
+                continue
+            u = b[0]
+            if u is not None:
+                n += len(u) - b[2]
+            n += len(b[1]) - b[3]
+        return n
+
+    def peek(self) -> float:
+        b = self._cur
+        if b is not None and self._bucket_live(b):
+            return self._cur_time
+        times = self._times
+        return times[0] if times else _INF
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        b = self._cur
+        if b is not None and not self._bucket_live(b):
+            b = None
+        if b is None:
+            times = self._times
+            if not times:
+                raise SimulationError("step() on an empty schedule")
+            t = _heappop(times)
+            if t < self.now:
+                raise SimulationError("time went backwards (kernel bug)")
+            b = self._buckets[t]
+            if type(b) is not list:
+                # Singleton: retire it before its callbacks run so a
+                # same-time arrival opens a fresh bucket behind it.
+                del self._buckets[t]
+                self.now = t
+                self._process_one(b)
+                return
+            self._cur = b
+            self._cur_time = t
+        self.now = self._cur_time
+        u = b[0]
+        if u is not None and b[2] < len(u):
+            i = b[2]
+            b[2] = i + 1
+            ev = u[i]
+        else:
+            i = b[3]
+            b[3] = i + 1
+            if self.tiebreak_rng is not None:
+                if not b[4]:
+                    b[1].sort()
+                    b[4] = True
+                ev = b[1][i][2]
+            else:
+                ev = b[1][i]
+        self._process_one(ev)
+
+    def _process_one(self, event: Event) -> None:
+        callbacks = event.callbacks
+        event.callbacks = None
+        self.events_processed += 1
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if event._ok is False and not event.defused:
+            raise event._value
+        if self.monitor is not None and self.events_processed % self.monitor_interval == 0:
+            self.monitor(self)
+
+    def _drain(self, limit: float, stop: Optional[_Flag]) -> None:
+        """Batched drain (see :meth:`Simulator._drain` for the contract).
+
+        Bucket lengths and cursors live in locals on the no-callback
+        fast path; they are written back before callbacks run (the only
+        code that can observe or change them) and refreshed after.
+        """
+        buckets = self._buckets
+        times = self._times
+        pool = self._timeout_pool
+        rng_mode = self.tiebreak_rng is not None
+        now = self.now
+        n = 0
+        try:
+            while True:
+                b = self._cur
+                if b is None:
+                    if not times or times[0] > limit:
+                        break
+                    t = _heappop(times)
+                    if t < now:
+                        raise SimulationError("time went backwards (kernel bug)")
+                    now = t
+                    b = buckets[t]
+                    if type(b) is not list:
+                        # Singleton bucket: one NORMAL event, retired
+                        # before its callbacks run (see step()).  `b` is
+                        # deliberately the only local referencing it so
+                        # the recycle refcount check below stays exact.
+                        del buckets[t]
+                        n += 1
+                        cbs = b.callbacks
+                        b.callbacks = None
+                        if cbs:
+                            self.now = now
+                            self.events_processed += n
+                            n = 0
+                            for cb in cbs:
+                                cb(b)
+                            if b._ok is False and not b.defused:
+                                raise b._value
+                            if (type(b) is Timeout and _refcount(b) == 2
+                                    and len(pool) < _TIMEOUT_POOL_MAX):
+                                pool.append(b)
+                            if stop is not None and stop.fired:
+                                return
+                        elif b._ok is False and not b.defused:
+                            raise b._value
+                        continue
+                    self._cur = b
+                    self._cur_time = t
+                else:
+                    now = self._cur_time
+                urgent = b[0]
+                normal = b[1]
+                ui = b[2]
+                ni = b[3]
+                u_len = 0 if urgent is None else len(urgent)
+                n_len = len(normal)
+                while True:
+                    if ui < u_len:
+                        ev = urgent[ui]
+                        ui += 1
+                    elif ni < n_len:
+                        if rng_mode:
+                            if not b[4]:
+                                normal.sort()
+                                b[4] = True
+                            ev = normal[ni][2]
+                        else:
+                            ev = normal[ni]
+                        ni += 1
+                    else:
+                        break
+                    n += 1
+                    cbs = ev.callbacks
+                    ev.callbacks = None
+                    if cbs:
+                        b[2] = ui
+                        b[3] = ni
+                        self.now = now
+                        self.events_processed += n
+                        n = 0
+                        for cb in cbs:
+                            cb(ev)
+                        if ev._ok is False and not ev.defused:
+                            raise ev._value
+                        if (type(ev) is Timeout and _refcount(ev) == 3
+                                and len(pool) < _TIMEOUT_POOL_MAX):
+                            # The bucket slot and our local are the only
+                            # remaining references: nobody can observe
+                            # this timeout again, so recycle it.
+                            pool.append(ev)
+                        if stop is not None and stop.fired:
+                            return
+                        urgent = b[0]
+                        ui = b[2]
+                        ni = b[3]
+                        u_len = 0 if urgent is None else len(urgent)
+                        n_len = len(normal)
+                    elif ev._ok is False and not ev.defused:
+                        b[2] = ui
+                        b[3] = ni
+                        raise ev._value
+                b[2] = ui
+                b[3] = ni
+                del buckets[self._cur_time]
+                self._cur = None
+        finally:
+            self.now = now
+            self.events_processed += n

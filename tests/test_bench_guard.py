@@ -82,6 +82,26 @@ def test_kernel_throughput_has_not_regressed():
     )
 
 
+def test_timeout_churn_throughput_has_not_regressed():
+    """Guard the interleaved-timeout regime (steal backoffs, heartbeats,
+    retry timers) separately from the push-all-then-drain kernel bench:
+    it exercises the calendar backend's steady state and timeout free
+    list, which the drain-shaped bench barely touches."""
+    recorded_rate = _recorded_rate("timeouts", "events_per_s")
+
+    from repro.bench import bench_timeouts
+
+    floor = ALLOWED_FRACTION * recorded_rate
+    current = _measure_above_floor(
+        lambda: bench_timeouts(repeats=5)["events_per_s"], floor)
+    assert current >= floor, (
+        f"timeout churn throughput regressed: {current:,.0f} ev/s "
+        f"now vs {recorded_rate:,.0f} ev/s recorded "
+        f"(floor {ALLOWED_FRACTION:.0%}); if the slowdown is intentional, "
+        f"re-record with `python -m repro.cli bench --profile timeouts`"
+    )
+
+
 @pytest.mark.parametrize("app", ["fib", "knary"])
 def test_macro_task_throughput_has_not_regressed(app):
     """Guard the end-to-end macro path (simulated cluster tasks/s) the

@@ -1,5 +1,5 @@
-"""write_bench must preserve recorded history (the `pre_overhaul`
-baseline block) instead of clobbering it on re-record."""
+"""write_bench must preserve recorded history (the `pre_overhaul` and
+`pre_calendar` baseline blocks) instead of clobbering it on re-record."""
 
 import json
 
@@ -7,6 +7,10 @@ from repro.bench import format_bench, load_bench, write_bench
 
 PRE_OVERHAUL = {
     "kernel": {"events_per_s": 501086, "note": "seed kernel"},
+}
+
+PRE_CALENDAR = {
+    "kernel": {"events_per_s": 1294745, "note": "three-mode heap kernel"},
 }
 
 
@@ -30,6 +34,34 @@ def test_write_bench_preserves_pre_overhaul_roundtrip(tmp_path):
     assert reread["pre_overhaul"] == PRE_OVERHAUL
     assert reread["kernel"]["events_per_s"] == 2_000_000.0
     assert reread["recorded_at"] == "2026-01-01T00:00:00"
+
+
+def test_write_bench_carries_both_history_blocks_through_rerecords(tmp_path):
+    """Two successive re-records: neither history block may be lost, and
+    a re-record that *does* name a history key cannot overwrite it."""
+    path = str(tmp_path / "BENCH_kernel.json")
+    first = dict(_fake_results(), pre_overhaul=PRE_OVERHAUL,
+                 pre_calendar=PRE_CALENDAR)
+    write_bench(first, path)
+
+    # Re-record #1: plain results, no history keys.
+    write_bench(_fake_results(rate=2_000_000.0), path)
+    # Re-record #2: partial results (a --profile timeouts run) that also
+    # tries to smuggle in a bogus pre_calendar block.
+    partial = {
+        "schema": 1,
+        "recorded_at": "2026-02-02T00:00:00",
+        "timeouts": {"events_per_s": 1_500_000.0, "repeats": 10},
+        "pre_calendar": {"kernel": {"events_per_s": -1, "note": "bogus"}},
+    }
+    write_bench(partial, path)
+
+    reread = load_bench(path)
+    assert reread["pre_overhaul"] == PRE_OVERHAUL
+    assert reread["pre_calendar"] == PRE_CALENDAR  # recorded history wins
+    assert reread["kernel"]["events_per_s"] == 2_000_000.0  # survived partial
+    assert reread["timeouts"]["events_per_s"] == 1_500_000.0
+    assert reread["recorded_at"] == "2026-02-02T00:00:00"
 
 
 def test_write_bench_new_keys_win_over_existing(tmp_path):
@@ -61,5 +93,8 @@ def test_repo_baseline_still_has_pre_overhaul():
         return  # no baseline on this machine; nothing to protect
     assert "pre_overhaul" in recorded, (
         "BENCH_kernel.json lost its pre_overhaul history block"
+    )
+    assert "pre_calendar" in recorded, (
+        "BENCH_kernel.json lost its pre_calendar history block"
     )
     assert format_bench(recorded)  # renders without raising
